@@ -1,0 +1,245 @@
+"""Experiments B-*: SmartSouth vs the controller-driven baselines.
+
+Three head-to-heads, each reproducing one of the paper's motivating
+arguments:
+
+* **B-snapshot-vs-lldp** — topology discovered as the management plane
+  degrades.  LLDP needs both ends of a link manageable; the in-band
+  snapshot needs one connected switch, total.
+* **B-blackhole-vs-probe** — out-of-band messages to localize a blackhole:
+  Θ(E) controller probes vs the smart counters' 3 messages vs the TTL
+  search's 2·log E.
+* **B-anycast-vs-reactive** — delivery after link failures without
+  controller intervention, plus the control-message cost the baseline pays
+  to recover.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.control.apps.probe_blackhole import ProbeBlackholeDetector
+from repro.control.apps.reactive_routing import ReactiveAnycastRouting
+from repro.control.apps.topology_service import LldpTopologyService
+from repro.control.controller import Controller
+from repro.core.runtime import SmartSouthRuntime
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi
+
+from conftest import fmt_row
+
+WIDTHS = (22, 12, 12, 14, 14)
+TRIALS = 20
+TOPO = erdos_renyi(24, 0.2, seed=11)
+
+
+def test_snapshot_vs_lldp_disconnection_sweep(benchmark, emit):
+    def sweep():
+        rows = []
+        for frac in (0.0, 0.25, 0.5, 0.75, 1.0 - 1.0 / TOPO.num_nodes):
+            lldp_links = 0
+            smart_links = 0
+            lldp_msgs = 0
+            for seed in range(TRIALS):
+                rng = random.Random(seed)
+                down = rng.sample(
+                    range(TOPO.num_nodes), int(frac * TOPO.num_nodes)
+                )
+                # Baseline.
+                controller = Controller(Network(TOPO))
+                app = controller.register(LldpTopologyService())
+                for node in down:
+                    controller.channel.disconnect(node)
+                lldp_links += len(app.discover())
+                lldp_msgs += controller.channel.out_band_messages
+                # SmartSouth, triggered via any still-connected switch.
+                connected = [
+                    u for u in TOPO.nodes() if u not in down
+                ] or [0]
+                runtime = SmartSouthRuntime(Network(TOPO), mode="compiled")
+                snap = runtime.snapshot(connected[0])
+                smart_links += len(snap.links)
+            rows.append(
+                (
+                    frac,
+                    lldp_links / TRIALS,
+                    smart_links / TRIALS,
+                    lldp_msgs / TRIALS,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("\n=== B-snapshot-vs-lldp: links discovered vs mgmt-plane outage ===")
+    emit(fmt_row(
+        ["disconnected frac", "lldp links", "smart links", "lldp msgs",
+         f"(|E|={TOPO.num_edges})"], WIDTHS,
+    ))
+    for frac, lldp, smart, msgs in rows:
+        emit(fmt_row([f"{frac:.2f}", f"{lldp:.1f}", f"{smart:.1f}",
+                      f"{msgs:.0f}", ""], WIDTHS))
+    # SmartSouth always sees everything; LLDP degrades monotonically.
+    assert all(smart == TOPO.num_edges for _f, _l, smart, _m in rows)
+    lldp_series = [lldp for _f, lldp, _s, _m in rows]
+    assert lldp_series[0] == TOPO.num_edges
+    assert lldp_series[-1] < TOPO.num_edges / 4
+    assert all(a >= b for a, b in zip(lldp_series, lldp_series[1:]))
+
+
+def test_blackhole_message_cost_comparison(benchmark, emit):
+    victim = 7
+
+    def compare():
+        net = Network(TOPO)
+        net.links[victim].set_blackhole()
+        controller = Controller(net)
+        detector = controller.register(ProbeBlackholeDetector())
+        probe_result = detector.check()
+
+        net2 = Network(TOPO)
+        net2.links[victim].set_blackhole()
+        smart = SmartSouthRuntime(net2, mode="compiled").detect_blackhole_smart(0)
+
+        net3 = Network(TOPO)
+        net3.links[victim].set_blackhole()
+        ttl = SmartSouthRuntime(net3, mode="compiled").detect_blackhole_ttl(0)
+        return probe_result, smart, ttl
+
+    probe_result, smart, ttl = benchmark.pedantic(compare, rounds=1, iterations=1)
+    emit("\n=== B-blackhole-vs-probe: localization cost (out-band / in-band) ===")
+    emit(fmt_row(["method", "out-band", "in-band", "found", ""], WIDTHS))
+    edge = TOPO.edge(victim)
+    probe_found = bool(probe_result.silent)
+    emit(fmt_row(["controller probing", probe_result.out_band_messages,
+                  0, probe_found, ""], WIDTHS))
+    emit(fmt_row(["smart counters", smart.out_band_messages,
+                  smart.in_band_messages, smart.found, ""], WIDTHS))
+    emit(fmt_row(["ttl binary search", ttl.out_band_messages,
+                  ttl.in_band_messages, ttl.found, ""], WIDTHS))
+    assert probe_found and smart.found and ttl.found
+    assert smart.out_band_messages == 3
+    assert smart.out_band_messages < ttl.out_band_messages
+    assert ttl.out_band_messages < probe_result.out_band_messages
+    # All three name the same link.
+    link = {(edge.a.node, edge.a.port), (edge.b.node, edge.b.port)}
+    assert smart.location in link and ttl.location in link
+    assert probe_result.silent <= link
+
+
+def test_blackhole_counter_polling_alternative(benchmark, emit):
+    """Polling the counter groups instead of the in-band verify phase:
+    Θ(n) management messages and blind wherever the channel is down."""
+    from repro.control.apps.counter_polling import CounterPollingDetector
+    from repro.control.apps.smartsouth_manager import SmartSouthManager
+    from repro.core.fields import FIELD_REPEAT
+    from repro.core.services.blackhole import BlackholeService, REPEAT_PROBE
+
+    victim = 7
+
+    def run():
+        net = Network(TOPO)
+        net.links[victim].set_blackhole()
+        controller = Controller(net)
+        manager = controller.register(SmartSouthManager([BlackholeService()]))
+        poller = controller.register(CounterPollingDetector(manager.switches))
+        manager.trigger(
+            BlackholeService.service_id, 0, fields={FIELD_REPEAT: REPEAT_PROBE}
+        )
+        healthy_poll = poller.poll()
+        # Now degrade the management plane at the blackhole's endpoints.
+        edge = TOPO.edge(victim)
+        controller.channel.disconnect(edge.a.node)
+        controller.channel.disconnect(edge.b.node)
+        degraded_poll = poller.poll()
+        return healthy_poll, degraded_poll
+
+    healthy, degraded = benchmark.pedantic(run, rounds=1, iterations=1)
+    edge = TOPO.edge(victim)
+    link = {(edge.a.node, edge.a.port), (edge.b.node, edge.b.port)}
+    emit("\n=== B-blackhole counter-polling alternative ===")
+    emit(f"healthy channel: found {sorted(healthy.suspects)} with "
+         f"{healthy.out_band_messages} mgmt messages (smart counters: 3)")
+    emit(f"endpoints unmanageable: found {sorted(degraded.suspects)} — "
+         f"polling goes blind; the in-band verify phase would not")
+    assert healthy.suspects and healthy.suspects <= link
+    assert healthy.out_band_messages == 2 * TOPO.num_nodes
+    assert degraded.suspects == set()
+
+
+def test_anycast_vs_reactive_routing(benchmark, emit):
+    members = {20, 22}
+
+    def sweep():
+        rows = []
+        for kills in (0, 1, 2, 4):
+            baseline_ok = anycast_ok = reachable = 0
+            repair_msgs = 0
+            for seed in range(TRIALS):
+                rng = random.Random(seed * 7 + kills)
+
+                # Baseline: path installed on the healthy view, then links die.
+                # Half the failures are drawn from the installed path itself —
+                # the adversarial-but-realistic case the paper motivates.
+                net = Network(TOPO)
+                controller = Controller(net)
+                app = controller.register(ReactiveAnycastRouting({1: members}))
+                install = app.install_path(0, 1)
+                path_edges = [
+                    TOPO.find_edge(u, v).edge_id
+                    for u, v in zip(install.path, install.path[1:])
+                ]
+                dead = set(rng.sample(range(TOPO.num_edges), kills))
+                if kills and path_edges:
+                    dead |= set(rng.sample(path_edges, min((kills + 1) // 2, len(path_edges))))
+                net.fail_edges(dead)
+                delivered = app.send(0, install)
+                component = _component(net, 0)
+                if members & component:
+                    reachable += 1
+                    if delivered in members:
+                        baseline_ok += 1
+                    else:
+                        _install, messages = app.repair(0, 1)
+                        repair_msgs += messages
+
+                # SmartSouth anycast on identical failures.
+                net2 = Network(TOPO)
+                net2.fail_edges(dead)
+                runtime = SmartSouthRuntime(net2, mode="compiled")
+                if runtime.anycast(0, 1, {1: members}).delivered_at in members:
+                    anycast_ok += 1
+            rows.append((kills, reachable, baseline_ok, anycast_ok, repair_msgs))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("\n=== B-anycast-vs-reactive: delivery w/o controller help "
+         f"({TRIALS} trials) ===")
+    emit(fmt_row(
+        ["failures", "reachable", "baseline ok", "anycast ok", "repair msgs"],
+        WIDTHS,
+    ))
+    for kills, reachable, baseline_ok, anycast_ok, repair_msgs in rows:
+        emit(fmt_row([kills, reachable, baseline_ok, anycast_ok, repair_msgs],
+                     WIDTHS))
+        assert anycast_ok == reachable  # in-band anycast never misses
+        if kills:
+            assert baseline_ok <= anycast_ok
+
+
+def _component(net, root: int) -> set[int]:
+    adj: dict[int, set[int]] = {u: set() for u in net.topology.nodes()}
+    for link in net.links:
+        if link.up:
+            adj[link.edge.a.node].add(link.edge.b.node)
+            adj[link.edge.b.node].add(link.edge.a.node)
+    seen = {root}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for v in adj[u]:
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return seen

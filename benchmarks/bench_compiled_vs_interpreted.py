@@ -1,0 +1,106 @@
+"""Experiment T1-conformance: the compiled pipelines ARE the template.
+
+The deep differential checks live in ``tests/test_differential.py``; this
+bench (a) re-asserts trace equality on a reference workload, (b) verifies
+every compiled switch statically, and (c) measures the execution-speed cost
+of going through the full OpenFlow pipeline instead of the interpreter.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verify import verify_engine
+from repro.core.engine import make_engine
+from repro.core.fields import FIELD_GID
+from repro.core.services.anycast import PriocastService
+from repro.core.services.base import PlainTraversalService
+from repro.core.services.snapshot import SnapshotService
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi
+
+from conftest import fmt_row
+
+TOPO = erdos_renyi(30, 0.15, seed=7)
+WIDTHS = (26, 14, 14, 12, 10)
+
+
+@pytest.mark.parametrize("mode", ["interpreted", "compiled"])
+def test_traversal_speed(benchmark, emit, mode):
+    def run():
+        net = Network(TOPO)
+        engine = make_engine(net, PlainTraversalService(), mode)
+        result = engine.trigger(0)
+        return result.in_band_messages
+
+    messages = benchmark(run)
+    emit(f"T1 speed: {mode} full DFS on {TOPO.name}: {messages} messages")
+    assert messages == 4 * TOPO.num_edges - 2 * TOPO.num_nodes + 2
+
+
+@pytest.mark.parametrize("mode", ["interpreted", "compiled"])
+def test_install_speed(benchmark, emit, mode):
+    """The offline stage: rule compilation is the compiled engine's cost."""
+
+    def install():
+        net = Network(TOPO)
+        engine = make_engine(net, SnapshotService(), mode)
+        engine.install()
+        return engine
+
+    benchmark(install)
+
+
+def test_trace_equality_reference_workload(benchmark, emit):
+    def both():
+        traces = []
+        for mode in ("interpreted", "compiled"):
+            net = Network(TOPO)
+            engine = make_engine(
+                net, PriocastService({1: {25: 9, 12: 5}}), mode
+            )
+            engine.trigger(0, fields={FIELD_GID: 1})
+            traces.append(net.trace.hop_sequence())
+        return traces
+
+    traces = benchmark.pedantic(both, rounds=1, iterations=1)
+    emit(
+        f"\nT1-conformance: priocast on {TOPO.name}: "
+        f"{len(traces[0])} hops, traces identical: {traces[0] == traces[1]}"
+    )
+    assert traces[0] == traces[1]
+
+
+def test_static_verification_all_services(benchmark, emit):
+    from repro.core.services.anycast import AnycastService
+    from repro.core.services.blackhole import BlackholeService, BlackholeTtlService
+    from repro.core.services.critical import CriticalNodeService
+
+    services = [
+        PlainTraversalService(),
+        SnapshotService(),
+        AnycastService({1: {3}}),
+        PriocastService({1: {3: 5}}),
+        BlackholeService(),
+        BlackholeTtlService(),
+        CriticalNodeService(),
+    ]
+
+    def verify_all():
+        total_errors = 0
+        counts = []
+        for service in services:
+            engine = make_engine(Network(TOPO), service, "compiled")
+            reports = verify_engine(engine)
+            errors = sum(len(r.errors) for r in reports)
+            total_errors += errors
+            counts.append((service.name, engine.total_rules(),
+                           engine.total_groups(), errors))
+        return total_errors, counts
+
+    total_errors, counts = benchmark.pedantic(verify_all, rounds=1, iterations=1)
+    emit("\n=== T1-conformance: static verification of compiled pipelines ===")
+    emit(fmt_row(["service", "rules", "groups", "errors", ""], WIDTHS))
+    for name, rules, groups, errors in counts:
+        emit(fmt_row([name, rules, groups, errors, ""], WIDTHS))
+    assert total_errors == 0

@@ -1,0 +1,174 @@
+"""Experiment R-failover: fast failover keeps the data plane functions alive.
+
+The paper's robustness claim (§1–2): "By additionally leveraging the
+OpenFlow fast failover mechanism, the data plane functions can also be made
+robust to failures."  This harness sweeps the number of pre-execution link
+failures on 2-connected topologies and measures:
+
+* traversal completion rate and node coverage *with* FF sweep groups, and
+* the same with failover disabled (an ablation: the sweep group watches
+  nothing, so the first dead port kills the packet — what a naive
+  port-sequential encoding without FF would do).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import make_engine
+from repro.core.services.base import PlainTraversalService
+from repro.core.services.snapshot import SnapshotService
+from repro.core.runtime import SmartSouthRuntime
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi, torus
+
+from conftest import fmt_row
+
+WIDTHS = (10, 10, 14, 14, 16)
+TRIALS = 30
+
+
+def _disable_failover(engine) -> None:
+    """Ablation: make every FF sweep bucket unconditional, so the group
+    always fires its first bucket even when the port's link is down."""
+    from repro.openflow.group import GroupType
+
+    engine.install()
+    for switch in engine.switches.values():
+        for group in switch.groups.groups():
+            if group.group_type is GroupType.FF:
+                for bucket in group.buckets:
+                    bucket.watch_port = None
+
+
+def _coverage_trial(topology, kills: int, seed: int, failover: bool):
+    rng = random.Random(seed)
+    net = Network(topology)
+    edge_ids = rng.sample(range(topology.num_edges), kills)
+    net.fail_edges(edge_ids)
+    engine = make_engine(net, PlainTraversalService(), "compiled")
+    if not failover:
+        _disable_failover(engine)
+    result = engine.trigger(0)
+    visited = {0}
+    for u, _pu, v, _pv in net.trace.hop_sequence():
+        visited.update((u, v))
+    component = _live_component(net, 0)
+    return bool(result.reports), visited == component
+
+
+def _live_component(net, root: int) -> set[int]:
+    adj: dict[int, set[int]] = {u: set() for u in net.topology.nodes()}
+    for link in net.links:
+        if link.up:
+            adj[link.edge.a.node].add(link.edge.b.node)
+            adj[link.edge.b.node].add(link.edge.a.node)
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        u = frontier.pop()
+        for v in adj[u]:
+            if v not in seen:
+                seen.add(v)
+                frontier.append(v)
+    return seen
+
+
+@pytest.mark.parametrize("kills", [0, 1, 2, 4, 8])
+def test_failover_sweep(benchmark, emit, kills):
+    topo = torus(4, 4)  # 4-regular, stays connected under few failures
+
+    def trial_block():
+        with_ff = sum(
+            _coverage_trial(topo, kills, seed, failover=True)[1]
+            for seed in range(TRIALS)
+        )
+        without_ff = sum(
+            _coverage_trial(topo, kills, seed, failover=False)[1]
+            for seed in range(TRIALS)
+        )
+        return with_ff, without_ff
+
+    with_ff, without_ff = benchmark.pedantic(trial_block, rounds=1, iterations=1)
+    if kills == 0:
+        emit("\n=== R-failover: live-component coverage rate, torus-4x4, "
+             f"{TRIALS} trials ===")
+        emit(fmt_row(
+            ["failures", "", "FF on", "FF off", ""], WIDTHS,
+        ))
+    emit(fmt_row(
+        [kills, "", f"{with_ff}/{TRIALS}", f"{without_ff}/{TRIALS}", ""],
+        WIDTHS,
+    ))
+    # With FF the traversal always covers the live component.
+    assert with_ff == TRIALS
+    # Without FF any failure adjacent to the walk kills it.
+    if kills >= 2:
+        assert without_ff < TRIALS
+
+
+@pytest.mark.parametrize("kills", [1, 3, 5])
+def test_snapshot_under_failures(benchmark, emit, kills):
+    """The snapshot stays exact on whatever remains reachable."""
+    topo = erdos_renyi(24, 0.25, seed=3)
+
+    def trial_block():
+        exact = 0
+        for seed in range(TRIALS):
+            rng = random.Random(1000 + seed)
+            net = Network(topo)
+            net.fail_edges(rng.sample(range(topo.num_edges), kills))
+            runtime = SmartSouthRuntime(net, mode="compiled")
+            snap = runtime.snapshot(0)
+            component = _live_component(net, 0)
+            expected = {
+                pair
+                for pair in net.live_port_pairs()
+                if all(endpoint[0] in component for endpoint in pair)
+            }
+            if snap.ok and snap.links == expected and snap.nodes == component:
+                exact += 1
+        return exact
+
+    exact = benchmark.pedantic(trial_block, rounds=1, iterations=1)
+    emit(
+        f"R-failover snapshot: {kills} failures -> exact live snapshot in "
+        f"{exact}/{TRIALS} trials"
+    )
+    assert exact == TRIALS
+
+
+def test_anycast_vs_failures_sweep(benchmark, emit):
+    """Delivery success as failures accumulate: in-band anycast succeeds
+    exactly when a member stays reachable (no controller involved)."""
+    topo = erdos_renyi(20, 0.25, seed=9)
+    members = {17, 18}
+
+    def sweep():
+        rows = []
+        for kills in (0, 2, 4, 8, 12):
+            delivered = reachable = 0
+            for seed in range(TRIALS):
+                rng = random.Random(seed * 31 + kills)
+                net = Network(topo)
+                net.fail_edges(rng.sample(range(topo.num_edges), kills))
+                runtime = SmartSouthRuntime(net, mode="compiled")
+                result = runtime.anycast(0, 1, {1: members})
+                component = _live_component(net, 0)
+                if members & component:
+                    reachable += 1
+                    if result.delivered_at in members:
+                        delivered += 1
+                else:
+                    assert result.delivered_at is None
+            rows.append((kills, reachable, delivered))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("\n=== R-failover anycast: delivered / member-reachable trials ===")
+    emit(fmt_row(["failures", "", "reachable", "delivered", ""], WIDTHS))
+    for kills, reachable, delivered in rows:
+        emit(fmt_row([kills, "", reachable, delivered, ""], WIDTHS))
+        assert delivered == reachable  # delivery iff reachable, always

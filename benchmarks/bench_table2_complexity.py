@@ -1,0 +1,212 @@
+"""Experiment T2-*: reproduce the paper's Table 2 (message complexities).
+
+For every service the harness runs the implementation on a family of
+topologies, measures the out-of-band and in-band message counts from the
+trace, and prints them next to the paper's formulas.  The paper's counts
+drop additive constants (it writes ``4|E| − 2n`` where the exact count is
+``4E − 2n + 2``); the harness asserts the exact closed forms where the
+count is deterministic and the bound otherwise.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.complexity import (
+    dfs_message_count,
+    echo_message_count,
+    priocast_message_count,
+    ttl_search_probes,
+)
+from repro.core.runtime import SmartSouthRuntime
+from repro.net.simulator import Network
+from repro.net.topology import Topology, abilene, erdos_renyi, fat_tree, grid, ring
+
+from conftest import fmt_row
+
+TOPOLOGIES: list[Topology] = [
+    ring(16),
+    grid(4, 6),
+    abilene(),
+    fat_tree(4),
+    erdos_renyi(30, 0.15, seed=7),
+    erdos_renyi(60, 0.08, seed=7),
+    erdos_renyi(120, 0.04, seed=7),
+]
+
+WIDTHS = (22, 6, 6, 24, 10, 24, 10)
+HEADER = fmt_row(
+    ["topology", "n", "|E|", "out-band paper/measured", "ok",
+     "in-band paper/measured", "ok"],
+    WIDTHS,
+)
+
+
+def _ids():
+    return [t.name for t in TOPOLOGIES]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def banner(request):
+    with request.config.pluginmanager.get_plugin("capturemanager").global_and_fixture_disabled():
+        print("\n=== Table 2 reproduction: out-band / in-band messages per service ===")
+    yield
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=_ids())
+def test_snapshot_row(benchmark, emit, topo):
+    n, e = topo.num_nodes, topo.num_edges
+
+    def run():
+        runtime = SmartSouthRuntime(Network(topo), mode="compiled")
+        return runtime.snapshot(0)
+
+    outcome = benchmark(run)
+    expect_in = dfs_message_count(n, e)
+    ok_out = outcome.result.out_band_messages == 2
+    ok_in = outcome.result.in_band_messages == expect_in
+    emit(HEADER) if topo is TOPOLOGIES[0] else None
+    emit(fmt_row(
+        [f"snapshot/{topo.name}", n, e,
+         f"1+1 / {outcome.result.out_band_messages}", ok_out,
+         f"4E-2n={expect_in} / {outcome.result.in_band_messages}", ok_in],
+        WIDTHS,
+    ))
+    assert ok_out and ok_in
+    assert outcome.links == topo.port_pair_set()
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=_ids())
+def test_anycast_row(benchmark, emit, topo):
+    n, e = topo.num_nodes, topo.num_edges
+    member = n - 1
+
+    def run():
+        runtime = SmartSouthRuntime(Network(topo), mode="compiled")
+        return runtime.anycast(0, 1, {1: {member}})
+
+    result = benchmark(run)
+    bound = dfs_message_count(n, e)
+    ok_out = result.out_band_messages == 0
+    ok_in = result.in_band_messages <= bound
+    emit(fmt_row(
+        [f"anycast/{topo.name}", n, e,
+         f"0 / {result.out_band_messages}", ok_out,
+         f"<=4E-2n={bound} / {result.in_band_messages}", ok_in],
+        WIDTHS,
+    ))
+    assert ok_out and ok_in and result.delivered_at == member
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=_ids())
+def test_priocast_row(benchmark, emit, topo):
+    n, e = topo.num_nodes, topo.num_edges
+    priorities = {n - 1: 30, n // 2: 20, 1: 10}
+
+    def run():
+        runtime = SmartSouthRuntime(Network(topo), mode="compiled")
+        return runtime.priocast(0, 1, {1: priorities})
+
+    result = benchmark(run)
+    bound = priocast_message_count(n, e)
+    ok_out = result.out_band_messages == 0
+    ok_in = result.in_band_messages <= bound
+    emit(fmt_row(
+        [f"priocast/{topo.name}", n, e,
+         f"0 / {result.out_band_messages}", ok_out,
+         f"<=8E-4n={bound} / {result.in_band_messages}", ok_in],
+        WIDTHS,
+    ))
+    assert ok_out and ok_in and result.delivered_at == n - 1
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=_ids())
+def test_blackhole_ttl_row(benchmark, emit, topo):
+    n, e = topo.num_nodes, topo.num_edges
+    victim = e // 2
+
+    def run():
+        net = Network(topo)
+        net.links[victim].set_blackhole()
+        runtime = SmartSouthRuntime(net, mode="compiled")
+        return runtime.detect_blackhole_ttl(0)
+
+    verdict = benchmark(run)
+    probe_bound = ttl_search_probes(e)
+    out_bound = 2 * probe_bound
+    in_bound = probe_bound * dfs_message_count(n, e)
+    ok_out = verdict.out_band_messages <= out_bound
+    ok_in = verdict.in_band_messages <= in_bound
+    emit(fmt_row(
+        [f"blackhole-ttl/{topo.name}", n, e,
+         f"2logE<={out_bound} / {verdict.out_band_messages}", ok_out,
+         f"~8E-4n (in) / {verdict.in_band_messages}", ok_in],
+        WIDTHS,
+    ))
+    assert verdict.found and ok_out and ok_in
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=_ids())
+def test_blackhole_counters_row(benchmark, emit, topo):
+    n, e = topo.num_nodes, topo.num_edges
+    victim = e // 3
+
+    def run():
+        net = Network(topo)
+        net.links[victim].set_blackhole()
+        runtime = SmartSouthRuntime(net, mode="compiled")
+        return runtime.detect_blackhole_smart(0)
+
+    verdict = benchmark(run)
+    in_bound = echo_message_count(n, e) + dfs_message_count(n, e)
+    ok_out = verdict.out_band_messages == 3
+    ok_in = verdict.in_band_messages <= in_bound
+    emit(fmt_row(
+        [f"blackhole-cnt/{topo.name}", n, e,
+         f"3 / {verdict.out_band_messages}", ok_out,
+         f"<=4E(+DFS)={in_bound} / {verdict.in_band_messages}", ok_in],
+        WIDTHS,
+    ))
+    assert verdict.found and ok_out and ok_in
+
+
+@pytest.mark.parametrize("topo", TOPOLOGIES, ids=_ids())
+def test_critical_row(benchmark, emit, topo):
+    n, e = topo.num_nodes, topo.num_edges
+
+    def run():
+        runtime = SmartSouthRuntime(Network(topo), mode="compiled")
+        return runtime.critical(0)
+
+    outcome = benchmark(run)
+    bound = dfs_message_count(n, e)
+    ok_out = outcome.result.out_band_messages == 2
+    ok_in = outcome.result.in_band_messages <= bound
+    emit(fmt_row(
+        [f"critical/{topo.name}", n, e,
+         f"2 / {outcome.result.out_band_messages}", ok_out,
+         f"<=4E-2n={bound} / {outcome.result.in_band_messages}", ok_in],
+        WIDTHS,
+    ))
+    assert ok_out and ok_in
+
+
+def test_chain_extension_row(benchmark, emit):
+    """X-chain: service chaining costs one anycast traversal per leg."""
+    topo = erdos_renyi(30, 0.15, seed=7)
+    groups = {1: {7}, 2: {19}, 3: {28}}
+
+    def run():
+        runtime = SmartSouthRuntime(Network(topo), mode="compiled")
+        return runtime.service_chain(0, [1, 2, 3], groups)
+
+    outcome = benchmark(run)
+    bound = 3 * dfs_message_count(topo.num_nodes, topo.num_edges)
+    emit(fmt_row(
+        [f"chain-3/{topo.name}", topo.num_nodes, topo.num_edges,
+         "0 / 0", outcome.completed,
+         f"<=3legs={bound} / {outcome.in_band_messages}",
+         outcome.in_band_messages <= bound],
+        WIDTHS,
+    ))
+    assert outcome.completed and outcome.path == [7, 19, 28]

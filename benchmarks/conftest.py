@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the paper-style table it reproduces through the
+``emit`` fixture, which bypasses pytest's output capture so the rows appear
+in the ``pytest benchmarks/ --benchmark-only`` log (and hence in
+``bench_output.txt`` / EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print *text* to the real terminal, bypassing capture."""
+
+    def _emit(text: str = "") -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit
+
+
+def fmt_row(cells, widths) -> str:
+    return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))

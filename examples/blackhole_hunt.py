@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Scenario: hunting a silent failure three ways.
+
+A link in an ISP backbone starts silently dropping every packet (a
+"blackhole", [8] in the paper): the ports stay up, fast failover sees
+nothing, traffic just vanishes.  This example localizes it with
+
+1. the paper's smart-counter algorithm (2 traversals + 1 report),
+2. the paper's TTL binary search (O(log E) probes),
+3. the controller-probing baseline (Θ(E) management messages),
+
+and also demonstrates the packet-loss monitor on a link that only drops a
+fraction of its traffic.
+
+Run:  python examples/blackhole_hunt.py
+"""
+
+import random
+
+from repro import Network, SmartSouthRuntime, generators
+from repro.control.apps.probe_blackhole import ProbeBlackholeDetector
+from repro.control.controller import Controller
+
+
+def main() -> None:
+    topo = generators["waxman"](26, seed=12)
+    rng = random.Random(4)
+    victim_id = rng.randrange(topo.num_edges)
+    victim = topo.edge(victim_id)
+    print(f"network: {topo.name} ({topo.num_nodes} nodes, "
+          f"{topo.num_edges} links)")
+    print(f"injected blackhole: link ({victim.a.node},{victim.a.port})-"
+          f"({victim.b.node},{victim.b.port})\n")
+
+    # 1. Smart counters.
+    net = Network(topo)
+    net.links[victim_id].set_blackhole()
+    runtime = SmartSouthRuntime(net, mode="compiled")
+    smart = runtime.detect_blackhole_smart(0)
+    print("smart counters (paper §3.3, second algorithm)")
+    print(f"  located: {smart.location} -> {smart.far_end}")
+    print(f"  out-of-band: {smart.out_band_messages} messages, "
+          f"in-band: {smart.in_band_messages}\n")
+
+    # 2. TTL binary search.
+    net2 = Network(topo)
+    net2.links[victim_id].set_blackhole()
+    runtime2 = SmartSouthRuntime(net2, mode="compiled")
+    ttl = runtime2.detect_blackhole_ttl(0)
+    print("TTL binary search (paper §3.3, first algorithm)")
+    print(f"  located: {ttl.location} -> {ttl.far_end} "
+          f"after {ttl.probes} probes")
+    print(f"  out-of-band: {ttl.out_band_messages} messages, "
+          f"in-band: {ttl.in_band_messages}\n")
+
+    # 3. Controller probing baseline.
+    net3 = Network(topo)
+    net3.links[victim_id].set_blackhole()
+    controller = Controller(net3)
+    detector = controller.register(ProbeBlackholeDetector())
+    probe = detector.check()
+    print("controller probing baseline")
+    print(f"  silent directions: {sorted(probe.silent)}")
+    print(f"  out-of-band: {probe.out_band_messages} messages "
+          f"({probe.probes_sent} probes)\n")
+
+    # 4. Lossy (partial) blackhole: the packet-loss monitor.
+    net4 = Network(topo, seed=1)
+    lossy_id = (victim_id + 3) % topo.num_edges
+    net4.links[lossy_id].set_loss(0.3)
+    runtime4 = SmartSouthRuntime(net4)
+    monitor = runtime4.loss_monitor((5, 7))
+    monitor.send_traffic(packets_per_direction=17)
+    for link in net4.links:
+        link.clear()
+    report = monitor.check(0)
+    lossy = topo.edge(lossy_id)
+    print("packet-loss monitor (paper §3.3 extension, prime moduli 5 and 7)")
+    print(f"  lossy link: ({lossy.a.node},{lossy.a.port})-"
+          f"({lossy.b.node},{lossy.b.port}) at 30% drop rate")
+    print(f"  flagged receiver-side ports: {sorted(report.flagged)}")
+    print(f"  matches counter-visible ground truth: "
+          f"{report.flagged == monitor.detectable_losses()}")
+
+
+if __name__ == "__main__":
+    main()

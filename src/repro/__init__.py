@@ -1,0 +1,76 @@
+"""SmartSouth — useful OpenFlow functions in the data plane.
+
+A faithful, executable reproduction of Schiff, Borokhovich & Schmid,
+*"Reclaiming the Brain: Useful OpenFlow Functions in the Data Plane"*
+(HotNets-XIII, 2014), including the OpenFlow 1.3 switch substrate, the
+SmartSouth template (interpreted and compiled to flow rules), the four case
+studies (snapshot, anycast/priocast, blackhole detection, critical-node
+detection), smart counters, controller baselines, and the Table 2
+message-complexity evaluation.
+
+Quickstart::
+
+    from repro import SmartSouthRuntime, generators
+
+    topo = generators["erdos_renyi"](24, 0.2, seed=7)
+    runtime = SmartSouthRuntime(topo, mode="compiled")
+    snap = runtime.snapshot(root=0)
+    assert snap.links == {  # the live topology, with port numbers
+        frozenset(((e.a.node, e.a.port), (e.b.node, e.b.port)))
+        for e in topo.edges()
+    }
+"""
+
+from repro.core import (
+    CompiledEngine,
+    InterpretedEngine,
+    MultiServiceEngine,
+    SmartSouthRuntime,
+    TagLayout,
+    TraversalResult,
+    make_engine,
+)
+from repro.core.services import (
+    AnycastService,
+    BlackholeService,
+    BlackholeTtlService,
+    ChunkedSnapshotService,
+    CriticalNodeService,
+    LoadMonitor,
+    PacketLossMonitor,
+    PlainTraversalService,
+    PriocastService,
+    Service,
+    SnapshotService,
+)
+from repro.net import Network, Topology, generators
+from repro.openflow import Packet, Switch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnycastService",
+    "BlackholeService",
+    "BlackholeTtlService",
+    "ChunkedSnapshotService",
+    "CompiledEngine",
+    "CriticalNodeService",
+    "InterpretedEngine",
+    "LoadMonitor",
+    "MultiServiceEngine",
+    "Network",
+    "Packet",
+    "PacketLossMonitor",
+    "PlainTraversalService",
+    "PriocastService",
+    "Service",
+    "SmartSouthRuntime",
+    "SnapshotService",
+    "Switch",
+    "TagLayout",
+    "Topology",
+    "TraversalResult",
+    "__version__",
+    "generators",
+    "make_engine",
+]

@@ -1,0 +1,26 @@
+"""Analysis tools: graph algorithms, Table 2 closed forms, rule verification."""
+
+from repro.analysis.complexity import (
+    dfs_message_count,
+    table2,
+    table2_row,
+)
+from repro.analysis.graph import (
+    articulation_points,
+    connected_components,
+    dfs_edge_order,
+    spanning_tree,
+)
+from repro.analysis.verify import VerificationReport, verify_switch
+
+__all__ = [
+    "VerificationReport",
+    "articulation_points",
+    "connected_components",
+    "dfs_edge_order",
+    "dfs_message_count",
+    "spanning_tree",
+    "table2",
+    "table2_row",
+    "verify_switch",
+]

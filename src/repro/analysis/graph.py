@@ -1,0 +1,133 @@
+"""Standalone graph algorithms used as oracles and by the controller side.
+
+These are deliberately independent of the SmartSouth data-plane code: the
+tests cross-check the in-band services against them (and against networkx,
+where available), so they must not share logic with the thing under test.
+"""
+
+from __future__ import annotations
+
+from repro.net.topology import Topology
+
+
+def connected_components(topology: Topology, live_only: bool = False) -> list[set[int]]:
+    """Connected components (optionally ignore edges marked down via *live*)."""
+    remaining = set(topology.nodes())
+    components: list[set[int]] = []
+    while remaining:
+        start = min(remaining)
+        component = topology.connected_component(start)
+        components.append(component)
+        remaining -= component
+    return components
+
+
+def articulation_points(
+    adjacency: dict[int, list[int]] | Topology,
+) -> set[int]:
+    """Articulation points via iterative Tarjan low-link.
+
+    Accepts either an adjacency mapping or a :class:`Topology`.
+    """
+    if isinstance(adjacency, Topology):
+        adjacency = adjacency.adjacency()
+    visited: set[int] = set()
+    disc: dict[int, int] = {}
+    low: dict[int, int] = {}
+    parent: dict[int, int | None] = {}
+    result: set[int] = set()
+    counter = 0
+
+    for root in adjacency:
+        if root in visited:
+            continue
+        root_children = 0
+        stack: list[tuple[int, iter]] = [(root, iter(adjacency[root]))]
+        visited.add(root)
+        parent[root] = None
+        disc[root] = low[root] = counter
+        counter += 1
+        while stack:
+            node, neighbors = stack[-1]
+            advanced = False
+            for nbr in neighbors:
+                if nbr not in visited:
+                    visited.add(nbr)
+                    parent[nbr] = node
+                    disc[nbr] = low[nbr] = counter
+                    counter += 1
+                    if node == root:
+                        root_children += 1
+                    stack.append((nbr, iter(adjacency[nbr])))
+                    advanced = True
+                    break
+                if nbr != parent[node]:
+                    low[node] = min(low[node], disc[nbr])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    upper = stack[-1][0]
+                    low[upper] = min(low[upper], low[node])
+                    if upper != root and low[node] >= disc[upper]:
+                        result.add(upper)
+        if root_children >= 2:
+            result.add(root)
+    return result
+
+
+def spanning_tree(topology: Topology, root: int = 0) -> set[int]:
+    """Edge ids of a DFS spanning tree of *root*'s component."""
+    tree: set[int] = set()
+    visited = {root}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for _port, edge in topology.ports(node):
+            other = edge.other(node).node
+            if other not in visited:
+                visited.add(other)
+                tree.add(edge.edge_id)
+                stack.append(other)
+    return tree
+
+
+def dfs_edge_order(
+    topology: Topology, root: int, live=lambda edge: True
+) -> list[tuple[int, int, int, int]]:
+    """The hop sequence SmartSouth's traversal performs, computed offline.
+
+    Follows the template's port discipline: each node probes its live ports
+    in ascending order, skipping its parent port; probes to visited nodes
+    bounce; finished nodes return to their parent.  Returns hops as
+    (from_node, from_port, to_node, to_port).  Used by tests as an
+    independent oracle for the in-band traversal (built from the *graph*
+    semantics, not from the packet state machine).
+    """
+    hops: list[tuple[int, int, int, int]] = []
+    parent_port: dict[int, int] = {root: 0}
+
+    def visit(node: int, parent: int) -> None:
+        for port, edge in topology.ports(node):
+            if port == parent:
+                continue
+            if not live(edge):
+                continue
+            far = edge.other(node)
+            hops.append((node, port, far.node, far.port))
+            if far.node in parent_port:
+                # Bounce back.
+                hops.append((far.node, far.port, node, port))
+            else:
+                parent_port[far.node] = far.port
+                visit(far.node, far.port)
+                hops.append((far.node, far.port, node, port))
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * topology.num_nodes + 100))
+    try:
+        visit(root, 0)
+    finally:
+        sys.setrecursionlimit(old_limit)
+    return hops

@@ -1,0 +1,257 @@
+"""Static verification of compiled SmartSouth rule sets.
+
+The paper argues that keeping the mechanism inside plain match-action tables
+preserves a "key benefit of SDN": the forwarding state stays *formally
+verifiable*.  This module makes that concrete for the compiled pipelines:
+
+* **structural checks** — every ``goto_table`` moves strictly forward to a
+  table that exists; every referenced group exists; FF groups end in an
+  unconditionally-live bucket or are root groups that may legally drop;
+  output ports are within the switch's port range;
+* **overlap check** — no two entries of the same table and priority can
+  match the same packet while prescribing different behaviour (OpenFlow
+  leaves that order-dependent and hence unverifiable);
+* **coverage check** — the classify table has a catch-all (the bounce rule)
+  or full per-port coverage, so no service packet can hit a table miss.
+
+These are decidable, syntax-level properties — exactly what makes the
+SmartSouth approach verifiable where an active controller program is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.openflow.actions import GroupAction, Output
+from repro.openflow.flowtable import FlowEntry
+from repro.openflow.group import GroupType
+from repro.openflow.match import FieldTest, Match
+from repro.openflow.packet import is_physical_port
+from repro.openflow.switch import Switch
+
+
+@dataclass
+class VerificationReport:
+    """Findings of one switch verification."""
+
+    node: int
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def error(self, message: str) -> None:
+        self.errors.append(f"switch {self.node}: {message}")
+
+    def warn(self, message: str) -> None:
+        self.warnings.append(f"switch {self.node}: {message}")
+
+
+def _tests_compatible(a: FieldTest, b: FieldTest) -> bool:
+    """Can some field value satisfy both tests?"""
+    if a.mask is None and b.mask is None:
+        return a.value == b.value
+    if a.mask is None:
+        return (a.value & b.mask) == b.value
+    if b.mask is None:
+        return (b.value & a.mask) == a.value
+    common = a.mask & b.mask
+    return (a.value & common) == (b.value & common)
+
+
+def matches_overlap(a: Match, b: Match) -> bool:
+    """Can some packet context satisfy both matches?"""
+    for name, test_a in a.tests.items():
+        test_b = b.tests.get(name)
+        if test_b is not None and not _tests_compatible(test_a, test_b):
+            return False
+    return True
+
+
+def _same_behaviour(a: FlowEntry, b: FlowEntry) -> bool:
+    return (
+        a.instructions.apply_actions == b.instructions.apply_actions
+        and a.instructions.goto_table == b.instructions.goto_table
+        and a.instructions.write_metadata == b.instructions.write_metadata
+    )
+
+
+def verify_switch(switch: Switch) -> VerificationReport:
+    """Run all static checks on one compiled switch."""
+    report = VerificationReport(node=switch.node_id)
+    table_ids = set(switch.tables)
+
+    for table_id, entry in switch.iter_entries():
+        goto = entry.instructions.goto_table
+        if goto is not None:
+            if goto <= table_id:
+                report.error(
+                    f"table {table_id} entry {entry.cookie!r} goes backwards "
+                    f"to table {goto}"
+                )
+            elif goto not in table_ids:
+                report.error(
+                    f"table {table_id} entry {entry.cookie!r} goes to "
+                    f"missing table {goto}"
+                )
+        for action in entry.instructions.apply_actions:
+            if isinstance(action, GroupAction):
+                if action.group_id not in switch.groups:
+                    report.error(
+                        f"table {table_id} entry {entry.cookie!r} references "
+                        f"missing group {action.group_id}"
+                    )
+            if isinstance(action, Output) and is_physical_port(action.port):
+                if action.port > switch.num_ports:
+                    report.error(
+                        f"table {table_id} entry {entry.cookie!r} outputs to "
+                        f"nonexistent port {action.port}"
+                    )
+
+    _check_groups(switch, report)
+    _check_overlaps(switch, report)
+    _check_classify_coverage(switch, report)
+    _check_reachability(switch, report)
+    return report
+
+
+def _check_reachability(switch: Switch, report: VerificationReport) -> None:
+    """Orphan detection: every table must be reachable from table 0 via
+    goto edges, and every group referenced by some reachable rule or by a
+    chained bucket.  Orphans are dead configuration — a red flag for a
+    compiler bug (warned, not failed: they cannot change behaviour)."""
+    # Table reachability.
+    reachable = {0} if 0 in switch.tables else set()
+    frontier = list(reachable)
+    while frontier:
+        table_id = frontier.pop()
+        for entry in switch.tables[table_id].entries():
+            goto = entry.instructions.goto_table
+            if goto is not None and goto in switch.tables and goto not in reachable:
+                reachable.add(goto)
+                frontier.append(goto)
+    orphan_tables = set(switch.tables) - reachable
+    if orphan_tables:
+        report.warn(f"unreachable tables: {sorted(orphan_tables)}")
+
+    # Group referencing (from rules and transitively through buckets).
+    referenced: set[int] = set()
+    frontier2: list[int] = []
+    for _table_id, entry in switch.iter_entries():
+        for action in entry.instructions.apply_actions:
+            if isinstance(action, GroupAction):
+                if action.group_id not in referenced:
+                    referenced.add(action.group_id)
+                    frontier2.append(action.group_id)
+    while frontier2:
+        group_id = frontier2.pop()
+        if group_id not in switch.groups:
+            continue
+        for bucket in switch.groups.get(group_id).buckets:
+            for action in bucket.actions:
+                if isinstance(action, GroupAction):
+                    if action.group_id not in referenced:
+                        referenced.add(action.group_id)
+                        frontier2.append(action.group_id)
+    orphan_groups = {
+        g.group_id for g in switch.groups.groups()
+    } - referenced
+    if orphan_groups:
+        report.warn(
+            f"groups never referenced by any rule: {sorted(orphan_groups)}"
+        )
+
+
+def _check_groups(switch: Switch, report: VerificationReport) -> None:
+    for group in switch.groups.groups():
+        for bucket in group.buckets:
+            for action in bucket.actions:
+                if isinstance(action, Output) and is_physical_port(action.port):
+                    if action.port > switch.num_ports:
+                        report.error(
+                            f"group {group.group_id} outputs to nonexistent "
+                            f"port {action.port}"
+                        )
+                if isinstance(action, GroupAction):
+                    if action.group_id not in switch.groups:
+                        report.error(
+                            f"group {group.group_id} chains to missing group "
+                            f"{action.group_id}"
+                        )
+                    elif action.group_id == group.group_id:
+                        report.error(f"group {group.group_id} chains to itself")
+        if group.group_type is GroupType.FF:
+            if not group.buckets:
+                report.error(f"FF group {group.group_id} has no buckets")
+            elif group.buckets[-1].watch_port is not None:
+                report.warn(
+                    f"FF group {group.group_id} can drop packets when all "
+                    f"watched ports are down (no unconditional bucket)"
+                )
+        if group.group_type is GroupType.SELECT and len(group.buckets) < 2:
+            report.warn(
+                f"SELECT group {group.group_id} has fewer than 2 buckets: "
+                f"not a useful smart counter"
+            )
+
+
+def _check_overlaps(switch: Switch, report: VerificationReport) -> None:
+    for table_id in sorted(switch.tables):
+        entries = list(switch.tables[table_id].entries())
+        by_priority: dict[int, list[FlowEntry]] = {}
+        for entry in entries:
+            by_priority.setdefault(entry.priority, []).append(entry)
+        for priority, bucket in by_priority.items():
+            for i, a in enumerate(bucket):
+                for b in bucket[i + 1:]:
+                    if matches_overlap(a.match, b.match) and not _same_behaviour(a, b):
+                        report.error(
+                            f"table {table_id}: overlapping same-priority "
+                            f"({priority}) entries with different behaviour: "
+                            f"{a.cookie!r} vs {b.cookie!r}"
+                        )
+
+
+def _check_classify_coverage(switch: Switch, report: VerificationReport) -> None:
+    """Every arrival must match something in every classify table.
+
+    Classify tables are identified by their rule cookies (``classify:*``),
+    which also makes the check work for multi-service pipelines with one
+    relocated classify table per service block.
+    """
+    classify_tables = sorted(
+        {
+            table_id
+            for table_id, entry in switch.iter_entries()
+            if entry.cookie.startswith("classify:")
+        }
+    )
+    if not classify_tables:
+        report.error("no classify table installed")
+        return
+    for table_id in classify_tables:
+        entries = list(switch.tables[table_id].entries())
+        if any(len(e.match) == 0 for e in entries):
+            continue  # catch-all present
+        # Without a catch-all, demand per-in-port coverage at bounce priority.
+        covered = set()
+        for entry in entries:
+            test = entry.match.tests.get("in_port")
+            if test is None or test.mask is not None:
+                continue
+            if entry.match.field_names() <= {"in_port", "repeat"}:
+                covered.add(test.value)
+        missing = set(range(1, switch.num_ports + 1)) - covered
+        if missing:
+            report.error(
+                f"classify table {table_id} has no catch-all and misses "
+                f"bounce coverage for ports {sorted(missing)}"
+            )
+
+
+def verify_engine(engine) -> list[VerificationReport]:
+    """Verify every switch of a :class:`~repro.core.engine.CompiledEngine`."""
+    engine.install()
+    return [verify_switch(switch) for switch in engine.switches.values()]

@@ -1,0 +1,351 @@
+"""Command-line demo driver: ``python -m repro.cli`` or ``smartsouth``.
+
+Examples::
+
+    smartsouth snapshot --topology erdos_renyi --nodes 30 --root 0
+    smartsouth critical --topology abilene
+    smartsouth blackhole --topology grid --rows 4 --cols 5 --edge 7
+    smartsouth anycast --topology ring --nodes 12 --members 5,9
+    smartsouth priocast --topology ring --nodes 12 --members 5:10,9:20
+    smartsouth table2 --nodes 40
+    smartsouth rules --topology abilene --service snapshot
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.complexity import dfs_message_count, table2
+from repro.core.runtime import SmartSouthRuntime
+from repro.net.simulator import Network
+from repro.net.topology import Topology, generators
+
+
+def build_topology(args: argparse.Namespace) -> Topology:
+    if getattr(args, "file", None):
+        from repro.net.topofile import load
+
+        return load(args.file)
+    name = args.topology
+    if name not in generators:
+        raise SystemExit(f"unknown topology {name!r}; pick from {sorted(generators)}")
+    gen = generators[name]
+    if name in ("grid", "torus"):
+        return gen(args.rows, args.cols)
+    if name == "binary_tree":
+        return gen(args.depth)
+    if name == "fat_tree":
+        return gen(args.k)
+    if name == "abilene":
+        return gen()
+    if name == "erdos_renyi":
+        return gen(args.nodes, args.p, seed=args.seed)
+    if name == "barabasi_albert":
+        return gen(args.nodes, args.m, seed=args.seed)
+    if name == "waxman":
+        return gen(args.nodes, seed=args.seed)
+    return gen(args.nodes)
+
+
+def _runtime(args: argparse.Namespace) -> tuple[SmartSouthRuntime, Network]:
+    topo = build_topology(args)
+    network = Network(topo, seed=args.seed)
+    for pair in args.fail or []:
+        u, v = (int(x) for x in pair.split("-"))
+        network.fail_link(u, v)
+    return SmartSouthRuntime(network, mode=args.mode), network
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    runtime, network = _runtime(args)
+    if args.chunk is not None:
+        outcome = runtime.snapshot_chunked(args.root, max_records=args.chunk)
+        if outcome is None:
+            print("chunked snapshot failed (traversal died)")
+            return 1
+        nodes, links, stats = outcome
+        print(f"chunked snapshot from node {args.root} "
+              f"({runtime.mode} engine, <= {args.chunk} records/packet)")
+        print(f"  nodes discovered : {len(nodes)}")
+        print(f"  links discovered : {len(links)}")
+        print(f"  chunks           : {stats['chunks']}")
+        print(f"  in-band messages : {stats['in_band']}")
+        print(f"  out-band messages: {stats['out_band']}")
+        print(f"  matches live topology: {links == network.live_port_pairs()}")
+        return 0
+    outcome = runtime.snapshot(args.root)
+    print(f"snapshot from node {args.root} ({runtime.mode} engine)")
+    print(f"  nodes discovered : {len(outcome.nodes)}")
+    print(f"  links discovered : {len(outcome.links)}")
+    print(f"  in-band messages : {outcome.result.in_band_messages}")
+    print(f"  out-band messages: {outcome.result.out_band_messages}")
+    exact = outcome.links == network.live_port_pairs()
+    print(f"  matches live topology: {exact}")
+    return 0 if outcome.ok else 1
+
+
+def cmd_loadaudit(args: argparse.Namespace) -> int:
+    import random as _random
+
+    topo = build_topology(args)
+    network = Network(topo, seed=args.seed)
+    runtime = SmartSouthRuntime(network)  # interpreted-only feature
+    monitor = runtime.load_monitor(tuple(int(m) for m in args.moduli.split(",")))
+    rng = _random.Random(args.seed)
+    loads = {
+        (edge.a.node, edge.a.port): rng.randrange(0, args.max_load)
+        for edge in topo.edges()
+    }
+    monitor.send_traffic(loads)
+    report = monitor.audit(args.root)
+    truth = monitor.ground_truth()
+    print(f"load audit from node {args.root} "
+          f"(moduli {monitor.moduli}, range 0..{report.modulus_product - 1})")
+    print(f"  ports audited    : {len(report.loads)}")
+    print(f"  in-band messages : {report.in_band_messages}")
+    print(f"  out-band messages: {report.out_band_messages}")
+    print(f"  matches ground truth: {report.loads == truth}")
+    top = sorted(report.loads.items(), key=lambda kv: -kv[1])[:5]
+    for (node, port), load in top:
+        print(f"    hottest: switch {node} port {port}: {load} packets")
+    return 0 if report.loads == truth else 1
+
+
+def cmd_critical(args: argparse.Namespace) -> int:
+    runtime, network = _runtime(args)
+    topo = network.topology
+    critical = []
+    for node in topo.nodes():
+        if runtime.critical(node).critical:
+            critical.append(node)
+    print(f"critical nodes of {topo.name}: {critical or 'none'}")
+    return 0
+
+
+def cmd_anycast(args: argparse.Namespace) -> int:
+    runtime, _network = _runtime(args)
+    members = {int(x) for x in args.members.split(",")}
+    result = runtime.anycast(args.root, gid=1, groups={1: members})
+    print(f"anycast from {args.root} to group {sorted(members)}")
+    print(f"  delivered at     : {result.delivered_at}")
+    print(f"  in-band messages : {result.in_band_messages}")
+    print(f"  out-band messages: {result.out_band_messages}")
+    return 0 if result.delivered_at is not None else 1
+
+
+def cmd_priocast(args: argparse.Namespace) -> int:
+    runtime, _network = _runtime(args)
+    priorities: dict[int, int] = {}
+    for item in args.members.split(","):
+        node, prio = item.split(":")
+        priorities[int(node)] = int(prio)
+    result = runtime.priocast(args.root, gid=1, priorities={1: priorities})
+    print(f"priocast from {args.root} over {priorities}")
+    print(f"  delivered at     : {result.delivered_at}")
+    print(f"  in-band messages : {result.in_band_messages}")
+    return 0 if result.delivered_at is not None else 1
+
+
+def cmd_blackhole(args: argparse.Namespace) -> int:
+    runtime, network = _runtime(args)
+    if args.edge is not None:
+        network.links[args.edge].set_blackhole()
+        edge = network.topology.edge(args.edge)
+        print(
+            f"injected blackhole on edge {args.edge}: "
+            f"({edge.a.node},{edge.a.port})-({edge.b.node},{edge.b.port})"
+        )
+    verdict = (
+        runtime.detect_blackhole_ttl(args.root)
+        if args.algorithm == "ttl"
+        else runtime.detect_blackhole_smart(args.root)
+    )
+    print(f"blackhole detection ({args.algorithm}):")
+    print(f"  found            : {verdict.found}")
+    print(f"  location         : {verdict.location}")
+    print(f"  far end          : {verdict.far_end}")
+    print(f"  probes           : {verdict.probes}")
+    print(f"  in-band messages : {verdict.in_band_messages}")
+    print(f"  out-band messages: {verdict.out_band_messages}")
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    topo = build_topology(args)
+    n, e = topo.num_nodes, topo.num_edges
+    print(f"Table 2 bounds for {topo.name} (n={n}, |E|={e}, DFS={dfs_message_count(n, e)}):")
+    header = f"{'service':24} {'out-band (paper)':18} {'out-band':9} {'in-band (paper)':16} {'in-band bound':13}"
+    print(header)
+    for row in table2():
+        print(
+            f"{row.service:24} {row.out_band_msgs:18} "
+            f"{row.exact_out_band(n, e):9} {row.in_band_msgs:16} "
+            f"{row.exact_in_band(n, e):13}"
+        )
+    return 0
+
+
+def _service_registry():
+    from repro.core.services import (
+        AnycastService,
+        BlackholeService,
+        BlackholeTtlService,
+        CriticalNodeService,
+        PlainTraversalService,
+        PriocastService,
+        SnapshotService,
+    )
+
+    return {
+        "plain": PlainTraversalService,
+        "snapshot": SnapshotService,
+        "anycast": AnycastService,
+        "priocast": PriocastService,
+        "blackhole": BlackholeService,
+        "blackhole_ttl": BlackholeTtlService,
+        "critical": CriticalNodeService,
+    }
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.analysis.verify import verify_engine
+    from repro.core.engine import make_engine
+
+    services = _service_registry()
+    if args.service not in services:
+        raise SystemExit(f"unknown service; pick from {sorted(services)}")
+    topo = build_topology(args)
+    engine = make_engine(Network(topo), services[args.service](), "compiled")
+    reports = verify_engine(engine)
+    errors = [message for report in reports for message in report.errors]
+    warnings = [message for report in reports for message in report.warnings]
+    print(f"verified {args.service} on {topo.name}: "
+          f"{engine.total_rules()} rules, {engine.total_groups()} groups, "
+          f"{len(errors)} errors, {len(warnings)} warnings")
+    for message in errors + warnings:
+        print(f"  {message}")
+    return 1 if errors else 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    runtime, network = _runtime(args)
+    outcome = runtime.snapshot(args.root)
+    print(f"traversal trace of a snapshot from node {args.root} "
+          f"({outcome.result.in_band_messages} hops):")
+    print(network.trace.format_hops(limit=args.limit))
+    return 0 if outcome.ok else 1
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    from repro.core.engine import CompiledEngine, make_engine
+
+    services = _service_registry()
+    if args.service not in services:
+        raise SystemExit(f"unknown service; pick from {sorted(services)}")
+    topo = build_topology(args)
+    network = Network(topo)
+    engine = make_engine(network, services[args.service](), "compiled")
+    assert isinstance(engine, CompiledEngine)
+    engine.install()
+    print(
+        f"{args.service} on {topo.name}: "
+        f"{engine.total_rules()} rules, {engine.total_groups()} groups "
+        f"across {topo.num_nodes} switches"
+    )
+    if args.dump is not None:
+        print(engine.switches[args.dump].describe())
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="smartsouth",
+        description="SmartSouth: in-band OpenFlow data-plane functions "
+        "(HotNets 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--topology", default="erdos_renyi")
+        p.add_argument("--file", default=None,
+                       help="load the topology from an edge-list file instead")
+        p.add_argument("--nodes", type=int, default=20)
+        p.add_argument("--p", type=float, default=0.2)
+        p.add_argument("--m", type=int, default=2)
+        p.add_argument("--rows", type=int, default=4)
+        p.add_argument("--cols", type=int, default=4)
+        p.add_argument("--depth", type=int, default=3)
+        p.add_argument("--k", type=int, default=4)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--root", type=int, default=0)
+        p.add_argument("--mode", choices=("interpreted", "compiled"), default="compiled")
+        p.add_argument(
+            "--fail", action="append", metavar="U-V",
+            help="fail the link between nodes U and V (repeatable)",
+        )
+
+    p = sub.add_parser("snapshot", help="collect the live topology in-band")
+    common(p)
+    p.add_argument(
+        "--chunk", type=int, default=None,
+        help="split the snapshot into packets of at most this many records",
+    )
+    p.set_defaults(fn=cmd_snapshot)
+
+    p = sub.add_parser("loadaudit", help="infer per-link loads from counters")
+    common(p)
+    p.add_argument("--moduli", default="5,7,11")
+    p.add_argument("--max-load", type=int, default=300, dest="max_load")
+    p.set_defaults(fn=cmd_loadaudit)
+
+    p = sub.add_parser("critical", help="find all critical (articulation) nodes")
+    common(p)
+    p.set_defaults(fn=cmd_critical)
+
+    p = sub.add_parser("anycast", help="deliver to any group member")
+    common(p)
+    p.add_argument("--members", default="1", help="comma-separated node ids")
+    p.set_defaults(fn=cmd_anycast)
+
+    p = sub.add_parser("priocast", help="deliver to the best group member")
+    common(p)
+    p.add_argument("--members", default="1:10", help="node:prio,node:prio,...")
+    p.set_defaults(fn=cmd_priocast)
+
+    p = sub.add_parser("blackhole", help="detect a silent packet-dropping link")
+    common(p)
+    p.add_argument("--edge", type=int, default=None, help="edge id to blackhole")
+    p.add_argument("--algorithm", choices=("smart", "ttl"), default="smart")
+    p.set_defaults(fn=cmd_blackhole)
+
+    p = sub.add_parser("table2", help="print the Table 2 complexity bounds")
+    common(p)
+    p.set_defaults(fn=cmd_table2)
+
+    p = sub.add_parser("rules", help="compiled rule/group counts per service")
+    common(p)
+    p.add_argument("--service", default="snapshot")
+    p.add_argument("--dump", type=int, default=None, help="dump one switch")
+    p.set_defaults(fn=cmd_rules)
+
+    p = sub.add_parser("verify", help="statically verify a compiled service")
+    common(p)
+    p.add_argument("--service", default="snapshot")
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("trace", help="print a traversal's hop-by-hop trace")
+    common(p)
+    p.add_argument("--limit", type=int, default=40)
+    p.set_defaults(fn=cmd_trace)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

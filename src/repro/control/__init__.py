@@ -1,0 +1,6 @@
+"""Control-plane substrate: controller, control channel, baseline apps."""
+
+from repro.control.channel import ControlChannel
+from repro.control.controller import Controller, ControllerApp
+
+__all__ = ["ControlChannel", "Controller", "ControllerApp"]

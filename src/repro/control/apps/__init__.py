@@ -1,0 +1,15 @@
+"""Controller applications: the SmartSouth manager and the baselines."""
+
+from repro.control.apps.counter_polling import CounterPollingDetector
+from repro.control.apps.probe_blackhole import ProbeBlackholeDetector
+from repro.control.apps.reactive_routing import ReactiveAnycastRouting
+from repro.control.apps.smartsouth_manager import SmartSouthManager
+from repro.control.apps.topology_service import LldpTopologyService
+
+__all__ = [
+    "CounterPollingDetector",
+    "LldpTopologyService",
+    "ProbeBlackholeDetector",
+    "ReactiveAnycastRouting",
+    "SmartSouthManager",
+]

@@ -1,0 +1,76 @@
+"""Counter-polling blackhole localization: the group-stats alternative.
+
+After the smart-counter probe phase (repeat = 3) every healthy directed
+port's counter reads ≥ 2 and the blackhole port reads exactly 1, so instead
+of running the in-band verify traversal the controller could simply *read*
+the round-robin groups' statistics from every switch (an OpenFlow
+group-stats request/reply per switch).
+
+This app implements that alternative to quantify why the paper's in-band
+phase B is the better design: polling costs 2 management messages per
+manageable switch — Θ(n) — and silently misses blackholes adjacent to
+switches whose management connection is down, while the in-band verify
+phase costs one packet plus one verdict regardless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control.controller import Controller, ControllerApp
+from repro.core.smart_counter import counter_value
+from repro.openflow.group import GroupType
+from repro.openflow.switch import Switch
+
+
+@dataclass
+class PollResult:
+    """Outcome of one polling round."""
+
+    #: Ports whose counter read exactly 1, as (node, port).
+    suspects: set[tuple[int, int]] = field(default_factory=set)
+    switches_polled: int = 0
+    switches_unreachable: int = 0
+    #: Management messages: one stats request + one reply per polled switch.
+    out_band_messages: int = 0
+
+
+class CounterPollingDetector(ControllerApp):
+    """Read every switch's smart-counter groups after a probe traversal."""
+
+    name = "counter_polling"
+
+    def __init__(self, switches: dict[int, Switch]) -> None:
+        super().__init__()
+        #: The compiled switches whose groups hold the counters (the
+        #: controller knows them: it installed them in the offline stage).
+        self.switches = switches
+
+    def _port_of_counter_group(self, switch: Switch, group_id: int) -> int | None:
+        """Invert the compiler's counter-group id layout."""
+        from repro.core.compiler import COUNTER_GROUP_BASE, SERVICE_BLOCK_GROUPS
+
+        offset = group_id % SERVICE_BLOCK_GROUPS
+        port = offset - COUNTER_GROUP_BASE
+        if 1 <= port <= switch.num_ports:
+            return port
+        return None
+
+    def poll(self) -> PollResult:
+        """One group-stats sweep over all manageable switches."""
+        controller = self.controller
+        assert controller is not None
+        result = PollResult()
+        for node, switch in self.switches.items():
+            if not controller.channel.connected(node):
+                result.switches_unreachable += 1
+                continue
+            result.switches_polled += 1
+            result.out_band_messages += 2  # stats request + reply
+            for group in switch.groups.groups():
+                if group.group_type is not GroupType.SELECT:
+                    continue
+                port = self._port_of_counter_group(switch, group.group_id)
+                if port is not None and counter_value(group) == 1:
+                    result.suspects.add((node, port))
+        return result

@@ -1,0 +1,107 @@
+"""Controller-driven per-link probing: the blackhole-detection baseline.
+
+The controller (which knows the topology) sends one probe across every link
+direction via packet-out and expects the far switch to punt it back as a
+packet-in.  A direction whose probe never returns is flagged.  This costs
+Θ(E) out-of-band messages *per check* — the paper's smart-counter algorithm
+needs three — and requires management connectivity to every switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.control.controller import Controller, ControllerApp
+from repro.openflow.actions import Instructions, Output, SetField
+from repro.openflow.match import Match
+from repro.openflow.packet import CONTROLLER_PORT, Packet
+from repro.openflow.switch import Switch
+
+FIELD_PROBE = "probe"
+FIELD_PROBE_ID = "probe_id"
+FIELD_PROBE_IN = "probe_in"
+
+
+def build_probe_switch(node: int, num_ports: int, liveness) -> Switch:
+    """Punt probe packets to the controller, tagging the arrival port."""
+    switch = Switch(node, num_ports, liveness)
+    for port in range(1, num_ports + 1):
+        switch.install(
+            0,
+            Match(**{FIELD_PROBE: 1, "in_port": port}),
+            Instructions(
+                apply_actions=(
+                    SetField(FIELD_PROBE_IN, port),
+                    Output(CONTROLLER_PORT),
+                )
+            ),
+            priority=10,
+            cookie=f"probe:{port}",
+        )
+    return switch
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of one full probing round."""
+
+    #: Directions whose probe vanished, as (from_node, from_port).
+    silent: set[tuple[int, int]] = field(default_factory=set)
+    probes_sent: int = 0
+    out_band_messages: int = 0
+
+
+class ProbeBlackholeDetector(ControllerApp):
+    """Probe every link direction and report the silent ones."""
+
+    name = "probe_blackhole"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._returned: set[int] = set()
+        self._sent: dict[int, tuple[int, int]] = {}
+
+    def attached(self, controller: Controller) -> None:
+        super().attached(controller)
+        network = controller.network
+        for node in network.topology.nodes():
+            switch = build_probe_switch(
+                node, network.topology.degree(node), network.liveness_fn(node)
+            )
+            network.set_handler(node, switch.process)
+
+    def packet_in(self, node: int, packet: Packet) -> None:
+        if packet.get(FIELD_PROBE) == 1:
+            self._returned.add(packet.get(FIELD_PROBE_ID))
+
+    def check(self) -> ProbeResult:
+        """Probe all link directions once."""
+        controller = self.controller
+        assert controller is not None
+        network = controller.network
+        channel = controller.channel
+        mark = channel.out_band_messages
+        self._returned.clear()
+        self._sent.clear()
+
+        probe_id = 0
+        for edge in network.topology.edges():
+            for endpoint in (edge.a, edge.b):
+                probe_id += 1
+                self._sent[probe_id] = (endpoint.node, endpoint.port)
+                packet = Packet(
+                    fields={FIELD_PROBE: 1, FIELD_PROBE_ID: probe_id}
+                )
+                channel.packet_out_port(endpoint.node, endpoint.port, packet)
+        network.run()
+
+        silent = {
+            location
+            for pid, location in self._sent.items()
+            if pid not in self._returned
+        }
+        return ProbeResult(
+            silent=silent,
+            probes_sent=probe_id,
+            out_band_messages=channel.out_band_messages - mark,
+        )

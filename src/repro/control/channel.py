@@ -1,0 +1,88 @@
+"""The out-of-band control channel, with per-switch disconnection.
+
+The paper's motivation includes control-plane brittleness: "data plane
+elements may even lose connectivity to the control plane entirely" ([13]).
+:class:`ControlChannel` models exactly that failure mode — a set of switches
+whose management connection is down.  Packet-outs to them are lost, and
+their packet-ins never reach the controller.  Message accounting mirrors
+the paper's out-of-band message counts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.simulator import Network
+from repro.openflow.packet import LOCAL_PORT, Packet
+
+#: Upcall delivered to the controller: (switch node, packet).
+PacketInHandler = Callable[[int, Packet], None]
+
+
+class ControlChannel:
+    """Controller <-> switches management connectivity."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self._disconnected: set[int] = set()
+        self._packet_in_handler: PacketInHandler | None = None
+        self.packet_outs_sent = 0
+        self.packet_outs_lost = 0
+        self.packet_ins_received = 0
+        self.packet_ins_lost = 0
+        network.set_controller_sink(self._on_packet_in)
+
+    # -- connectivity -------------------------------------------------- #
+
+    def disconnect(self, node: int) -> None:
+        """Sever the management connection of *node*."""
+        self._disconnected.add(node)
+
+    def reconnect(self, node: int) -> None:
+        self._disconnected.discard(node)
+
+    def connected(self, node: int) -> bool:
+        return node not in self._disconnected
+
+    def disconnected_switches(self) -> set[int]:
+        return set(self._disconnected)
+
+    # -- messaging ------------------------------------------------------ #
+
+    def set_packet_in_handler(self, handler: PacketInHandler | None) -> None:
+        self._packet_in_handler = handler
+        # (Re)own the network's controller sink: baselines and SmartSouth
+        # engines may alternate on one network.
+        self.network.set_controller_sink(self._on_packet_in)
+
+    def packet_out(self, node: int, packet: Packet, in_port: int = LOCAL_PORT) -> bool:
+        """Inject *packet* at *node*; returns False if the switch is
+        unreachable (the message is lost, but still counted as sent)."""
+        self.packet_outs_sent += 1
+        if not self.connected(node):
+            self.packet_outs_lost += 1
+            return False
+        self.network.inject(node, packet, in_port=in_port, from_controller=True)
+        return True
+
+    def packet_out_port(self, node: int, port: int, packet: Packet) -> bool:
+        """Packet-out with an explicit ``output:port`` action (no tables)."""
+        self.packet_outs_sent += 1
+        if not self.connected(node):
+            self.packet_outs_lost += 1
+            return False
+        self.network.transmit(node, port, packet, from_controller=True)
+        return True
+
+    def _on_packet_in(self, node: int, packet: Packet) -> None:
+        if not self.connected(node):
+            self.packet_ins_lost += 1
+            return
+        self.packet_ins_received += 1
+        if self._packet_in_handler is not None:
+            self._packet_in_handler(node, packet)
+
+    @property
+    def out_band_messages(self) -> int:
+        """Messages that used the management network (sent, incl. lost)."""
+        return self.packet_outs_sent + self.packet_ins_received

@@ -1,0 +1,71 @@
+"""A minimal SDN controller and app model (Ryu/Floodlight-flavoured).
+
+The controller multiplexes packet-ins to its registered apps and lets apps
+send packet-outs and install per-switch handlers.  It exists to host the
+*baseline* applications the paper compares against (controller-driven
+topology discovery, probing, reactive routing); SmartSouth itself needs the
+controller only to trigger services and receive verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.control.channel import ControlChannel
+from repro.net.simulator import Network
+from repro.openflow.packet import Packet
+from repro.openflow.switch import Switch
+
+
+class ControllerApp:
+    """Base class for controller applications."""
+
+    name = "app"
+
+    def __init__(self) -> None:
+        self.controller: Controller | None = None
+
+    def attached(self, controller: "Controller") -> None:
+        """Called once when registered."""
+        self.controller = controller
+
+    def packet_in(self, node: int, packet: Packet) -> None:
+        """Override to receive packet-ins."""
+
+
+class Controller:
+    """The network operating system: apps + channel + switch programming."""
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.channel = ControlChannel(network)
+        self.apps: list[ControllerApp] = []
+        self.channel.set_packet_in_handler(self._dispatch_packet_in)
+
+    def register(self, app: ControllerApp) -> ControllerApp:
+        self.apps.append(app)
+        app.attached(self)
+        return app
+
+    def _dispatch_packet_in(self, node: int, packet: Packet) -> None:
+        for app in self.apps:
+            app.packet_in(node, packet)
+
+    # -- switch programming ------------------------------------------------
+
+    def program_switch(self, node: int, switch: Switch) -> None:
+        """Install a rule set at *node* (only if the switch is reachable —
+        programming an unreachable switch is the failure mode the paper's
+        in-band services avoid)."""
+        if self.channel.connected(node):
+            self.network.set_handler(node, switch.process)
+
+    def program_handler(
+        self, node: int, handler: Callable[[Packet, int], list]
+    ) -> None:
+        if self.channel.connected(node):
+            self.network.set_handler(node, handler)
+
+    def run(self) -> None:
+        """Drain the network's event queue."""
+        self.network.run()

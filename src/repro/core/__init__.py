@@ -1,0 +1,73 @@
+"""SmartSouth: the paper's contribution.
+
+The package is organized around two execution engines that share one
+semantics:
+
+* :mod:`repro.core.template` — a direct interpreter of Algorithm 1 plus the
+  Table 1 service hooks (the *reference* semantics, readable side-by-side
+  with the paper),
+* :mod:`repro.core.compiler` — a compiler from the same template + hooks to
+  concrete OpenFlow 1.3 flow tables and groups, executed by the
+  :mod:`repro.openflow` switch model (the paper's *expressibility claim*,
+  made constructive).
+
+:mod:`repro.core.engine` wraps both behind a common API;
+:mod:`repro.core.runtime` adds the offline install stage and trigger/collect
+orchestration; :mod:`repro.core.services` hosts the four case studies.
+"""
+
+from repro.core.engine import (
+    CompiledEngine,
+    InterpretedEngine,
+    MultiServiceEngine,
+    TraversalResult,
+    make_engine,
+)
+from repro.core.fields import (
+    FIELD_GID,
+    FIELD_OPT_ID,
+    FIELD_OPT_VAL,
+    FIELD_REPEAT,
+    FIELD_START,
+    FIELD_SVC,
+    FIELD_TTL,
+    TagLayout,
+    cur_field,
+    par_field,
+)
+from repro.core.runtime import SmartSouthRuntime
+from repro.core.services import (
+    AnycastService,
+    BlackholeService,
+    CriticalNodeService,
+    PlainTraversalService,
+    PriocastService,
+    Service,
+    SnapshotService,
+)
+
+__all__ = [
+    "AnycastService",
+    "BlackholeService",
+    "CompiledEngine",
+    "CriticalNodeService",
+    "FIELD_GID",
+    "FIELD_OPT_ID",
+    "FIELD_OPT_VAL",
+    "FIELD_REPEAT",
+    "FIELD_START",
+    "FIELD_SVC",
+    "FIELD_TTL",
+    "InterpretedEngine",
+    "MultiServiceEngine",
+    "PlainTraversalService",
+    "PriocastService",
+    "Service",
+    "SmartSouthRuntime",
+    "SnapshotService",
+    "TagLayout",
+    "TraversalResult",
+    "cur_field",
+    "make_engine",
+    "par_field",
+]

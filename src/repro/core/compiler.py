@@ -1,0 +1,1079 @@
+"""Compile the SmartSouth template + service hooks into OpenFlow rules.
+
+This module is the constructive proof of the paper's central claim: that the
+whole mechanism fits in the standard OpenFlow 1.3 match-action paradigm.  For
+each node the compiler emits a pipeline of flow tables and a set of groups
+that realize Algorithm 1 with the service hooks of Table 1, using only:
+
+* masked exact matches (incl. range-to-prefix expansion for priocast's
+  ``opt_val < priority`` test, cf. the paper's reference [2]),
+* per-port rule enumeration where OpenFlow lacks a primitive (there is no
+  "copy in_port into a field" action and no field-to-field comparison — the
+  snapshot ``in < cur`` test becomes O(Δ²) rules),
+* set-field / push / pop / output / dec-ttl actions,
+* fast-failover groups for the port sweep (one per (sweep-start, parent)
+  pair — O(Δ²) groups per node, measured by the C-tablesize experiment),
+* round-robin SELECT groups as smart counters,
+* pipeline metadata to carry the sweep start port between tables.
+
+Pipeline layout (table ids)::
+
+    0  DISPATCH       service pre-dispatch & per-arrival rules (anycast gid
+                      test, TTL check/decrement); default: goto CLASSIFY
+    1  CLASSIFY       Algorithm 1 state decode: trigger / first visit /
+                      advance / bounce; writes metadata.sweep; may goto BID
+    2  BID            priocast phase-1 bidding (range-expanded opt_val test)
+    3  SWEEP          metadata.sweep × parent → fast-failover sweep group
+                      (root rows also match the Finish-variant fields)
+    4  VERIFY_SWEEP   blackhole phase B: table-driven sweep + counter fetch
+    5  VERIFY_CHECK   blackhole phase B: fetched-value test, report on 1
+
+Known fidelity limits (documented in DESIGN.md):
+
+* blackhole phase B selects ports in tables (a counter fetch must be
+  followed by a match, which buckets cannot do), so it has no fast-failover;
+  the paper itself assumes no failures during execution;
+* the packet-loss monitor and the load-audit service are interpreted-only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.fields import (
+    FIELD_FIRST_PORT,
+    FIELD_GID,
+    FIELD_OPT_ID,
+    FIELD_OPT_VAL,
+    FIELD_RECCAP,
+    FIELD_REPEAT,
+    FIELD_SCRATCH,
+    FIELD_SNAP_DONE,
+    FIELD_START,
+    FIELD_SVC,
+    FIELD_TO_PARENT,
+    FIELD_TTL,
+    OPT_VAL_BITS,
+    cur_field,
+    par_field,
+)
+from repro.core.services.anycast import AnycastService, PriocastService
+from repro.core.services.base import PlainTraversalService, Service
+from repro.core.services.blackhole import (
+    BH_DONE,
+    BH_FOUND,
+    FIELD_BH,
+    FIELD_REPORT_IN,
+    FIELD_REPORT_PORT,
+    REPEAT_ECHO,
+    REPEAT_ECHO_BACK,
+    REPEAT_PROBE,
+    REPEAT_VERIFY,
+    BlackholeService,
+    BlackholeTtlService,
+)
+from repro.core.services.critical import (
+    CRITICAL,
+    FIELD_CRITICAL,
+    NOT_CRITICAL,
+    CriticalNodeService,
+)
+from repro.core.services.snapshot import ChunkedSnapshotService, SnapshotService
+from repro.core.smart_counter import build_counter_group
+from repro.net.simulator import Network
+from repro.openflow.actions import (
+    Action,
+    DecTtl,
+    GroupAction,
+    Instructions,
+    Output,
+    PopLabel,
+    PushLabel,
+    SetField,
+)
+from repro.openflow.match import FieldTest, Match, encode_range
+from repro.openflow.packet import CONTROLLER_PORT, IN_PORT, LOCAL_PORT
+from repro.openflow.switch import Switch
+
+# Table ids.
+T_DISPATCH = 0
+T_CLASSIFY = 1
+T_BID = 2
+T_SWEEP = 3
+T_VERIFY_SWEEP = 4
+T_VERIFY_CHECK = 5
+
+# Metadata register layout: bits 0..7 sweep start port, bits 8..15 the
+# port being verified (blackhole phase B), bits 16..17 the send kind.
+META_SWEEP_MASK = 0x0000FF
+META_PORT_SHIFT = 8
+META_PORT_MASK = 0x00FF00
+META_KIND_SHIFT = 16
+META_KIND_MASK = 0x030000
+KIND_PROBE = 0
+KIND_BOUNCE = 1
+KIND_PARENT = 2
+
+# Group-id layout (per switch).
+COUNTER_GROUP_BASE = 1  # counter for port p has id COUNTER_GROUP_BASE + p
+SWEEP_GROUP_BASE = 1000
+
+
+def meta_sweep(s: int) -> tuple[int, int]:
+    """write_metadata payload selecting sweep start *s*."""
+    return (s, META_SWEEP_MASK)
+
+
+def meta_verify(port: int, kind: int) -> tuple[int, int]:
+    """write_metadata payload for the verify-check table."""
+    value = (port << META_PORT_SHIFT) | (kind << META_KIND_SHIFT)
+    return (value, META_PORT_MASK | META_KIND_MASK)
+
+
+def match_meta_sweep(s: int, **exact: int) -> Match:
+    return Match([FieldTest("metadata", s, META_SWEEP_MASK)], **exact)
+
+
+def match_meta_verify(port: int, kind: int, **exact: int) -> Match:
+    value = (port << META_PORT_SHIFT) | (kind << META_KIND_SHIFT)
+    return Match(
+        [FieldTest("metadata", value, META_PORT_MASK | META_KIND_MASK)], **exact
+    )
+
+
+class FinishVariant:
+    """One root-finish behaviour: extra match fields select it, and its
+    actions become the terminal bucket of the root's sweep groups."""
+
+    def __init__(
+        self, match: dict[str, int], actions: Sequence[Action], priority: int = 0
+    ) -> None:
+        self.match = dict(match)
+        self.actions = tuple(actions)
+        self.priority = priority
+
+
+class Codegen:
+    """Per-node emission context shared by the service code generators.
+
+    ``table_base`` and ``group_base`` relocate a service's whole pipeline
+    block, so several services can share one switch (multi-service install,
+    see :func:`compile_services`): logical table ids T_* become
+    ``table_base + T_*`` and group ids are offset likewise.
+    """
+
+    def __init__(
+        self,
+        switch: Switch,
+        node: int,
+        deg: int,
+        service: Service,
+        table_base: int = 0,
+        group_base: int = 0,
+    ) -> None:
+        self.switch = switch
+        self.node = node
+        self.deg = deg
+        self.service = service
+        self.table_base = table_base
+        self.group_base = group_base
+        self.par = par_field(node)
+        self.cur = cur_field(node)
+        self._next_group = group_base + SWEEP_GROUP_BASE
+
+    def alloc_group(self) -> int:
+        gid = self._next_group
+        self._next_group += 1
+        return gid
+
+    def counter_group_id(self, port: int) -> int:
+        """The (relocated) smart-counter group id for *port*."""
+        return self.group_base + COUNTER_GROUP_BASE + port
+
+    def install(
+        self,
+        table: int,
+        match: Match,
+        actions: Iterable[Action] = (),
+        goto: int | None = None,
+        meta: tuple[int, int] | None = None,
+        priority: int = 0,
+        cookie: str = "",
+    ) -> None:
+        self.switch.install(
+            self.table_base + table,
+            match,
+            Instructions(
+                apply_actions=tuple(actions),
+                goto_table=None if goto is None else self.table_base + goto,
+                write_metadata=meta,
+            ),
+            priority=priority,
+            cookie=cookie,
+        )
+
+
+class ServiceCodegen:
+    """Default code generation: the plain traversal.
+
+    Subclasses override the hook-action providers (mirroring Table 1's
+    columns) or whole emission phases when the service changes the template
+    control flow (blackhole's echo protocol).
+    """
+
+    #: Does this service route first visits through the BID table?
+    uses_bid_table = False
+
+    def __init__(self, service: Service, node: int, deg: int) -> None:
+        self.service = service
+        self.node = node
+        self.deg = deg
+        self._cg: Codegen | None = None
+
+    def bind(self, cg: Codegen) -> None:
+        """Attach the emission context (needed by providers that allocate
+        relocated group ids, e.g. the blackhole counters)."""
+        self._cg = cg
+
+    # -- hook-action providers (all arguments are compile-time constants) --
+
+    def trigger_actions(self) -> list[Action]:
+        return []
+
+    def first_visit_actions(self, in_port: int) -> list[Action]:
+        return []
+
+    def advance_actions(self, cur: int, root: bool) -> list[Action]:
+        """Visit_from_cur actions; ``root`` selects the par=0 rule variant."""
+        return []
+
+    def rootfirst_actions(self, out_port: int) -> list[Action]:
+        """Actions of the root's very first send (par=0 and cur=0)."""
+        return []
+
+    def send_next_actions(self, out_port: int) -> list[Action]:
+        return []
+
+    def send_parent_actions(self, par: int) -> list[Action]:
+        return []
+
+    def finish_variants(self) -> list[FinishVariant]:
+        return [FinishVariant({}, [Output(self.service.report_destination)])]
+
+    # -- emission phases ---------------------------------------------------
+
+    def emit_dispatch(self, cg: Codegen) -> None:
+        """T_DISPATCH: default is a bare goto CLASSIFY."""
+        cg.install(T_DISPATCH, Match(), goto=T_CLASSIFY, cookie="dispatch:default")
+
+    def emit_classify(self, cg: Codegen) -> None:
+        """T_CLASSIFY: the generic Algorithm 1 state decode."""
+        after = T_BID if self.uses_bid_table else T_SWEEP
+        # Trigger (start = 0): this node becomes the DFS root.
+        cg.install(
+            T_CLASSIFY,
+            Match(**{FIELD_START: 0}),
+            actions=[SetField(FIELD_START, 1)] + self.trigger_actions(),
+            meta=meta_sweep(0),
+            goto=after,
+            priority=100,
+            cookie="classify:trigger",
+        )
+        self.emit_classify_overrides(cg)
+        # First visit (cur = 0): adopt the arrival port as parent.
+        for p in range(1, self.deg + 1):
+            cg.install(
+                T_CLASSIFY,
+                Match(**{cg.cur: 0, "in_port": p}),
+                actions=[SetField(cg.par, p)] + self.first_visit_actions(p),
+                meta=meta_sweep(1),
+                goto=after,
+                priority=50,
+                cookie=f"classify:first_visit:{p}",
+            )
+        # Advance (in = cur): continue the sweep at cur + 1.
+        for c in range(1, self.deg + 1):
+            root_actions = self.advance_actions(c, root=True)
+            plain_actions = self.advance_actions(c, root=False)
+            if root_actions != plain_actions:
+                cg.install(
+                    T_CLASSIFY,
+                    Match(**{cg.cur: c, "in_port": c, cg.par: 0}),
+                    actions=root_actions,
+                    meta=meta_sweep(c + 1),
+                    goto=T_SWEEP,
+                    priority=51,
+                    cookie=f"classify:advance_root:{c}",
+                )
+            cg.install(
+                T_CLASSIFY,
+                Match(**{cg.cur: c, "in_port": c}),
+                actions=plain_actions,
+                meta=meta_sweep(c + 1),
+                goto=T_SWEEP,
+                priority=50,
+                cookie=f"classify:advance:{c}",
+            )
+        self.emit_bounce_rules(cg)
+
+    def emit_classify_overrides(self, cg: Codegen) -> None:
+        """Service-specific high-priority classify rules."""
+
+    def emit_bounce_rules(self, cg: Codegen) -> None:
+        """Visit_not_from_cur: default just returns the packet."""
+        cg.install(
+            T_CLASSIFY,
+            Match(),
+            actions=[Output(IN_PORT)],
+            priority=5,
+            cookie="classify:bounce",
+        )
+
+    def emit_bid_table(self, cg: Codegen) -> None:
+        """T_BID (priocast only)."""
+
+    def emit_extra_tables(self, cg: Codegen) -> None:
+        """Extra tables/groups (blackhole's counters and verify pipeline)."""
+
+    # -- the generic sweep table and its fast-failover groups --------------
+
+    def emit_sweep(self, cg: Codegen) -> None:
+        deg = self.deg
+        variants = self.finish_variants()
+        for s in range(0, deg + 2):
+            if s == 0 or 1 <= s <= deg + 1:
+                self._emit_root_row(cg, s, variants)
+            if 1 <= s:
+                for p in range(1, deg + 1):
+                    self._emit_nonroot_row(cg, s, p)
+
+    def _probe_bucket(self, cg: Codegen, q: int, rootfirst: bool):
+        from repro.openflow.group import Bucket
+
+        actions: list[Action] = []
+        if rootfirst:
+            actions += self.rootfirst_actions(q)
+        actions += self.send_next_actions(q)
+        actions += [SetField(cg.cur, q), Output(q)]
+        return Bucket(actions=actions, watch_port=q)
+
+    def _emit_root_row(
+        self, cg: Codegen, s: int, variants: list[FinishVariant]
+    ) -> None:
+        from repro.openflow.group import Bucket, Group, GroupType
+
+        deg = self.deg
+        first = max(s, 1)
+        for variant in variants:
+            if s == deg + 1 or first > deg:
+                # No ports left to try: finish immediately via table actions.
+                cg.install(
+                    T_SWEEP,
+                    match_meta_sweep(s, **{cg.par: 0}, **variant.match),
+                    actions=list(variant.actions),
+                    priority=10 + variant.priority,
+                    cookie=f"sweep:root_finish:s{s}",
+                )
+                continue
+            buckets = [
+                self._probe_bucket(cg, q, rootfirst=(s == 0))
+                for q in range(first, deg + 1)
+            ]
+            buckets.append(Bucket(actions=variant.actions, watch_port=None))
+            gid = cg.alloc_group()
+            cg.switch.add_group(Group(gid, GroupType.FF, buckets))
+            cg.install(
+                T_SWEEP,
+                match_meta_sweep(s, **{cg.par: 0}, **variant.match),
+                actions=[GroupAction(gid)],
+                priority=10 + variant.priority,
+                cookie=f"sweep:root:s{s}",
+            )
+
+    def _emit_nonroot_row(self, cg: Codegen, s: int, p: int) -> None:
+        from repro.openflow.group import Bucket, Group, GroupType
+
+        deg = self.deg
+        parent_actions = (
+            self.send_parent_actions(p) + [SetField(cg.cur, p), Output(p)]
+        )
+        ports = [q for q in range(s, deg + 1) if q != p]
+        if not ports:
+            cg.install(
+                T_SWEEP,
+                match_meta_sweep(s, **{cg.par: p}),
+                actions=parent_actions,
+                priority=10,
+                cookie=f"sweep:parent:s{s}:p{p}",
+            )
+            return
+        buckets = [self._probe_bucket(cg, q, rootfirst=False) for q in ports]
+        buckets.append(Bucket(actions=parent_actions, watch_port=None))
+        gid = cg.alloc_group()
+        cg.switch.add_group(Group(gid, GroupType.FF, buckets))
+        cg.install(
+            T_SWEEP,
+            match_meta_sweep(s, **{cg.par: p}),
+            actions=[GroupAction(gid)],
+            priority=10,
+            cookie=f"sweep:s{s}:p{p}",
+        )
+
+
+# --------------------------------------------------------------------- #
+# Per-service code generators                                           #
+# --------------------------------------------------------------------- #
+
+
+class SnapshotCodegen(ServiceCodegen):
+    """Snapshot: record pushes/pops; the in < cur test is rule-enumerated."""
+
+    def _push(self, record: tuple) -> list[Action]:
+        """Actions recording one topology record (chunked variant also
+        spends header budget here)."""
+        return [PushLabel(record)]
+
+    def first_visit_actions(self, in_port: int) -> list[Action]:
+        return self._push(("visit", self.node, in_port))
+
+    def rootfirst_actions(self, out_port: int) -> list[Action]:
+        # The root's self-record must precede its first out record; both
+        # live in the same bucket so ordering is guaranteed.
+        return self._push(("visit", self.node, 0))
+
+    def send_next_actions(self, out_port: int) -> list[Action]:
+        return self._push(("out", out_port))
+
+    def send_parent_actions(self, par: int) -> list[Action]:
+        return self._push(("ret",))
+
+    def finish_variants(self) -> list[FinishVariant]:
+        return [
+            FinishVariant(
+                {},
+                [
+                    SetField(FIELD_SNAP_DONE, 1),
+                    Output(self.service.report_destination),
+                ],
+            )
+        ]
+
+    def emit_bounce_rules(self, cg: Codegen) -> None:
+        deg = self.deg
+        bounce = [Output(IN_PORT)]
+        # Known edge: pop the sender's record.  Three rule families encode
+        # "in < cur or cur = par or in = par" without field comparisons.
+        for p in range(1, deg + 1):
+            cg.install(
+                T_CLASSIFY,
+                Match(**{"in_port": p, cg.par: p}),
+                actions=[PopLabel()] + bounce,
+                priority=8,
+                cookie=f"classify:bounce_par:{p}",
+            )
+        for c in range(1, deg + 1):
+            cg.install(
+                T_CLASSIFY,
+                Match(**{cg.cur: c, cg.par: c}),
+                actions=[PopLabel()] + bounce,
+                priority=7,
+                cookie=f"classify:bounce_done:{c}",
+            )
+        for c in range(2, deg + 1):
+            for p in range(1, c):
+                cg.install(
+                    T_CLASSIFY,
+                    Match(**{"in_port": p, cg.cur: c}),
+                    actions=[PopLabel()] + bounce,
+                    priority=6,
+                    cookie=f"classify:bounce_lt:{p}<{c}",
+                )
+        # New edge: record this endpoint.
+        for p in range(1, deg + 1):
+            cg.install(
+                T_CLASSIFY,
+                Match(**{"in_port": p}),
+                actions=self._push(("visit", self.node, p)) + bounce,
+                priority=5,
+                cookie=f"classify:bounce_new:{p}",
+            )
+
+
+class ChunkedSnapshotCodegen(SnapshotCodegen):
+    """Chunked snapshot: budget-tracked pushes plus per-port flush rules."""
+
+    def _push(self, record: tuple) -> list[Action]:
+        return [PushLabel(record), DecTtl(FIELD_RECCAP)]
+
+    def emit_dispatch(self, cg: Codegen) -> None:
+        for p in range(1, self.deg + 1):
+            cg.install(
+                T_DISPATCH,
+                Match(**{FIELD_RECCAP: 0, "in_port": p}),
+                actions=[
+                    SetField(FIELD_REPORT_IN, p),
+                    Output(CONTROLLER_PORT),
+                ],
+                priority=100,
+                cookie=f"dispatch:flush:{p}",
+            )
+        cg.install(T_DISPATCH, Match(), goto=T_CLASSIFY, cookie="dispatch:default")
+
+
+class AnycastCodegen(ServiceCodegen):
+    """Anycast: the gid test sits in the dispatch table; lost requests die
+    silently at the root (0 out-of-band messages)."""
+
+    def emit_dispatch(self, cg: Codegen) -> None:
+        service: AnycastService = self.service  # type: ignore[assignment]
+        for gid in sorted(service.groups_of(self.node)):
+            cg.install(
+                T_DISPATCH,
+                Match(**{FIELD_GID: gid}),
+                actions=[Output(LOCAL_PORT)],
+                priority=100,
+                cookie=f"dispatch:gid:{gid}",
+            )
+        cg.install(T_DISPATCH, Match(), goto=T_CLASSIFY, cookie="dispatch:default")
+
+    def finish_variants(self) -> list[FinishVariant]:
+        return [FinishVariant({}, [])]  # drop: no receiver reachable
+
+
+class PriocastCodegen(ServiceCodegen):
+    """Priocast: bid table in phase 1, restart/deliver rules for phase 2."""
+
+    uses_bid_table = True
+
+    def rootfirst_actions(self, out_port: int) -> list[Action]:
+        return [SetField(FIELD_FIRST_PORT, out_port)]
+
+    def emit_classify_overrides(self, cg: Codegen) -> None:
+        # Phase-2 entry: the packet arrives from the parent port again.
+        service: PriocastService = self.service  # type: ignore[assignment]
+        for p in range(1, self.deg + 1):
+            cg.install(
+                T_CLASSIFY,
+                Match(
+                    **{
+                        FIELD_START: 2,
+                        "in_port": p,
+                        cg.par: p,
+                        FIELD_OPT_ID: self.node + 1,
+                    }
+                ),
+                actions=[Output(LOCAL_PORT)],
+                priority=90,
+                cookie=f"classify:p2_deliver:{p}",
+            )
+            cg.install(
+                T_CLASSIFY,
+                Match(**{FIELD_START: 2, "in_port": p, cg.par: p}),
+                meta=meta_sweep(1),
+                goto=T_SWEEP,
+                priority=85,
+                cookie=f"classify:p2_restart:{p}",
+            )
+
+    def emit_bid_table(self, cg: Codegen) -> None:
+        service: PriocastService = self.service  # type: ignore[assignment]
+        for gid in sorted(service.groups_of(self.node)):
+            priority_value = service.priority_of(self.node, gid)
+            assert priority_value is not None
+            for value, mask in encode_range(0, priority_value - 1, OPT_VAL_BITS):
+                cg.install(
+                    T_BID,
+                    Match(
+                        [FieldTest(FIELD_OPT_VAL, value, mask)],
+                        **{FIELD_GID: gid, FIELD_START: 1},
+                    ),
+                    actions=[
+                        SetField(FIELD_OPT_VAL, priority_value),
+                        SetField(FIELD_OPT_ID, self.node + 1),
+                    ],
+                    goto=T_SWEEP,
+                    priority=10,
+                    cookie=f"bid:{gid}",
+                )
+        cg.install(T_BID, Match(), goto=T_SWEEP, cookie="bid:default")
+
+    def finish_variants(self) -> list[FinishVariant]:
+        variants = [
+            FinishVariant(
+                {FIELD_START: 1, FIELD_OPT_ID: self.node + 1},
+                [Output(LOCAL_PORT)],
+                priority=3,
+            )
+        ]
+        for f in range(1, self.deg + 1):
+            variants.append(
+                FinishVariant(
+                    {FIELD_START: 1, FIELD_FIRST_PORT: f},
+                    [
+                        SetField(FIELD_START, 2),
+                        SetField(cur_field(self.node), f),
+                        Output(f),
+                    ],
+                    priority=2,
+                )
+            )
+        variants.append(FinishVariant({FIELD_START: 1}, [], priority=1))
+        variants.append(FinishVariant({FIELD_START: 2}, [], priority=1))
+        return variants
+
+
+class CriticalCodegen(ServiceCodegen):
+    """Critical node: toparent bookkeeping plus the root's verdict rules."""
+
+    def rootfirst_actions(self, out_port: int) -> list[Action]:
+        return [SetField(FIELD_FIRST_PORT, out_port)]
+
+    def send_next_actions(self, out_port: int) -> list[Action]:
+        return [SetField(FIELD_TO_PARENT, 0)]
+
+    def send_parent_actions(self, par: int) -> list[Action]:
+        return [SetField(FIELD_TO_PARENT, 1)]
+
+    def advance_actions(self, cur: int, root: bool) -> list[Action]:
+        # The root clears toparent after inspecting it (the inspection
+        # itself is the higher-priority verdict rule below).
+        return [SetField(FIELD_TO_PARENT, 0)] if root else []
+
+    def emit_classify_overrides(self, cg: Codegen) -> None:
+        # Root verdict: a toparent=1 return on a port other than firstport
+        # means a second DFS child exists -> critical.
+        for c in range(1, self.deg + 1):
+            for f in range(1, self.deg + 1):
+                if f == c:
+                    continue
+                cg.install(
+                    T_CLASSIFY,
+                    Match(
+                        **{
+                            cg.par: 0,
+                            cg.cur: c,
+                            "in_port": c,
+                            FIELD_TO_PARENT: 1,
+                            FIELD_FIRST_PORT: f,
+                        }
+                    ),
+                    actions=[
+                        SetField(FIELD_CRITICAL, CRITICAL),
+                        Output(self.service.report_destination),
+                    ],
+                    priority=60,
+                    cookie=f"classify:critical:{c}",
+                )
+
+    def finish_variants(self) -> list[FinishVariant]:
+        return [
+            FinishVariant(
+                {},
+                [
+                    SetField(FIELD_CRITICAL, NOT_CRITICAL),
+                    Output(self.service.report_destination),
+                ],
+            )
+        ]
+
+
+class TtlCodegen(ServiceCodegen):
+    """TTL blackhole probes: check-and-report, else decrement, in dispatch."""
+
+    def emit_dispatch(self, cg: Codegen) -> None:
+        for p in range(1, self.deg + 1):
+            cg.install(
+                T_DISPATCH,
+                Match(**{FIELD_TTL: 0, "in_port": p}),
+                actions=[
+                    SetField(FIELD_BH, BH_FOUND),
+                    SetField(FIELD_REPORT_IN, p),
+                    Output(CONTROLLER_PORT),
+                ],
+                priority=100,
+                cookie=f"dispatch:ttl0:{p}",
+            )
+        cg.install(
+            T_DISPATCH,
+            Match(**{FIELD_TTL: 0}),
+            actions=[
+                SetField(FIELD_BH, BH_FOUND),
+                SetField(FIELD_REPORT_IN, 0),
+                Output(CONTROLLER_PORT),
+            ],
+            priority=99,
+            cookie="dispatch:ttl0",
+        )
+        cg.install(
+            T_DISPATCH,
+            Match(),
+            actions=[DecTtl(FIELD_TTL)],
+            goto=T_CLASSIFY,
+            cookie="dispatch:dec_ttl",
+        )
+
+    def finish_variants(self) -> list[FinishVariant]:
+        return [
+            FinishVariant(
+                {}, [SetField(FIELD_BH, BH_DONE), Output(CONTROLLER_PORT)]
+            )
+        ]
+
+
+class BlackholeCodegen(ServiceCodegen):
+    """Smart-counter blackhole detection.
+
+    Phase A (repeat 3/2/1) uses the generic fast-failover sweep with a
+    counter fetch in every send; phase B (repeat 0) replaces the sweep with
+    the VERIFY tables so the fetched value can be matched.
+    """
+
+    def counter_gid(self, port: int) -> int:
+        assert self._cg is not None, "codegen used before bind()"
+        return self._cg.counter_group_id(port)
+
+    def _count(self, port: int) -> Action:
+        return GroupAction(self.counter_gid(port))
+
+    def emit_dispatch(self, cg: Codegen) -> None:
+        # Received packets increment the port counter too (the counter
+        # counts link traversals at the port, cf. the interpreted engine's
+        # on_arrival hook and DESIGN.md).
+        for p in range(1, self.deg + 1):
+            cg.install(
+                T_DISPATCH,
+                Match(**{"in_port": p}),
+                actions=[self._count(p)],
+                goto=T_CLASSIFY,
+                priority=10,
+                cookie=f"dispatch:recv_count:{p}",
+            )
+        cg.install(T_DISPATCH, Match(), goto=T_CLASSIFY, cookie="dispatch:default")
+
+    def send_next_actions(self, out_port: int) -> list[Action]:
+        return [self._count(out_port)]
+
+    def send_parent_actions(self, par: int) -> list[Action]:
+        return [self._count(par)]
+
+    def finish_variants(self) -> list[FinishVariant]:
+        # Phase A ends silently at the root; phase B finishes in the
+        # VERIFY tables, never here.
+        return [FinishVariant({}, [])]
+
+    def emit_classify(self, cg: Codegen) -> None:
+        deg = self.deg
+        service: BlackholeService = self.service  # type: ignore[assignment]
+        modulus = service.counter_modulus
+        # Smart counters: one per port, shared by both phases.
+        for p in range(1, deg + 1):
+            cg.switch.add_group(
+                build_counter_group(self.counter_gid(p), modulus, FIELD_SCRATCH)
+            )
+
+        # Triggers.
+        cg.install(
+            T_CLASSIFY,
+            Match(**{FIELD_START: 0, FIELD_REPEAT: REPEAT_VERIFY}),
+            actions=[SetField(FIELD_START, 1)],
+            meta=meta_sweep(1),
+            goto=T_VERIFY_SWEEP,
+            priority=101,
+            cookie="classify:trigger_verify",
+        )
+        cg.install(
+            T_CLASSIFY,
+            Match(**{FIELD_START: 0}),
+            actions=[SetField(FIELD_START, 1)],
+            meta=meta_sweep(0),
+            goto=T_SWEEP,
+            priority=100,
+            cookie="classify:trigger",
+        )
+
+        for p in range(1, deg + 1):
+            # First visit, probe phase: echo to the parent (count the send).
+            cg.install(
+                T_CLASSIFY,
+                Match(**{cg.cur: 0, "in_port": p, FIELD_REPEAT: REPEAT_PROBE}),
+                actions=[
+                    SetField(cg.par, p),
+                    SetField(FIELD_REPEAT, REPEAT_ECHO),
+                    self._count(p),
+                    Output(IN_PORT),
+                ],
+                priority=52,
+                cookie=f"classify:first_echo:{p}",
+            )
+            # First visit, echo completed: resume the probe sweep.
+            cg.install(
+                T_CLASSIFY,
+                Match(**{cg.cur: 0, "in_port": p, FIELD_REPEAT: REPEAT_ECHO_BACK}),
+                actions=[SetField(cg.par, p), SetField(FIELD_REPEAT, REPEAT_PROBE)],
+                meta=meta_sweep(1),
+                goto=T_SWEEP,
+                priority=52,
+                cookie=f"classify:first_resume:{p}",
+            )
+            # First visit, verify phase: plain.
+            cg.install(
+                T_CLASSIFY,
+                Match(**{cg.cur: 0, "in_port": p, FIELD_REPEAT: REPEAT_VERIFY}),
+                actions=[SetField(cg.par, p)],
+                meta=meta_sweep(1),
+                goto=T_VERIFY_SWEEP,
+                priority=52,
+                cookie=f"classify:first_verify:{p}",
+            )
+
+        for c in range(1, deg + 1):
+            # Parent side of the echo: send the packet back to the child.
+            cg.install(
+                T_CLASSIFY,
+                Match(**{cg.cur: c, "in_port": c, FIELD_REPEAT: REPEAT_ECHO}),
+                actions=[
+                    SetField(FIELD_REPEAT, REPEAT_ECHO_BACK),
+                    self._count(c),
+                    Output(IN_PORT),
+                ],
+                priority=52,
+                cookie=f"classify:echo_return:{c}",
+            )
+            # Advance, probe phase.
+            cg.install(
+                T_CLASSIFY,
+                Match(**{cg.cur: c, "in_port": c, FIELD_REPEAT: REPEAT_PROBE}),
+                meta=meta_sweep(c + 1),
+                goto=T_SWEEP,
+                priority=50,
+                cookie=f"classify:advance:{c}",
+            )
+            # Advance, verify phase.
+            cg.install(
+                T_CLASSIFY,
+                Match(**{cg.cur: c, "in_port": c, FIELD_REPEAT: REPEAT_VERIFY}),
+                meta=meta_sweep(c + 1),
+                goto=T_VERIFY_SWEEP,
+                priority=50,
+                cookie=f"classify:advance_verify:{c}",
+            )
+
+        # Bounces: count the return send; verify-phase bounces also check.
+        for p in range(1, deg + 1):
+            cg.install(
+                T_CLASSIFY,
+                Match(**{"in_port": p, FIELD_REPEAT: REPEAT_VERIFY}),
+                actions=[self._count(p)],
+                meta=meta_verify(p, KIND_BOUNCE),
+                goto=T_VERIFY_CHECK,
+                priority=6,
+                cookie=f"classify:bounce_verify:{p}",
+            )
+            cg.install(
+                T_CLASSIFY,
+                Match(**{"in_port": p}),
+                actions=[self._count(p), Output(IN_PORT)],
+                priority=5,
+                cookie=f"classify:bounce:{p}",
+            )
+
+    def emit_extra_tables(self, cg: Codegen) -> None:
+        deg = self.deg
+        # VERIFY_SWEEP: table-driven port selection (no fast failover: a
+        # fetched counter value can only be matched in a table, and a group
+        # bucket cannot continue into a table).
+        for s in range(1, deg + 2):
+            for p in range(0, deg + 1):
+                effective = s if s != p else s + 1
+                if effective <= deg:
+                    cg.install(
+                        T_VERIFY_SWEEP,
+                        match_meta_sweep(s, **{cg.par: p}),
+                        actions=[self._count(effective)],
+                        meta=meta_verify(effective, KIND_PROBE),
+                        goto=T_VERIFY_CHECK,
+                        priority=10,
+                        cookie=f"vsweep:s{s}:p{p}",
+                    )
+                elif p == 0:
+                    # Root finish of the verify phase: clean verdict.
+                    cg.install(
+                        T_VERIFY_SWEEP,
+                        match_meta_sweep(s, **{cg.par: 0}),
+                        actions=[
+                            SetField(FIELD_BH, BH_DONE),
+                            Output(CONTROLLER_PORT),
+                        ],
+                        priority=10,
+                        cookie=f"vsweep:finish:s{s}",
+                    )
+                else:
+                    # Return to the parent (counted and checked too).
+                    cg.install(
+                        T_VERIFY_SWEEP,
+                        match_meta_sweep(s, **{cg.par: p}),
+                        actions=[self._count(p)],
+                        meta=meta_verify(p, KIND_PARENT),
+                        goto=T_VERIFY_CHECK,
+                        priority=10,
+                        cookie=f"vsweep:parent:s{s}:p{p}",
+                    )
+
+        # VERIFY_CHECK: a fetch returning 1 identifies the blackhole port.
+        report = lambda q: [  # noqa: E731 - tiny local factory
+            SetField(FIELD_BH, BH_FOUND),
+            SetField(FIELD_REPORT_PORT, q),
+            Output(CONTROLLER_PORT),
+        ]
+        for q in range(1, deg + 1):
+            forward = [SetField(cg.cur, q), Output(q)]
+            cg.install(
+                T_VERIFY_CHECK,
+                match_meta_verify(q, KIND_PROBE, **{FIELD_SCRATCH: 1}),
+                actions=report(q) + forward,
+                priority=20,
+                cookie=f"vcheck:probe_report:{q}",
+            )
+            cg.install(
+                T_VERIFY_CHECK,
+                match_meta_verify(q, KIND_PROBE),
+                actions=forward,
+                priority=10,
+                cookie=f"vcheck:probe:{q}",
+            )
+            cg.install(
+                T_VERIFY_CHECK,
+                match_meta_verify(q, KIND_PARENT, **{FIELD_SCRATCH: 1}),
+                actions=report(q) + forward,
+                priority=20,
+                cookie=f"vcheck:parent_report:{q}",
+            )
+            cg.install(
+                T_VERIFY_CHECK,
+                match_meta_verify(q, KIND_PARENT),
+                actions=forward,
+                priority=10,
+                cookie=f"vcheck:parent:{q}",
+            )
+            cg.install(
+                T_VERIFY_CHECK,
+                match_meta_verify(q, KIND_BOUNCE, **{FIELD_SCRATCH: 1}),
+                actions=report(q) + [Output(IN_PORT)],
+                priority=20,
+                cookie=f"vcheck:bounce_report:{q}",
+            )
+            cg.install(
+                T_VERIFY_CHECK,
+                match_meta_verify(q, KIND_BOUNCE),
+                actions=[Output(IN_PORT)],
+                priority=10,
+                cookie=f"vcheck:bounce:{q}",
+            )
+
+
+#: Service class -> code generator class.
+_CODEGENS: dict[type, type[ServiceCodegen]] = {
+    PlainTraversalService: ServiceCodegen,
+    ChunkedSnapshotService: ChunkedSnapshotCodegen,
+    SnapshotService: SnapshotCodegen,
+    AnycastService: AnycastCodegen,
+    PriocastService: PriocastCodegen,
+    CriticalNodeService: CriticalCodegen,
+    BlackholeService: BlackholeCodegen,
+    BlackholeTtlService: TtlCodegen,
+}
+
+
+def register_codegen(
+    service_class: type, codegen_class: type[ServiceCodegen]
+) -> None:
+    """Register a code generator for a custom service class.
+
+    Resolution walks the service's MRO, so registering for a base class
+    covers subclasses; registering the subclass explicitly wins (it is
+    found first).  See docs/TUTORIAL.md for a worked example.
+    """
+    if not issubclass(codegen_class, ServiceCodegen):
+        raise TypeError("codegen_class must subclass ServiceCodegen")
+    _CODEGENS[service_class] = codegen_class
+
+
+def codegen_for(service: Service, node: int, deg: int) -> ServiceCodegen:
+    """Pick the code generator for *service*."""
+    for klass in type(service).__mro__:
+        if klass in _CODEGENS:
+            return _CODEGENS[klass](service, node, deg)
+    raise NotImplementedError(
+        f"service {service.name!r} has no OpenFlow code generator "
+        "(it is interpreted-only; see DESIGN.md)"
+    )
+
+
+def _emit_service(
+    switch: Switch,
+    network: Network,
+    node: int,
+    service: Service,
+    table_base: int = 0,
+    group_base: int = 0,
+) -> None:
+    deg = network.topology.degree(node)
+    cg = Codegen(switch, node, deg, service, table_base, group_base)
+    codegen = codegen_for(service, node, deg)
+    codegen.bind(cg)
+    codegen.emit_dispatch(cg)
+    codegen.emit_classify(cg)
+    if codegen.uses_bid_table:
+        codegen.emit_bid_table(cg)
+    codegen.emit_sweep(cg)
+    codegen.emit_extra_tables(cg)
+
+
+def compile_service(network: Network, node: int, service: Service) -> Switch:
+    """Compile *service* for *node*: the paper's offline stage, for real."""
+    deg = network.topology.degree(node)
+    switch = Switch(node, deg, liveness=network.liveness_fn(node))
+    _emit_service(switch, network, node, service)
+    return switch
+
+
+#: Tables reserved per service block in a multi-service pipeline.
+SERVICE_BLOCK_TABLES = 8
+#: Group-id stride per service block.
+SERVICE_BLOCK_GROUPS = 100_000
+
+
+def compile_services(
+    network: Network, node: int, services: Sequence[Service]
+) -> Switch:
+    """Compile several services onto one switch.
+
+    Table 0 dispatches on the packet's ``svc`` field to per-service pipeline
+    blocks (each a relocated copy of the single-service layout); unknown
+    service ids are dropped by the table-0 miss, exactly as an OpenFlow
+    switch would.  Proves the paper's implicit claim that the data plane can
+    host all SmartSouth functions simultaneously.
+    """
+    ids = [service.service_id for service in services]
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"duplicate service ids in {ids}")
+    deg = network.topology.degree(node)
+    switch = Switch(node, deg, liveness=network.liveness_fn(node))
+    for index, service in enumerate(services):
+        table_base = 1 + index * SERVICE_BLOCK_TABLES
+        switch.install(
+            0,
+            Match(**{FIELD_SVC: service.service_id}),
+            Instructions(goto_table=table_base),
+            priority=10,
+            cookie=f"svc_dispatch:{service.name}",
+        )
+        _emit_service(
+            switch,
+            network,
+            node,
+            service,
+            table_base=table_base,
+            group_base=(index + 1) * SERVICE_BLOCK_GROUPS,
+        )
+    return switch

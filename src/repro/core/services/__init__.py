@@ -1,0 +1,46 @@
+"""The four SmartSouth case-study services (plus the plain traversal)."""
+
+from repro.core.services.anycast import AnycastService, PriocastService
+from repro.core.services.base import (
+    HookContext,
+    PlainTraversalService,
+    Service,
+    SmartCounterBank,
+)
+from repro.core.services.blackhole import (
+    BlackholeService,
+    BlackholeTtlService,
+    PacketLossMonitor,
+    SmartCounterBlackholeDetector,
+    TtlBinarySearchDetector,
+)
+from repro.core.services.critical import CriticalNodeService
+from repro.core.services.load import LoadAuditService, LoadMonitor, crt
+from repro.core.services.snapshot import (
+    ChunkedSnapshotCollector,
+    ChunkedSnapshotService,
+    SnapshotDecodeError,
+    SnapshotService,
+)
+
+__all__ = [
+    "AnycastService",
+    "BlackholeService",
+    "BlackholeTtlService",
+    "ChunkedSnapshotCollector",
+    "ChunkedSnapshotService",
+    "CriticalNodeService",
+    "HookContext",
+    "LoadAuditService",
+    "LoadMonitor",
+    "PacketLossMonitor",
+    "PlainTraversalService",
+    "PriocastService",
+    "Service",
+    "SmartCounterBank",
+    "SmartCounterBlackholeDetector",
+    "SnapshotDecodeError",
+    "SnapshotService",
+    "TtlBinarySearchDetector",
+    "crt",
+]

@@ -1,0 +1,181 @@
+"""Service hook interface for the SmartSouth template.
+
+Algorithm 1 exposes six extension points (the columns of the paper's
+Table 1): ``First_visit``, ``Visit_from_cur``, ``Visit_not_from_cur``,
+``Send_next_neighbor``, ``Send_parent`` and ``Finish``.  Two more are needed
+to express behaviour the paper places "at the beginning of the template"
+(anycast's group test) and "upon each visit" (the TTL check):
+
+* :meth:`Service.pre_dispatch` — runs before everything, may consume the
+  packet (e.g. deliver it to the local port);
+* :meth:`Service.on_arrival` — runs before the template state machine, may
+  divert the packet (e.g. TTL-expiry report to the controller);
+* :meth:`Service.on_trigger` — the root-side analogue of ``First_visit``
+  (Algorithm 1's ``start = 0`` branch never calls ``First_visit``, but e.g.
+  priocast must consider the root as a potential receiver too).
+
+All hooks receive a :class:`HookContext` and communicate by mutating the
+packet, overriding ``ctx.out``, appending ``ctx.extra_outputs`` (side-channel
+copies, e.g. reports that accompany a forwarded packet) or setting
+``ctx.skip_sweep`` (bypass the port sweep entirely — used by the blackhole
+echo protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.fields import cur_field, par_field
+from repro.openflow.packet import CONTROLLER_PORT, NO_PORT, Packet
+from repro.openflow.switch import PacketOut
+
+
+class SmartCounterBank:
+    """Per-switch smart-counter state for the *interpreted* engine.
+
+    Semantically identical to the compiled form (a round-robin SELECT group
+    per counter): ``fetch_inc`` returns the current cursor and advances it
+    modulo the counter's bucket count.
+    """
+
+    def __init__(self, default_modulus: int = 8) -> None:
+        self.default_modulus = default_modulus
+        self._counters: dict[str, tuple[int, int]] = {}  # name -> (value, mod)
+
+    def fetch_inc(self, name: str, modulus: int | None = None) -> int:
+        """Fetch-and-increment: returns the value *before* incrementing."""
+        mod = modulus or self.default_modulus
+        value, stored_mod = self._counters.get(name, (0, mod))
+        self._counters[name] = ((value + 1) % stored_mod, stored_mod)
+        return value
+
+    def peek(self, name: str) -> int:
+        """Read without incrementing (used by assertions/benchmarks only;
+        the data plane itself can only fetch-and-increment)."""
+        return self._counters.get(name, (0, 0))[0]
+
+    def names(self) -> list[str]:
+        return sorted(self._counters)
+
+
+@dataclass
+class HookContext:
+    """Everything a hook may read or mutate while processing one packet."""
+
+    node: int
+    in_port: int
+    packet: Packet
+    deg: int
+    #: Port-liveness oracle for this node.
+    live: Callable[[int], bool]
+    #: This switch's smart counters.
+    counters: SmartCounterBank
+    #: The tentative output port (hooks may override).
+    out: int = NO_PORT
+    #: If set by a hook, the template skips the port sweep and the
+    #: ``cur`` update, emitting ``out`` directly (echo protocols).
+    skip_sweep: bool = False
+    #: Additional emissions (e.g. a report copy to the controller) sent
+    #: *before* the main output.
+    extra_outputs: list[PacketOut] = field(default_factory=list)
+
+    # -- tag accessors ---------------------------------------------------
+
+    @property
+    def par(self) -> int:
+        return self.packet.get(par_field(self.node))
+
+    @par.setter
+    def par(self, value: int) -> None:
+        self.packet.set(par_field(self.node), value)
+
+    @property
+    def cur(self) -> int:
+        return self.packet.get(cur_field(self.node))
+
+    @cur.setter
+    def cur(self, value: int) -> None:
+        self.packet.set(cur_field(self.node), value)
+
+    def emit_copy(self, port: int) -> None:
+        """Queue a copy of the packet for emission on *port*."""
+        self.extra_outputs.append(PacketOut(port, self.packet.copy()))
+
+
+class Service:
+    """Base class: a no-op service is the plain traversal."""
+
+    #: Short name (also used to tag compiled rule cookies).
+    name = "plain"
+    #: Value of the packet's ``svc`` field selecting this service
+    #: (0 is reserved for plain data traffic).
+    service_id = 1
+    #: Where root-side verdicts go.  ``CONTROLLER_PORT`` by default; the
+    #: paper notes that "all out-of-band messages can be sent in-band to
+    #: any server connected to the first node of the traversal" — services
+    #: that report only from the root support ``LOCAL_PORT`` here (set via
+    #: their ``inband_report`` constructor flag), making monitoring fully
+    #: in-band.
+    report_destination = CONTROLLER_PORT
+
+    # -- extension points (paper's Table 1 + the three arrival hooks) ----
+
+    def pre_dispatch(self, ctx: HookContext) -> int | None:
+        """Before everything; return a port to consume the packet, else None."""
+        return None
+
+    def on_arrival(self, ctx: HookContext) -> int | None:
+        """Before the template; return a port to divert the packet, else None."""
+        return None
+
+    def on_trigger(self, ctx: HookContext) -> None:
+        """Root-side first visit (``start`` was 0)."""
+
+    def first_visit(self, ctx: HookContext) -> None:
+        """A non-root node sees the service packet for the first time."""
+
+    def visit_from_cur(self, ctx: HookContext) -> None:
+        """The packet returned from the port the node was probing."""
+
+    def visit_not_from_cur(self, ctx: HookContext) -> None:
+        """The packet arrived from an unexpected port (will be bounced)."""
+
+    def send_next_neighbor(self, ctx: HookContext) -> None:
+        """A live next port was selected; the packet is about to probe it."""
+
+    def send_parent(self, ctx: HookContext) -> None:
+        """All ports done; the packet is about to return to the parent."""
+
+    def finish(self, ctx: HookContext) -> None:
+        """The root exhausted its ports (``out`` is 0): traversal over."""
+
+    # -- metadata used by engines and the compiler -----------------------
+
+    def groups_of(self, node: int) -> frozenset[int]:
+        """Anycast-style group ids this node belongs to (none by default)."""
+        return frozenset()
+
+    def describe(self) -> str:
+        return f"{self.name} (svc={self.service_id})"
+
+
+class PlainTraversalService(Service):
+    """The bare SmartSouth DFS: visits every live edge, then stops.
+
+    On completion the root reports to the controller, which makes the
+    traversal observable (and matches how every trigger-response service
+    terminates).
+    """
+
+    name = "plain"
+    service_id = 1
+
+    def __init__(self, inband_report: bool = False) -> None:
+        if inband_report:
+            from repro.openflow.packet import LOCAL_PORT
+
+            self.report_destination = LOCAL_PORT
+
+    def finish(self, ctx: HookContext) -> None:
+        ctx.out = self.report_destination

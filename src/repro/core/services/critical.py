@@ -1,0 +1,73 @@
+"""Critical-node detection (§3.4).
+
+Is node *v* an articulation point — would removing it partition the network?
+The controller asks *v* itself with a trigger packet; *v* roots a SmartSouth
+traversal and watches the returning packets:
+
+* the first out-port used is recorded in ``pkt.firstport``;
+* every node sets ``pkt.toparent = 1`` when returning to its DFS parent and
+  the bit is cleared again on every forward probe;
+* if the root ever receives a packet with ``toparent = 1`` on a port other
+  than ``firstport``, some node other than the first neighbor chose the root
+  as its parent — i.e. that neighbor's region was unreachable except through
+  the root — so the root is critical and reports to the controller
+  immediately;
+* if the traversal completes without that, the root reports "not critical".
+
+This is the classic DFS-root articulation rule ("the root is an articulation
+point iff it has at least two DFS children") executed entirely in-band, with
+two out-of-band messages total (trigger + verdict), as Table 2 states.
+"""
+
+from __future__ import annotations
+
+from repro.core.fields import FIELD_FIRST_PORT, FIELD_TO_PARENT
+from repro.core.services.base import HookContext, Service
+from repro.openflow.packet import CONTROLLER_PORT, NO_PORT
+
+#: Report field: 1 = critical, 2 = not critical (0 = no verdict yet).
+FIELD_CRITICAL = "crit"
+CRITICAL = 1
+NOT_CRITICAL = 2
+
+
+class CriticalNodeService(Service):
+    """Decide whether the traversal root is an articulation point."""
+
+    name = "critical"
+    service_id = 7
+
+    def __init__(self, inband_report: bool = False) -> None:
+        if inband_report:
+            from repro.openflow.packet import LOCAL_PORT
+
+            self.report_destination = LOCAL_PORT
+
+    def visit_from_cur(self, ctx: HookContext) -> None:
+        packet = ctx.packet
+        if ctx.par != NO_PORT:
+            return  # only the root inspects toparent
+        if (
+            packet.get(FIELD_TO_PARENT) == 1
+            and ctx.cur != packet.get(FIELD_FIRST_PORT)
+        ):
+            # A second DFS child returned: the root is critical.
+            packet.set(FIELD_CRITICAL, CRITICAL)
+            ctx.out = self.report_destination
+            ctx.skip_sweep = True
+            return
+        packet.set(FIELD_TO_PARENT, 0)
+
+    def send_next_neighbor(self, ctx: HookContext) -> None:
+        packet = ctx.packet
+        if ctx.par == NO_PORT and ctx.cur == NO_PORT:
+            packet.set(FIELD_FIRST_PORT, ctx.out)
+        packet.set(FIELD_TO_PARENT, 0)
+
+    def send_parent(self, ctx: HookContext) -> None:
+        if ctx.out != NO_PORT:
+            ctx.packet.set(FIELD_TO_PARENT, 1)
+
+    def finish(self, ctx: HookContext) -> None:
+        ctx.packet.set(FIELD_CRITICAL, NOT_CRITICAL)
+        ctx.out = self.report_destination

@@ -1,0 +1,259 @@
+"""The snapshot service (§3.1): collect the live topology into the packet.
+
+The traversal accumulates three kinds of records on the packet's label stack:
+
+* ``("visit", node, port)`` — pushed when a node is visited for the first
+  time (recording its id and in-port, the paper's ``push({i, in})``), and
+  when a *new* edge is discovered by a bounce at an already-visited node;
+* ``("out", port)``        — pushed before every probe (``push({out})``);
+  popped again by the far endpoint when the probed edge was already known
+  (the paper's ancestor-edge optimization: the ``in < cur`` sub-case of
+  ``Visit_not_from_cur``, with ``cur = par`` treated as ``in < cur``);
+* ``("ret",)``             — pushed when returning to the parent.  This
+  marker is our one refinement over the paper's record stream: without it a
+  decoder cannot tell "child finished, packet is back at the parent" from
+  "child keeps probing" (it would need to know the child's port count).
+  It costs Θ(n) extra O(1)-bit records and keeps the stream uniquely
+  decodable; see DESIGN.md.
+
+:func:`decode_snapshot` replays the record stream and reconstructs the set
+of live links *with port numbers*, which is exactly the object the paper's
+requester needs.
+"""
+
+from __future__ import annotations
+
+from repro.core.fields import FIELD_RECCAP, FIELD_SNAP_DONE
+from repro.core.services.base import HookContext, Service
+from repro.openflow.packet import (
+    CONTROLLER_PORT,
+    NO_PORT,
+    Packet,
+    is_physical_port,
+)
+
+
+class SnapshotDecodeError(Exception):
+    """The record stream is malformed (e.g. truncated by a lost packet)."""
+
+
+class SnapshotService(Service):
+    """Compile-time/interpreter hooks for the snapshot traversal."""
+
+    name = "snapshot"
+    service_id = 2
+
+    def __init__(self, inband_report: bool = False) -> None:
+        if inband_report:
+            from repro.openflow.packet import LOCAL_PORT
+
+            self.report_destination = LOCAL_PORT
+
+    def _record(self, ctx: HookContext, record: tuple) -> None:
+        """Push one topology record (chunked subclass also spends budget)."""
+        ctx.packet.push(record)
+
+    def first_visit(self, ctx: HookContext) -> None:
+        self._record(ctx, ("visit", ctx.node, ctx.in_port))
+
+    def visit_not_from_cur(self, ctx: HookContext) -> None:
+        # Bounce at an already-visited node. If this node has already probed
+        # the arrival port itself (in < cur), or has finished its sweep
+        # (cur = par), the edge is already recorded: delete the sender's
+        # tracking instead of adding more (the paper's pop()).  The parent
+        # edge (in = par) is likewise already recorded by the parent's probe.
+        already_known = (
+            ctx.in_port < ctx.cur
+            or ctx.cur == ctx.par
+            or ctx.in_port == ctx.par
+        )
+        if already_known:
+            if ctx.packet.stack:
+                ctx.packet.pop()
+        else:
+            self._record(ctx, ("visit", ctx.node, ctx.in_port))
+
+    def send_next_neighbor(self, ctx: HookContext) -> None:
+        if ctx.par == NO_PORT and ctx.cur == NO_PORT:
+            # Root's very first send: record the root itself (the paper's
+            # "if pkt.v_i.par = 0 and pkt.v_i.cur = 0 ... push({i, in})").
+            self._record(ctx, ("visit", ctx.node, 0))
+        self._record(ctx, ("out", ctx.out))
+
+    def send_parent(self, ctx: HookContext) -> None:
+        if ctx.out != NO_PORT:
+            self._record(ctx, ("ret",))
+
+    def finish(self, ctx: HookContext) -> None:
+        ctx.packet.set(FIELD_SNAP_DONE, 1)
+        ctx.out = self.report_destination  # deliver to the requester
+
+
+class ChunkedSnapshotService(SnapshotService):
+    """Snapshot split across multiple packets (the paper's §3.1 remark).
+
+    "If the snapshot of a large network does not fit into a single packet
+    ... all we have to do is to track the amount of data gathered so far
+    (e.g. using special counter) and, when needed, we send the packet to
+    the controller."
+
+    Implementation: the trigger carries a record budget in ``pkt.reccap``;
+    every pushed record decrements it (a ``dec_ttl`` in the compiled form —
+    pops do not refund, which only makes flushing conservative).  When a
+    packet *arrives* with an exhausted budget, the switch tags the arrival
+    port into ``pkt.report_in`` and punts the whole packet to the
+    controller, which strips the records and re-injects the packet at the
+    same (switch, port) with a fresh budget — resuming the traversal
+    exactly where it paused.  Drive it with
+    :class:`ChunkedSnapshotCollector`; a bare trigger without a collector
+    stalls at the first flush, like a controller that never answers.
+    """
+
+    name = "snapshot_chunked"
+    service_id = 9
+
+    def __init__(self, max_records: int = 16) -> None:
+        if not 2 <= max_records <= 255:
+            raise ValueError("max_records must be in [2, 255]")
+        self.max_records = max_records
+
+    def _record(self, ctx: HookContext, record: tuple) -> None:
+        ctx.packet.push(record)
+        budget = ctx.packet.get(FIELD_RECCAP)
+        ctx.packet.set(FIELD_RECCAP, max(0, budget - 1))
+
+    def on_arrival(self, ctx: HookContext) -> int | None:
+        from repro.core.services.blackhole import FIELD_REPORT_IN
+
+        if is_physical_port(ctx.in_port) and ctx.packet.get(FIELD_RECCAP) == 0:
+            ctx.packet.set(FIELD_REPORT_IN, ctx.in_port)
+            return CONTROLLER_PORT
+        return None
+
+
+class ChunkedSnapshotCollector:
+    """Controller side of the chunked snapshot: gather, resume, decode."""
+
+    def __init__(self, engine) -> None:
+        if not isinstance(engine.service, ChunkedSnapshotService):
+            raise TypeError("collector needs a ChunkedSnapshotService engine")
+        self.engine = engine
+        self.max_records = engine.service.max_records
+
+    def run(self, root: int):
+        """Collect a snapshot in chunks; returns (nodes, links, stats)."""
+        from repro.core.services.blackhole import FIELD_REPORT_IN
+
+        network = self.engine.network
+        records: list[tuple] = []
+        chunks = 0
+        mark_in = network.trace.in_band_messages
+        mark_out = network.trace.out_band_messages
+
+        result = self.engine.trigger(
+            root, fields={FIELD_RECCAP: self.max_records}
+        )
+        # Generous bound: every flush frees >= max_records - 2 records.
+        max_chunks = 8 + (4 * network.topology.num_edges) // max(
+            1, self.max_records - 2
+        )
+        while True:
+            if not result.reports:
+                return None  # traversal died (e.g. a blackhole ate it)
+            node, packet = result.reports[-1]
+            if packet.get(FIELD_SNAP_DONE):
+                records.extend(packet.stack)
+                break
+            chunks += 1
+            if chunks > max_chunks:
+                raise RuntimeError("chunked snapshot did not converge")
+            records.extend(packet.stack)
+            resumed = packet.copy()
+            resumed.stack.clear()
+            resumed.set(FIELD_RECCAP, self.max_records)
+            in_port = packet.get(FIELD_REPORT_IN)
+            mark_reports = len(self.engine.reports)
+            network.inject(node, resumed, in_port=in_port, from_controller=True)
+            network.run()
+            result = type(result)(
+                root=root,
+                packet=resumed,
+                reports=self.engine.reports[mark_reports:],
+            )
+
+        nodes, links = decode_snapshot(records)
+        nodes.add(root)
+        stats = {
+            "chunks": chunks + 1,  # intermediate flushes + final report
+            "records": len(records),
+            "in_band": network.trace.in_band_messages - mark_in,
+            "out_band": network.trace.out_band_messages - mark_out,
+            "max_chunk_records": self.max_records,
+        }
+        return nodes, links, stats
+
+
+def decode_snapshot(
+    packet_or_records: Packet | list[tuple],
+) -> tuple[set[int], set[frozenset[tuple[int, int]]]]:
+    """Rebuild (nodes, links) from a snapshot packet's record stream.
+
+    Returns the visited node set and the discovered links as unordered
+    ``{(node, port), (node, port)}`` pairs.  Raises
+    :class:`SnapshotDecodeError` on malformed streams.
+    """
+    if isinstance(packet_or_records, Packet):
+        records = list(packet_or_records.stack)
+    else:
+        records = list(packet_or_records)
+
+    nodes: set[int] = set()
+    links: set[frozenset[tuple[int, int]]] = set()
+    path: list[int] = []  # DFS ancestors of `current`
+    current: int | None = None
+    pending_out: int | None = None
+
+    for index, record in enumerate(records):
+        kind = record[0]
+        if kind == "visit":
+            _, node, port = record
+            if current is None:
+                # The root's self-record opens the stream.
+                current = node
+                nodes.add(node)
+                continue
+            if pending_out is None:
+                raise SnapshotDecodeError(
+                    f"record {index}: visit({node},{port}) without a "
+                    f"preceding out record"
+                )
+            links.add(frozenset(((current, pending_out), (node, port))))
+            pending_out = None
+            if node not in nodes:
+                nodes.add(node)
+                path.append(current)
+                current = node
+            # else: bounce at a known node; the packet returned to `current`.
+        elif kind == "out":
+            _, port = record
+            pending_out = port
+        elif kind == "ret":
+            if not path:
+                raise SnapshotDecodeError(f"record {index}: ret with empty path")
+            current = path.pop()
+            pending_out = None
+        else:
+            raise SnapshotDecodeError(f"record {index}: unknown kind {kind!r}")
+
+    return nodes, links
+
+
+def snapshot_record_count(num_nodes: int, num_edges: int) -> int:
+    """Closed-form record count for a full snapshot of a connected graph.
+
+    visits: n first visits + (E - n + 1) new-edge bounces;
+    outs:   one per probe minus one pop per re-probed non-tree edge = E;
+    rets:   n - 1 parent returns.
+    """
+    non_tree = num_edges - (num_nodes - 1)
+    return (num_nodes + non_tree) + num_edges + (num_nodes - 1)

@@ -1,0 +1,38 @@
+"""Smart counters (§3.3): fetch-and-increment from round-robin groups.
+
+A smart counter with k values is an OpenFlow ``SELECT`` group with a
+round-robin bucket-selection policy and k buckets, where bucket j's action
+writes j into a packet header field.  Applying the group to a packet
+therefore *fetches* the counter value (it lands in the packet, where flow
+tables can match it) and *increments* the counter (the round-robin cursor
+advances), wrapping to 0 on overflow — exactly the paper's construction.
+"""
+
+from __future__ import annotations
+
+from repro.core.fields import FIELD_SCRATCH
+from repro.openflow.actions import SetField
+from repro.openflow.group import Bucket, Group, GroupType
+
+
+def build_counter_group(
+    group_id: int, modulus: int, field_name: str = FIELD_SCRATCH
+) -> Group:
+    """Build a k-valued smart counter as a round-robin SELECT group.
+
+    ``modulus`` is k (the number of buckets); each application writes the
+    pre-increment value into ``field_name``.
+    """
+    if modulus < 2:
+        raise ValueError("a smart counter needs at least 2 values")
+    buckets = [Bucket(actions=(SetField(field_name, j),)) for j in range(modulus)]
+    return Group(group_id=group_id, group_type=GroupType.SELECT, buckets=buckets)
+
+
+def counter_value(group: Group) -> int:
+    """The value a fetch would return next (the round-robin cursor).
+
+    Only the control plane can call this (via group statistics); the data
+    plane must fetch-and-increment.
+    """
+    return group.rr_next

@@ -1,0 +1,119 @@
+"""Direct interpreter of Algorithm 1 (the SmartSouth template).
+
+This is the reference semantics: the code below follows the paper's
+pseudocode line by line (line numbers in comments), with the service hooks
+of Table 1 injected at the labelled points.  The compiled engine
+(:mod:`repro.core.compiler`) must produce byte-identical traversals — the
+differential tests in ``tests/test_differential.py`` enforce that.
+"""
+
+from __future__ import annotations
+
+from repro.core.fields import FIELD_START
+from repro.core.services.base import HookContext, Service, SmartCounterBank
+from repro.net.simulator import Network
+from repro.openflow.packet import NO_PORT, Packet
+from repro.openflow.switch import PacketOut
+
+
+class TemplateInterpreter:
+    """Runs the SmartSouth template for one service on every node."""
+
+    def __init__(self, network: Network, service: Service) -> None:
+        self.network = network
+        self.service = service
+        self.counters: dict[int, SmartCounterBank] = {
+            node: SmartCounterBank() for node in network.topology.nodes()
+        }
+
+    def install(self) -> None:
+        """Offline stage: register a handler at every node."""
+        for node in self.network.topology.nodes():
+            self.network.set_handler(node, self._make_handler(node))
+
+    def _make_handler(self, node: int):
+        def handler(packet: Packet, in_port: int) -> list[PacketOut]:
+            return self.process(node, packet, in_port)
+
+        return handler
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1                                                        #
+    # ------------------------------------------------------------------ #
+
+    def process(self, node: int, packet: Packet, in_port: int) -> list[PacketOut]:
+        """Process one packet arrival at *node*; returns the emissions."""
+        topo = self.network.topology
+        ctx = HookContext(
+            node=node,
+            in_port=in_port,
+            packet=packet,
+            deg=topo.degree(node),
+            live=lambda port: self.network.port_live(node, port),
+            counters=self.counters[node],
+        )
+        service = self.service
+
+        # Pre-template hooks: anycast's receiver test ("a simple test at the
+        # beginning of the SmartSouth template") and per-arrival processing
+        # (the TTL check of blackhole detection, §3.3).
+        override = service.pre_dispatch(ctx)
+        if override is None:
+            override = service.on_arrival(ctx)
+        if override is not None:
+            ctx.out = override
+            return self._finalize(ctx)
+
+        if packet.get(FIELD_START) == 0:  # line 1
+            packet.set(FIELD_START, 1)  # line 2
+            ctx.out = 1  # line 3
+            service.on_trigger(ctx)  # root-side first visit
+        else:  # line 4
+            if ctx.cur == 0:  # line 5
+                ctx.par = in_port  # line 6
+                ctx.out = 1
+                service.first_visit(ctx)
+            elif in_port == ctx.cur:  # line 7
+                ctx.out = ctx.cur + 1  # line 8
+                service.visit_from_cur(ctx)
+            else:  # line 9
+                ctx.out = in_port  # line 10
+                service.visit_not_from_cur(ctx)
+                return self._finalize(ctx)  # line 11: goto 26
+
+        if ctx.skip_sweep:
+            # Echo-style hooks emit directly without advancing the sweep.
+            return self._finalize(ctx)
+
+        # Port sweep with failover: lines 12-21.
+        out = ctx.out
+        par = ctx.par
+        to_parent = False
+        if out == ctx.deg + 1:  # line 12
+            to_parent = True  # line 13-14
+        else:
+            while not ctx.live(out) or out == par:  # line 15
+                out += 1  # line 16
+                if out == ctx.deg + 1:  # line 17
+                    to_parent = True  # line 18-19
+                    break
+
+        if to_parent:
+            ctx.out = par  # lines 13/18
+            service.send_parent(ctx)  # line 22
+            ctx.cur = ctx.out  # line 23
+            if ctx.out == NO_PORT:  # line 24
+                service.finish(ctx)  # line 25 (root only)
+            return self._finalize(ctx)  # line 26
+
+        ctx.out = out
+        service.send_next_neighbor(ctx)  # line 20
+        ctx.cur = ctx.out  # line 23
+        return self._finalize(ctx)  # line 26
+
+    @staticmethod
+    def _finalize(ctx: HookContext) -> list[PacketOut]:
+        outputs = list(ctx.extra_outputs)
+        if ctx.out != NO_PORT:
+            outputs.append(PacketOut(ctx.out, ctx.packet))
+        return outputs

@@ -1,0 +1,22 @@
+"""Network substrate: topologies, link state, traces, and the event simulator."""
+
+from repro.net.link import Direction, Link
+from repro.net.simulator import Network, Simulator
+from repro.net.topofile import load as load_topology
+from repro.net.topofile import save as save_topology
+from repro.net.topology import Topology, TopologyError, generators
+from repro.net.trace import Trace, TraceEvent
+
+__all__ = [
+    "Direction",
+    "Link",
+    "Network",
+    "Simulator",
+    "Topology",
+    "TopologyError",
+    "Trace",
+    "TraceEvent",
+    "generators",
+    "load_topology",
+    "save_topology",
+]

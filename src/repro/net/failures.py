@@ -1,0 +1,120 @@
+"""Failure-scenario generators for experiments.
+
+The robustness experiments all need the same few ingredients: random link
+failures, isolating a node, regional outages, and management-plane
+degradation.  These helpers centralize them so tests, benchmarks and user
+scripts build scenarios the same way (and stay seed-reproducible).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.net.simulator import Network
+from repro.net.topology import Topology
+
+
+def fail_random_links(
+    network: Network,
+    count: int,
+    seed: int = 0,
+    keep_connected: bool = False,
+) -> list[int]:
+    """Visibly fail *count* distinct random links; returns their edge ids.
+
+    With ``keep_connected=True``, candidate sets that would disconnect the
+    live graph are rejected (up to a bounded number of retries) — useful
+    for experiments that need the component structure fixed.
+    """
+    topology = network.topology
+    if count > topology.num_edges:
+        raise ValueError(
+            f"cannot fail {count} of {topology.num_edges} links"
+        )
+    rng = random.Random(seed)
+    for _attempt in range(200):
+        chosen = rng.sample(range(topology.num_edges), count)
+        if not keep_connected or _connected_without(topology, chosen):
+            for edge_id in chosen:
+                network.links[edge_id].up = False
+            return chosen
+    raise RuntimeError(
+        f"no {count}-link failure set keeps {topology.name} connected"
+    )
+
+
+def _connected_without(topology: Topology, dead: Iterable[int]) -> bool:
+    dead_set = set(dead)
+    if topology.num_nodes == 0:
+        return True
+    adjacency: dict[int, set[int]] = {u: set() for u in topology.nodes()}
+    for edge in topology.edges():
+        if edge.edge_id in dead_set:
+            continue
+        adjacency[edge.a.node].add(edge.b.node)
+        adjacency[edge.b.node].add(edge.a.node)
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        u = frontier.pop()
+        for v in adjacency[u]:
+            if v not in seen:
+                seen.add(v)
+                frontier.append(v)
+    return len(seen) == topology.num_nodes
+
+
+def isolate_node(network: Network, node: int) -> list[int]:
+    """Fail every link of *node* (maintenance / crash); returns edge ids."""
+    failed = []
+    for port in range(1, network.topology.degree(node) + 1):
+        edge = network.topology.port_edge(node, port)
+        if edge is not None and network.links[edge.edge_id].up:
+            network.links[edge.edge_id].up = False
+            failed.append(edge.edge_id)
+    return failed
+
+
+def fail_region(network: Network, nodes: Iterable[int]) -> list[int]:
+    """Fail every link with *both* endpoints in the region (a correlated
+    outage: the region's internal fabric goes dark, its uplinks survive)."""
+    region = set(nodes)
+    failed = []
+    for link in network.links:
+        edge = link.edge
+        if edge.a.node in region and edge.b.node in region and link.up:
+            link.up = False
+            failed.append(edge.edge_id)
+    return failed
+
+
+def management_outage(channel, fraction: float, seed: int = 0) -> list[int]:
+    """Disconnect a random *fraction* of switches from the controller."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    topology = channel.network.topology
+    rng = random.Random(seed)
+    count = int(round(fraction * topology.num_nodes))
+    chosen = rng.sample(list(topology.nodes()), count)
+    for node in chosen:
+        channel.disconnect(node)
+    return chosen
+
+
+def live_component(network: Network, root: int) -> set[int]:
+    """Nodes reachable from *root* over up links (experiment oracle)."""
+    adjacency: dict[int, set[int]] = {u: set() for u in network.topology.nodes()}
+    for link in network.links:
+        if link.up:
+            adjacency[link.edge.a.node].add(link.edge.b.node)
+            adjacency[link.edge.b.node].add(link.edge.a.node)
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        u = frontier.pop()
+        for v in adjacency[u]:
+            if v not in seen:
+                seen.add(v)
+                frontier.append(v)
+    return seen

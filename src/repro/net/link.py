@@ -1,0 +1,92 @@
+"""Per-link runtime state: failures, blackholes, and lossy directions.
+
+The paper distinguishes two very different kinds of broken links:
+
+* a **failed** link is *visibly* down — both attached ports report "not live"
+  and OpenFlow fast-failover can route around it;
+* a **blackhole** (silent failure, [8] in the paper) *looks* healthy — ports
+  stay live — but drops packets.  Blackholes can be directional and can also
+  drop only a fraction of traffic (lossy link).
+
+:class:`Link` models both, per direction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.net.topology import Edge
+
+
+class Direction(enum.Enum):
+    """A direction over an edge, named by the originating endpoint."""
+
+    A_TO_B = "a->b"
+    B_TO_A = "b->a"
+
+    def flipped(self) -> "Direction":
+        return Direction.B_TO_A if self is Direction.A_TO_B else Direction.A_TO_B
+
+
+@dataclass
+class Link:
+    """Runtime state of one edge."""
+
+    edge: Edge
+    #: Visibly up?  False makes both ports non-live (fast failover sees it).
+    up: bool = True
+    #: Per-direction silent drop probability (1.0 = drop-all blackhole).
+    drop_prob: dict[Direction, float] = field(
+        default_factory=lambda: {Direction.A_TO_B: 0.0, Direction.B_TO_A: 0.0}
+    )
+    #: Propagation delay (simulated time units).
+    delay: float = 1.0
+    #: Number of packets forwarded per direction (ground-truth accounting,
+    #: not visible to the data plane — smart counters are the in-band view).
+    delivered: dict[Direction, int] = field(
+        default_factory=lambda: {Direction.A_TO_B: 0, Direction.B_TO_A: 0}
+    )
+    dropped: dict[Direction, int] = field(
+        default_factory=lambda: {Direction.A_TO_B: 0, Direction.B_TO_A: 0}
+    )
+
+    def direction_from(self, node: int) -> Direction:
+        """The direction leaving *node* over this link."""
+        if node == self.edge.a.node:
+            return Direction.A_TO_B
+        if node == self.edge.b.node:
+            return Direction.B_TO_A
+        raise ValueError(f"node {node} not on edge {self.edge.edge_id}")
+
+    def set_blackhole(self, direction: Direction | None = None) -> None:
+        """Make this link a silent drop-all blackhole.
+
+        With ``direction=None`` both directions drop (the common model in the
+        paper); otherwise only the given direction drops.
+        """
+        if direction is None:
+            self.drop_prob[Direction.A_TO_B] = 1.0
+            self.drop_prob[Direction.B_TO_A] = 1.0
+        else:
+            self.drop_prob[direction] = 1.0
+
+    def set_loss(self, probability: float, direction: Direction | None = None) -> None:
+        """Set a per-direction (or symmetric) silent loss probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"bad loss probability {probability}")
+        if direction is None:
+            self.drop_prob[Direction.A_TO_B] = probability
+            self.drop_prob[Direction.B_TO_A] = probability
+        else:
+            self.drop_prob[direction] = probability
+
+    def is_blackhole(self) -> bool:
+        """True if at least one direction silently drops everything."""
+        return self.up and any(p >= 1.0 for p in self.drop_prob.values())
+
+    def clear(self) -> None:
+        """Restore the link to a healthy state (up, no loss)."""
+        self.up = True
+        self.drop_prob[Direction.A_TO_B] = 0.0
+        self.drop_prob[Direction.B_TO_A] = 0.0

@@ -1,0 +1,279 @@
+"""Discrete-event network simulator.
+
+The simulator moves packets between *node handlers*.  A handler is any
+callable ``(packet, in_port) -> list[PacketOut]`` — in practice either an
+OpenFlow :class:`~repro.openflow.switch.Switch` pipeline (compiled engine) or
+a SmartSouth template interpreter (reference engine).  Everything observable
+is appended to a :class:`~repro.net.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, Iterable
+
+from repro.net.link import Direction, Link
+from repro.net.topology import Topology
+from repro.net.trace import EventKind, Trace, TraceEvent
+from repro.openflow.packet import (
+    CONTROLLER_PORT,
+    LOCAL_PORT,
+    NO_PORT,
+    Packet,
+    is_physical_port,
+)
+from repro.openflow.switch import PacketOut
+
+#: A node's packet-processing function.
+Handler = Callable[[Packet, int], list[PacketOut]]
+#: Controller upcall: (node, packet) for packets sent to CONTROLLER_PORT.
+ControllerSink = Callable[[int, Packet], None]
+#: Local delivery upcall: (node, packet) for packets sent to LOCAL_PORT.
+DeliverySink = Callable[[int, Packet], None]
+
+
+class SimulationLimitError(RuntimeError):
+    """The event budget was exhausted (almost certainly a forwarding loop)."""
+
+
+class Simulator:
+    """A minimal discrete-event loop."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run *fn* at ``now + delay``."""
+        if delay < 0:
+            raise ValueError("negative delay")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), fn))
+
+    def at(self, time: float, fn: Callable[[], None]) -> None:
+        """Run *fn* at absolute *time* (>= now)."""
+        if time < self.now:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(self._queue, (time, next(self._seq), fn))
+
+    def run(self, until: float | None = None, max_events: int = 2_000_000) -> int:
+        """Process events in time order; returns the number processed."""
+        processed = 0
+        while self._queue:
+            time, _seq, fn = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            self.now = time
+            fn()
+            processed += 1
+            if processed > max_events:
+                raise SimulationLimitError(
+                    f"exceeded {max_events} events (forwarding loop?)"
+                )
+        return processed
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class Network:
+    """A topology with runtime link state, handlers, and the event loop."""
+
+    def __init__(self, topology: Topology, seed: int = 0) -> None:
+        self.topology = topology
+        self.links: list[Link] = [Link(edge) for edge in topology.edges()]
+        self.sim = Simulator()
+        self.trace = Trace()
+        self.rng = random.Random(seed)
+        self._handlers: dict[int, Handler] = {}
+        self._controller_sink: ControllerSink | None = None
+        self._delivery_sink: DeliverySink | None = None
+
+    # ------------------------------------------------------------------ #
+    # Wiring                                                             #
+    # ------------------------------------------------------------------ #
+
+    def set_handler(self, node: int, handler: Handler) -> None:
+        self._handlers[node] = handler
+
+    def set_controller_sink(self, sink: ControllerSink | None) -> None:
+        self._controller_sink = sink
+
+    def set_delivery_sink(self, sink: DeliverySink | None) -> None:
+        self._delivery_sink = sink
+
+    # ------------------------------------------------------------------ #
+    # Link state                                                         #
+    # ------------------------------------------------------------------ #
+
+    def link(self, edge_id: int) -> Link:
+        return self.links[edge_id]
+
+    def link_between(self, u: int, v: int) -> Link:
+        edge = self.topology.find_edge(u, v)
+        if edge is None:
+            raise ValueError(f"no edge between {u} and {v}")
+        return self.links[edge.edge_id]
+
+    def fail_link(self, u: int, v: int) -> Link:
+        """Visibly fail the (first) link between *u* and *v*."""
+        link = self.link_between(u, v)
+        link.up = False
+        return link
+
+    def fail_edges(self, edge_ids: Iterable[int]) -> None:
+        for edge_id in edge_ids:
+            self.links[edge_id].up = False
+
+    def port_live(self, node: int, port: int) -> bool:
+        """Is (node, port) attached to an up link?  Blackholes look live."""
+        edge = self.topology.port_edge(node, port)
+        if edge is None:
+            return False
+        return self.links[edge.edge_id].up
+
+    def liveness_fn(self, node: int) -> Callable[[int], bool]:
+        """A per-node port-liveness oracle, for switch fast-failover."""
+        return lambda port: self.port_live(node, port)
+
+    def live_port_pairs(self) -> set[frozenset[tuple[int, int]]]:
+        """Up links as {(node, port), (node, port)} pairs (snapshot oracle)."""
+        return {
+            frozenset(
+                (
+                    (link.edge.a.node, link.edge.a.port),
+                    (link.edge.b.node, link.edge.b.port),
+                )
+            )
+            for link in self.links
+            if link.up
+        }
+
+    # ------------------------------------------------------------------ #
+    # Packet motion                                                      #
+    # ------------------------------------------------------------------ #
+
+    def inject(
+        self,
+        node: int,
+        packet: Packet,
+        in_port: int = LOCAL_PORT,
+        from_controller: bool = False,
+    ) -> None:
+        """Hand *packet* to *node* as if it arrived on *in_port*.
+
+        ``from_controller=True`` records the paper's out-of-band packet-out.
+        """
+        if from_controller:
+            self.trace.record(
+                TraceEvent(self.sim.now, EventKind.PACKET_OUT, node, packet.packet_id)
+            )
+        self.sim.schedule(0.0, lambda: self._arrive(node, packet, in_port))
+
+    def transmit(
+        self,
+        node: int,
+        port: int,
+        packet: Packet,
+        from_controller: bool = False,
+    ) -> None:
+        """Emit *packet* from *node* on *port* without pipeline processing.
+
+        Models an OpenFlow packet-out whose action list is ``output:port``
+        (used by controller-driven baselines such as LLDP discovery).
+        """
+        if from_controller:
+            self.trace.record(
+                TraceEvent(self.sim.now, EventKind.PACKET_OUT, node, packet.packet_id)
+            )
+        self.sim.schedule(0.0, lambda: self._emit(node, port, packet, LOCAL_PORT))
+
+    def _arrive(self, node: int, packet: Packet, in_port: int) -> None:
+        handler = self._handlers.get(node)
+        if handler is None:
+            raise RuntimeError(f"no handler installed at node {node}")
+        outputs = handler(packet, in_port)
+        if not outputs:
+            self.trace.record(
+                TraceEvent(
+                    self.sim.now, EventKind.PIPELINE_DROP, node, packet.packet_id
+                )
+            )
+            return
+        for out in outputs:
+            self._emit(node, out.port, out.packet, in_port)
+
+    def _emit(self, node: int, port: int, packet: Packet, in_port: int) -> None:
+        if port == CONTROLLER_PORT:
+            self.trace.record(
+                TraceEvent(self.sim.now, EventKind.PACKET_IN, node, packet.packet_id)
+            )
+            if self._controller_sink is not None:
+                self._controller_sink(node, packet)
+            return
+        if port == LOCAL_PORT:
+            self.trace.record(
+                TraceEvent(self.sim.now, EventKind.DELIVERED, node, packet.packet_id)
+            )
+            if self._delivery_sink is not None:
+                self._delivery_sink(node, packet)
+            return
+        if port == NO_PORT or not is_physical_port(port):
+            self.trace.record(
+                TraceEvent(self.sim.now, EventKind.DEAD_PORT, node, packet.packet_id)
+            )
+            return
+        edge = self.topology.port_edge(node, port)
+        if edge is None:
+            self.trace.record(
+                TraceEvent(
+                    self.sim.now, EventKind.DEAD_PORT, node, packet.packet_id,
+                    (node, port),
+                )
+            )
+            return
+        link = self.links[edge.edge_id]
+        far = edge.other(node)
+        detail = (node, port, far.node, far.port)
+        if not link.up:
+            self.trace.record(
+                TraceEvent(
+                    self.sim.now, EventKind.DEAD_PORT, node, packet.packet_id, detail
+                )
+            )
+            return
+        direction = link.direction_from(node)
+        if self._drops(link, direction):
+            link.dropped[direction] += 1
+            self.trace.record(
+                TraceEvent(self.sim.now, EventKind.DROP, node, packet.packet_id, detail)
+            )
+            return
+        link.delivered[direction] += 1
+        packet.hops += 1
+        self.trace.record(
+            TraceEvent(self.sim.now, EventKind.HOP, node, packet.packet_id, detail)
+        )
+        self.sim.schedule(
+            link.delay, lambda: self._arrive(far.node, packet, far.port)
+        )
+
+    def _drops(self, link: Link, direction: Direction) -> bool:
+        probability = link.drop_prob[direction]
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self.rng.random() < probability
+
+    # ------------------------------------------------------------------ #
+    # Running                                                            #
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: float | None = None, max_events: int = 2_000_000) -> int:
+        """Drain the event queue (optionally up to simulated time *until*)."""
+        return self.sim.run(until=until, max_events=max_events)

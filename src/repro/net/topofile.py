@@ -1,0 +1,70 @@
+"""Loading and saving topologies as plain edge-list files.
+
+Experiments often want real-world graphs (e.g. the Internet Topology Zoo)
+rather than generated ones.  The format is deliberately minimal and
+diff-friendly::
+
+    # smartsouth-topology <name>
+    nodes <n>
+    <u> <v>
+    <u> <v>
+    ...
+
+Edges are listed in insertion order, which — together with the 1-based
+port-assignment rule — makes a round-trip reproduce the exact same port
+numbering, and therefore the exact same DFS order.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.net.topology import Topology, TopologyError
+
+_MAGIC = "# smartsouth-topology"
+
+
+def dumps(topology: Topology) -> str:
+    """Serialize *topology* to the edge-list format."""
+    lines = [f"{_MAGIC} {topology.name or 'unnamed'}"]
+    lines.append(f"nodes {topology.num_nodes}")
+    for edge in topology.edges():
+        lines.append(f"{edge.a.node} {edge.b.node}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> Topology:
+    """Parse the edge-list format back into a :class:`Topology`."""
+    lines = [line.strip() for line in text.splitlines()]
+    lines = [line for line in lines if line and not line.startswith("#") or
+             line.startswith(_MAGIC)]
+    if not lines or not lines[0].startswith(_MAGIC):
+        raise TopologyError("not a smartsouth topology file (missing header)")
+    name = lines[0][len(_MAGIC):].strip() or "unnamed"
+    if len(lines) < 2 or not lines[1].startswith("nodes "):
+        raise TopologyError("missing 'nodes <n>' line")
+    try:
+        num_nodes = int(lines[1].split()[1])
+    except (IndexError, ValueError) as exc:
+        raise TopologyError(f"bad node count line {lines[1]!r}") from exc
+    topology = Topology(num_nodes, name=name)
+    for line in lines[2:]:
+        parts = line.split()
+        if len(parts) != 2:
+            raise TopologyError(f"bad edge line {line!r}")
+        try:
+            u, v = int(parts[0]), int(parts[1])
+        except ValueError as exc:
+            raise TopologyError(f"bad edge line {line!r}") from exc
+        topology.add_link(u, v)
+    return topology
+
+
+def save(topology: Topology, path: str | pathlib.Path) -> None:
+    """Write *topology* to *path*."""
+    pathlib.Path(path).write_text(dumps(topology))
+
+
+def load(path: str | pathlib.Path) -> Topology:
+    """Read a topology from *path*."""
+    return loads(pathlib.Path(path).read_text())

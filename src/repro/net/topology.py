@@ -1,0 +1,490 @@
+"""Port-numbered topologies and a library of generators.
+
+A :class:`Topology` is an undirected multigraph whose nodes are integers
+``0..n-1``.  Every edge endpoint is bound to a concrete *switch port*: ports
+at each node are numbered ``1..degree`` in edge-insertion order.  SmartSouth's
+DFS order is entirely determined by this numbering, so it is deterministic
+and reproducible.
+
+Self-loops are rejected; parallel edges are allowed (they occupy distinct
+ports, and the traversal handles them like any other edge).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+
+class TopologyError(Exception):
+    """Raised for malformed topology operations."""
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One side of a link: (node, port)."""
+
+    node: int
+    port: int
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected edge with bound ports on both sides."""
+
+    edge_id: int
+    a: Endpoint
+    b: Endpoint
+
+    def other(self, node: int) -> Endpoint:
+        """The endpoint opposite to *node*."""
+        if node == self.a.node:
+            return self.b
+        if node == self.b.node:
+            return self.a
+        raise TopologyError(f"node {node} not on edge {self.edge_id}")
+
+    def endpoint(self, node: int) -> Endpoint:
+        """The endpoint at *node*."""
+        if node == self.a.node:
+            return self.a
+        if node == self.b.node:
+            return self.b
+        raise TopologyError(f"node {node} not on edge {self.edge_id}")
+
+
+class Topology:
+    """An undirected, port-numbered multigraph."""
+
+    def __init__(self, num_nodes: int = 0, name: str = "") -> None:
+        if num_nodes < 0:
+            raise TopologyError("negative node count")
+        self.name = name
+        self._num_nodes = num_nodes
+        self._edges: list[Edge] = []
+        # _ports[u][p] -> Edge  (p is 1-based)
+        self._ports: list[dict[int, Edge]] = [dict() for _ in range(num_nodes)]
+
+    # ------------------------------------------------------------------ #
+    # Construction                                                       #
+    # ------------------------------------------------------------------ #
+
+    def add_node(self) -> int:
+        """Append a new node and return its id."""
+        self._ports.append({})
+        self._num_nodes += 1
+        return self._num_nodes - 1
+
+    def add_link(self, u: int, v: int) -> Edge:
+        """Connect *u* and *v*, assigning the next free port on each side."""
+        self._check_node(u)
+        self._check_node(v)
+        if u == v:
+            raise TopologyError(f"self-loop at node {u} not supported")
+        pu = self.degree(u) + 1
+        pv = self.degree(v) + 1
+        edge = Edge(len(self._edges), Endpoint(u, pu), Endpoint(v, pv))
+        self._edges.append(edge)
+        self._ports[u][pu] = edge
+        self._ports[v][pv] = edge
+        return edge
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self._num_nodes:
+            raise TopologyError(f"unknown node {node}")
+
+    # ------------------------------------------------------------------ #
+    # Queries                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def nodes(self) -> range:
+        return range(self._num_nodes)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def edge(self, edge_id: int) -> Edge:
+        return self._edges[edge_id]
+
+    def degree(self, node: int) -> int:
+        self._check_node(node)
+        return len(self._ports[node])
+
+    def max_degree(self) -> int:
+        if self._num_nodes == 0:
+            return 0
+        return max(self.degree(u) for u in self.nodes())
+
+    def port_edge(self, node: int, port: int) -> Edge | None:
+        """The edge attached to (node, port), or None if the port is unused."""
+        self._check_node(node)
+        return self._ports[node].get(port)
+
+    def neighbor(self, node: int, port: int) -> Endpoint | None:
+        """The (node, port) endpoint reached by leaving *node* via *port*."""
+        edge = self.port_edge(node, port)
+        if edge is None:
+            return None
+        return edge.other(node)
+
+    def ports(self, node: int) -> Iterator[tuple[int, Edge]]:
+        """Iterate (port, edge) pairs at *node* in ascending port order."""
+        self._check_node(node)
+        return iter(sorted(self._ports[node].items()))
+
+    def neighbors(self, node: int) -> list[int]:
+        """Distinct neighbor node ids of *node*."""
+        return sorted({edge.other(node).node for edge in self._ports[node].values()})
+
+    def find_edge(self, u: int, v: int) -> Edge | None:
+        """Some edge between *u* and *v* (the first inserted), or None."""
+        for edge in self._ports[u].values():
+            if edge.other(u).node == v:
+                return edge
+        return None
+
+    def adjacency(self) -> dict[int, list[int]]:
+        """Plain adjacency lists (distinct neighbors)."""
+        return {u: self.neighbors(u) for u in self.nodes()}
+
+    def edge_set(self) -> set[frozenset[int]]:
+        """The set of node pairs with at least one edge (for comparisons)."""
+        return {frozenset((e.a.node, e.b.node)) for e in self._edges}
+
+    def port_pair_set(self) -> set[frozenset[tuple[int, int]]]:
+        """Edges as unordered {(node, port), (node, port)} pairs.
+
+        This is the exact object the snapshot service must recover.
+        """
+        return {
+            frozenset(((e.a.node, e.a.port), (e.b.node, e.b.port)))
+            for e in self._edges
+        }
+
+    def is_connected(self) -> bool:
+        """True if the graph is connected (vacuously true when empty)."""
+        if self._num_nodes == 0:
+            return True
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in self.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == self._num_nodes
+
+    def connected_component(self, start: int) -> set[int]:
+        """The set of nodes reachable from *start*."""
+        self._check_node(start)
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for v in self.neighbors(u):
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return seen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or "topology"
+        return f"Topology({label}, n={self.num_nodes}, m={self.num_edges})"
+
+
+# ---------------------------------------------------------------------- #
+# Generators                                                             #
+# ---------------------------------------------------------------------- #
+
+
+def line(n: int) -> Topology:
+    """A path of *n* nodes."""
+    topo = Topology(n, name=f"line-{n}")
+    for u in range(n - 1):
+        topo.add_link(u, u + 1)
+    return topo
+
+
+def ring(n: int) -> Topology:
+    """A cycle of *n* nodes (n >= 3)."""
+    if n < 3:
+        raise TopologyError("ring needs at least 3 nodes")
+    topo = Topology(n, name=f"ring-{n}")
+    for u in range(n):
+        topo.add_link(u, (u + 1) % n)
+    return topo
+
+
+def star(n: int) -> Topology:
+    """A star: node 0 is the hub, nodes 1..n-1 are leaves."""
+    if n < 2:
+        raise TopologyError("star needs at least 2 nodes")
+    topo = Topology(n, name=f"star-{n}")
+    for u in range(1, n):
+        topo.add_link(0, u)
+    return topo
+
+
+def complete(n: int) -> Topology:
+    """The complete graph K_n."""
+    topo = Topology(n, name=f"complete-{n}")
+    for u in range(n):
+        for v in range(u + 1, n):
+            topo.add_link(u, v)
+    return topo
+
+
+def binary_tree(depth: int) -> Topology:
+    """A complete binary tree of the given *depth* (depth 0 = single node)."""
+    n = (1 << (depth + 1)) - 1
+    topo = Topology(n, name=f"btree-{depth}")
+    for u in range(1, n):
+        topo.add_link((u - 1) // 2, u)
+    return topo
+
+
+def grid(rows: int, cols: int) -> Topology:
+    """A rows x cols mesh."""
+    if rows < 1 or cols < 1:
+        raise TopologyError("grid needs positive dimensions")
+    topo = Topology(rows * cols, name=f"grid-{rows}x{cols}")
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                topo.add_link(node(r, c), node(r, c + 1))
+            if r + 1 < rows:
+                topo.add_link(node(r, c), node(r + 1, c))
+    return topo
+
+
+def torus(rows: int, cols: int) -> Topology:
+    """A rows x cols torus (wrap-around mesh); needs rows, cols >= 3."""
+    if rows < 3 or cols < 3:
+        raise TopologyError("torus needs dimensions >= 3")
+    topo = Topology(rows * cols, name=f"torus-{rows}x{cols}")
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            topo.add_link(node(r, c), node(r, (c + 1) % cols))
+            topo.add_link(node(r, c), node((r + 1) % rows, c))
+    return topo
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0, connect: bool = True) -> Topology:
+    """A G(n, p) random graph.
+
+    With ``connect=True`` (the default) a random spanning tree is added first
+    so that the result is always connected — SmartSouth's traversal semantics
+    are defined per connected component, and most experiments want a single
+    component.
+    """
+    rng = random.Random(seed)
+    topo = Topology(n, name=f"gnp-{n}-{p}-s{seed}")
+    present: set[frozenset[int]] = set()
+    if connect and n > 1:
+        order = list(range(n))
+        rng.shuffle(order)
+        for i in range(1, n):
+            u = order[i]
+            v = order[rng.randrange(i)]
+            topo.add_link(u, v)
+            present.add(frozenset((u, v)))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if frozenset((u, v)) in present:
+                continue
+            if rng.random() < p:
+                topo.add_link(u, v)
+    return topo
+
+
+def barabasi_albert(n: int, m: int, seed: int = 0) -> Topology:
+    """A preferential-attachment graph: each new node attaches to *m* others."""
+    if m < 1 or n <= m:
+        raise TopologyError("barabasi_albert needs n > m >= 1")
+    rng = random.Random(seed)
+    topo = Topology(n, name=f"ba-{n}-{m}-s{seed}")
+    # Seed clique on the first m+1 nodes keeps early attachment well-defined.
+    targets: list[int] = []
+    for u in range(m + 1):
+        for v in range(u + 1, m + 1):
+            topo.add_link(u, v)
+            targets.extend((u, v))
+    for u in range(m + 1, n):
+        chosen: set[int] = set()
+        while len(chosen) < m:
+            chosen.add(rng.choice(targets))
+        for v in chosen:
+            topo.add_link(u, v)
+            targets.extend((u, v))
+    return topo
+
+
+def waxman(
+    n: int,
+    alpha: float = 0.6,
+    beta: float = 0.25,
+    seed: int = 0,
+    connect: bool = True,
+) -> Topology:
+    """A Waxman random geometric graph on the unit square."""
+    rng = random.Random(seed)
+    topo = Topology(n, name=f"waxman-{n}-s{seed}")
+    coords = [(rng.random(), rng.random()) for _ in range(n)]
+    scale = math.sqrt(2.0)
+    present: set[frozenset[int]] = set()
+    for u in range(n):
+        for v in range(u + 1, n):
+            dist = math.dist(coords[u], coords[v])
+            if rng.random() < alpha * math.exp(-dist / (beta * scale)):
+                topo.add_link(u, v)
+                present.add(frozenset((u, v)))
+    if connect and n > 1:
+        # Stitch components along nearest pairs, deterministically.
+        comp = _components(topo)
+        while len(comp) > 1:
+            a, b = comp[0], comp[1]
+            best = min(
+                ((u, v) for u in a for v in b),
+                key=lambda pair: math.dist(coords[pair[0]], coords[pair[1]]),
+            )
+            topo.add_link(*best)
+            comp = _components(topo)
+    return topo
+
+
+def _components(topo: Topology) -> list[list[int]]:
+    remaining = set(topo.nodes())
+    comps: list[list[int]] = []
+    while remaining:
+        start = min(remaining)
+        comp = topo.connected_component(start)
+        comps.append(sorted(comp))
+        remaining -= comp
+    return comps
+
+
+def random_regular(n: int, degree: int, seed: int = 0) -> Topology:
+    """A random *degree*-regular graph (the "jellyfish" datacenter shape).
+
+    Uses the pairing model with restarts; requires ``n * degree`` even and
+    ``degree < n``.  Always returns a simple connected graph.
+    """
+    if degree < 2 or degree >= n:
+        raise TopologyError("random_regular needs 2 <= degree < n")
+    if (n * degree) % 2:
+        raise TopologyError("n * degree must be even")
+    rng = random.Random(seed)
+    for _attempt in range(1000):
+        stubs = [node for node in range(n) for _ in range(degree)]
+        rng.shuffle(stubs)
+        pairs = list(zip(stubs[::2], stubs[1::2]))
+        seen: set[frozenset[int]] = set()
+        valid = True
+        for u, v in pairs:
+            key = frozenset((u, v))
+            if u == v or key in seen:
+                valid = False
+                break
+            seen.add(key)
+        if not valid:
+            continue
+        topo = Topology(n, name=f"regular-{n}-{degree}-s{seed}")
+        for u, v in pairs:
+            topo.add_link(u, v)
+        if topo.is_connected():
+            return topo
+    raise TopologyError(
+        f"could not sample a connected simple {degree}-regular graph "
+        f"on {n} nodes"
+    )
+
+
+def fat_tree(k: int) -> Topology:
+    """A k-ary fat-tree (k even): k²/4 core, k²/2 agg, k²/2 edge switches.
+
+    Hosts are omitted — SmartSouth runs on the switch fabric.
+    """
+    if k < 2 or k % 2:
+        raise TopologyError("fat_tree needs an even k >= 2")
+    half = k // 2
+    num_core = half * half
+    num_agg = k * half
+    num_edge = k * half
+    topo = Topology(num_core + num_agg + num_edge, name=f"fattree-{k}")
+
+    def core(i: int) -> int:
+        return i
+
+    def agg(pod: int, i: int) -> int:
+        return num_core + pod * half + i
+
+    def edge(pod: int, i: int) -> int:
+        return num_core + num_agg + pod * half + i
+
+    for pod in range(k):
+        for a in range(half):
+            for e in range(half):
+                topo.add_link(agg(pod, a), edge(pod, e))
+            for c in range(half):
+                topo.add_link(agg(pod, a), core(a * half + c))
+    return topo
+
+
+#: Abilene (Internet2) backbone, a standard 11-node research WAN topology.
+_ABILENE_LINKS = [
+    (0, 1), (0, 2), (1, 2), (1, 3), (2, 4), (3, 5), (4, 5), (4, 6),
+    (5, 7), (6, 8), (7, 9), (8, 9), (8, 10), (9, 10), (3, 10),
+]
+
+
+def abilene() -> Topology:
+    """The Abilene backbone (11 nodes, 15 links)."""
+    topo = Topology(11, name="abilene")
+    for u, v in _ABILENE_LINKS:
+        topo.add_link(u, v)
+    return topo
+
+
+#: Name -> constructor map used by the CLI and benchmarks.
+generators: dict[str, Callable[..., Topology]] = {
+    "line": line,
+    "ring": ring,
+    "star": star,
+    "complete": complete,
+    "binary_tree": binary_tree,
+    "grid": grid,
+    "torus": torus,
+    "erdos_renyi": erdos_renyi,
+    "barabasi_albert": barabasi_albert,
+    "waxman": waxman,
+    "random_regular": random_regular,
+    "fat_tree": fat_tree,
+    "abilene": abilene,
+}
+
+
+def from_edge_list(n: int, links: Iterable[tuple[int, int]], name: str = "") -> Topology:
+    """Build a topology from an explicit edge list."""
+    topo = Topology(n, name=name or "custom")
+    for u, v in links:
+        topo.add_link(u, v)
+    return topo

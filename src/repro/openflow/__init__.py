@@ -1,0 +1,75 @@
+"""OpenFlow 1.3 data-plane substrate.
+
+This package models the parts of the OpenFlow 1.3 switch abstraction that the
+SmartSouth mechanism relies on:
+
+* multi-table match-action pipelines with priorities and masked matches
+  (:mod:`repro.openflow.match`, :mod:`repro.openflow.flowtable`),
+* instructions and actions, including set-field, push/pop label, output to
+  physical and reserved ports, group invocation and TTL decrement
+  (:mod:`repro.openflow.actions`),
+* the group table with ``ALL``, ``INDIRECT``, fast-failover (``FF``) and
+  round-robin ``SELECT`` groups (:mod:`repro.openflow.group`) — fast failover
+  gives SmartSouth its robustness, round-robin selection is the basis of the
+  paper's *smart counters*,
+* a switch that executes the pipeline on packets (:mod:`repro.openflow.switch`).
+
+The model is behavioural: it executes forwarding decisions exactly as an
+OpenFlow 1.3 switch would, but does not serialize protocol messages.
+"""
+
+from repro.openflow.actions import (
+    Action,
+    DecTtl,
+    GroupAction,
+    Instructions,
+    Output,
+    PopLabel,
+    PushLabel,
+    SetField,
+)
+from repro.openflow.errors import (
+    GroupError,
+    OpenFlowError,
+    PipelineError,
+    TableError,
+)
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.group import Bucket, Group, GroupTable, GroupType
+from repro.openflow.match import Match, encode_range
+from repro.openflow.packet import (
+    CONTROLLER_PORT,
+    IN_PORT,
+    LOCAL_PORT,
+    Packet,
+)
+from repro.openflow.switch import PacketOut, Switch
+
+__all__ = [
+    "Action",
+    "Bucket",
+    "CONTROLLER_PORT",
+    "DecTtl",
+    "FlowEntry",
+    "FlowTable",
+    "Group",
+    "GroupAction",
+    "GroupError",
+    "GroupTable",
+    "GroupType",
+    "IN_PORT",
+    "Instructions",
+    "LOCAL_PORT",
+    "Match",
+    "OpenFlowError",
+    "Output",
+    "Packet",
+    "PacketOut",
+    "PipelineError",
+    "PopLabel",
+    "PushLabel",
+    "SetField",
+    "Switch",
+    "TableError",
+    "encode_range",
+]

@@ -1,0 +1,25 @@
+"""Error taxonomy for the OpenFlow substrate."""
+
+
+class OpenFlowError(Exception):
+    """Base class for all errors raised by the OpenFlow substrate."""
+
+
+class TableError(OpenFlowError):
+    """A flow-table operation failed (bad table id, duplicate entry, ...)."""
+
+
+class GroupError(OpenFlowError):
+    """A group-table operation failed (unknown group, bad bucket, loop, ...)."""
+
+
+class PipelineError(OpenFlowError):
+    """Pipeline execution failed (goto backwards, missing table, ...)."""
+
+
+class MatchError(OpenFlowError):
+    """A match expression is malformed (bad mask, negative value, ...)."""
+
+
+class ActionError(OpenFlowError):
+    """An action is malformed or cannot be applied to the packet."""

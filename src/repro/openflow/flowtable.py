@@ -1,0 +1,93 @@
+"""Flow tables: priority-ordered sets of match → instructions entries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.openflow.actions import Instructions
+from repro.openflow.errors import TableError
+from repro.openflow.match import Match
+
+
+@dataclass
+class FlowEntry:
+    """One flow-table entry.
+
+    ``cookie`` is an opaque label the compiler uses to tag which template
+    state an entry implements (useful for verification and debugging);
+    ``packet_count`` mirrors OpenFlow's per-entry counters.
+    """
+
+    match: Match
+    instructions: Instructions
+    priority: int = 0
+    cookie: str = ""
+    packet_count: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"[prio={self.priority}] {self.match!r} -> "
+            f"{self.instructions.describe()}"
+            + (f"  # {self.cookie}" if self.cookie else "")
+        )
+
+
+class FlowTable:
+    """A single flow table.
+
+    Lookup returns the highest-priority matching entry; ties are broken by
+    insertion order (OpenFlow leaves overlapping same-priority behaviour
+    undefined — the compiler never emits such overlaps, and the verifier in
+    :mod:`repro.analysis.verify` checks that).
+    """
+
+    def __init__(self, table_id: int, name: str = "") -> None:
+        if table_id < 0:
+            raise TableError(f"negative table id {table_id}")
+        self.table_id = table_id
+        self.name = name or f"table{table_id}"
+        self._entries: list[FlowEntry] = []
+        self._sorted = True
+
+    def add(self, entry: FlowEntry) -> FlowEntry:
+        """Install *entry* and return it."""
+        self._entries.append(entry)
+        self._sorted = False
+        return entry
+
+    def install(
+        self,
+        match: Match,
+        instructions: Instructions,
+        priority: int = 0,
+        cookie: str = "",
+    ) -> FlowEntry:
+        """Convenience wrapper building and adding a :class:`FlowEntry`."""
+        return self.add(FlowEntry(match, instructions, priority, cookie))
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            # Stable sort keeps insertion order among equal priorities.
+            self._entries.sort(key=lambda e: -e.priority)
+            self._sorted = True
+
+    def lookup(self, context: Mapping[str, int]) -> FlowEntry | None:
+        """Return the highest-priority entry matching *context*, or None."""
+        self._ensure_sorted()
+        for entry in self._entries:
+            if entry.match.hits(context):
+                entry.packet_count += 1
+                return entry
+        return None
+
+    def entries(self) -> Iterator[FlowEntry]:
+        """Iterate entries in match order (highest priority first)."""
+        self._ensure_sorted()
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlowTable({self.name}, {len(self._entries)} entries)"

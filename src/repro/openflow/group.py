@@ -1,0 +1,180 @@
+"""The OpenFlow group table.
+
+Four group types are modelled:
+
+* ``ALL`` — execute every bucket on a clone of the packet (multicast).
+* ``INDIRECT`` — execute the single bucket.
+* ``FF`` (fast failover) — execute the first *live* bucket.  Liveness of a
+  bucket is defined by its ``watch_port``; a bucket with no watch port is
+  unconditionally live.  This is the OpenFlow 1.3 mechanism SmartSouth uses
+  to skip failed ports without consulting the controller.
+* ``SELECT`` with a **round-robin** bucket-selection policy (an optional
+  OpenFlow 1.3 feature the paper's NoviKit switches support).  Successive
+  packets applied to the group execute successive buckets, wrapping around.
+  The paper's *smart counters* are built exactly from this: a group with k
+  buckets, bucket j writing j into a scratch field, is a fetch-and-increment
+  counter modulo k.
+
+Group chaining (a bucket invoking another group) is permitted as in OF 1.3,
+but cycles are rejected at execution time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.openflow.actions import Action, EmitFn, GroupAction
+from repro.openflow.errors import GroupError
+from repro.openflow.packet import Packet
+
+#: Liveness oracle: maps a physical port number to "is the attached link up".
+LivenessFn = Callable[[int], bool]
+
+
+class GroupType(enum.Enum):
+    """OpenFlow 1.3 group types (SELECT uses round-robin selection)."""
+
+    ALL = "all"
+    INDIRECT = "indirect"
+    FF = "fast_failover"
+    SELECT = "select_round_robin"
+
+
+@dataclass
+class Bucket:
+    """An action bucket.
+
+    ``watch_port`` is only meaningful for ``FF`` groups: the bucket is live
+    iff the watched port's link is up.  ``None`` means always live (used for
+    the terminal "send to parent" bucket of SmartSouth's sweep groups).
+    ``packet_count`` mirrors OpenFlow's per-bucket statistics, which the
+    control plane can read with a group-stats request.
+    """
+
+    actions: Sequence[Action]
+    watch_port: int | None = None
+    packet_count: int = 0
+
+    def __post_init__(self) -> None:
+        self.actions = tuple(self.actions)
+
+
+@dataclass
+class Group:
+    """A group-table entry."""
+
+    group_id: int
+    group_type: GroupType
+    buckets: list[Bucket] = field(default_factory=list)
+    #: Round-robin cursor (SELECT groups only): index of the next bucket.
+    rr_next: int = 0
+    #: Number of times the group was executed.
+    packet_count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.group_type is GroupType.INDIRECT and len(self.buckets) > 1:
+            raise GroupError(
+                f"INDIRECT group {self.group_id} must have at most one bucket"
+            )
+
+
+class GroupTable:
+    """All groups of one switch, plus the execution engine for them."""
+
+    def __init__(self, liveness: LivenessFn) -> None:
+        self._groups: dict[int, Group] = {}
+        self._liveness = liveness
+
+    def add(self, group: Group) -> Group:
+        if group.group_id in self._groups:
+            raise GroupError(f"duplicate group id {group.group_id}")
+        self._groups[group.group_id] = group
+        return group
+
+    def get(self, group_id: int) -> Group:
+        try:
+            return self._groups[group_id]
+        except KeyError:
+            raise GroupError(f"unknown group id {group_id}") from None
+
+    def __contains__(self, group_id: int) -> bool:
+        return group_id in self._groups
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def groups(self) -> Sequence[Group]:
+        return list(self._groups.values())
+
+    # ------------------------------------------------------------------ #
+    # Execution                                                          #
+    # ------------------------------------------------------------------ #
+
+    def execute(
+        self,
+        group_id: int,
+        packet: Packet,
+        emit: EmitFn,
+        in_port: int,
+        _active: frozenset[int] = frozenset(),
+    ) -> None:
+        """Run group *group_id* on *packet*.
+
+        ``_active`` tracks the chain of groups currently executing so that
+        bucket-to-group chaining cannot loop.
+        """
+        if group_id in _active:
+            raise GroupError(f"group chaining loop through group {group_id}")
+        group = self.get(group_id)
+        group.packet_count += 1
+        active = _active | {group_id}
+
+        if group.group_type is GroupType.ALL:
+            for bucket in group.buckets:
+                clone = packet.copy()
+                self._run_bucket(bucket, clone, emit, in_port, active)
+        elif group.group_type is GroupType.INDIRECT:
+            if group.buckets:
+                self._run_bucket(group.buckets[0], packet, emit, in_port, active)
+        elif group.group_type is GroupType.FF:
+            bucket = self._first_live_bucket(group)
+            if bucket is not None:
+                self._run_bucket(bucket, packet, emit, in_port, active)
+            # No live bucket: OpenFlow drops the packet silently.
+        elif group.group_type is GroupType.SELECT:
+            if not group.buckets:
+                raise GroupError(f"SELECT group {group_id} has no buckets")
+            bucket = group.buckets[group.rr_next]
+            group.rr_next = (group.rr_next + 1) % len(group.buckets)
+            self._run_bucket(bucket, packet, emit, in_port, active)
+        else:  # pragma: no cover - exhaustive enum
+            raise GroupError(f"unsupported group type {group.group_type}")
+
+    def _first_live_bucket(self, group: Group) -> Bucket | None:
+        for bucket in group.buckets:
+            if bucket.watch_port is None:
+                return bucket
+            if self._liveness(bucket.watch_port):
+                return bucket
+        return None
+
+    def bucket_live(self, bucket: Bucket) -> bool:
+        """Expose bucket liveness (used by the static verifier)."""
+        return bucket.watch_port is None or self._liveness(bucket.watch_port)
+
+    def _run_bucket(
+        self,
+        bucket: Bucket,
+        packet: Packet,
+        emit: EmitFn,
+        in_port: int,
+        active: frozenset[int],
+    ) -> None:
+        bucket.packet_count += 1
+        for action in bucket.actions:
+            if isinstance(action, GroupAction):
+                self.execute(action.group_id, packet, emit, in_port, active)
+            else:
+                action.apply(packet, emit, in_port)

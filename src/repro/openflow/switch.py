@@ -1,0 +1,198 @@
+"""The switch: a multi-table OpenFlow 1.3 pipeline plus a group table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.openflow.actions import GroupAction, Instructions
+from repro.openflow.errors import PipelineError, TableError
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.group import Group, GroupTable, LivenessFn
+from repro.openflow.match import Match
+from repro.openflow.packet import (
+    IN_PORT,
+    Packet,
+    is_physical_port,
+)
+
+
+@dataclass(frozen=True)
+class PacketOut:
+    """One packet emitted by the pipeline on a (physical or reserved) port."""
+
+    port: int
+    packet: Packet
+
+
+class Switch:
+    """A simulated OpenFlow switch.
+
+    The switch owns numbered ports ``1..num_ports``, an ordered list of flow
+    tables and a group table.  ``liveness`` reports whether the link behind a
+    physical port is up; it backs both fast-failover bucket selection and the
+    (purely informational) port-status view.
+    """
+
+    #: Hard cap on pipeline steps per packet, to turn accidental rule loops
+    #: into loud errors instead of hangs.
+    MAX_PIPELINE_STEPS = 1024
+
+    def __init__(
+        self,
+        node_id: int,
+        num_ports: int,
+        liveness: LivenessFn | None = None,
+    ) -> None:
+        if num_ports < 0:
+            raise PipelineError(f"switch {node_id}: negative port count")
+        self.node_id = node_id
+        self.num_ports = num_ports
+        self._liveness: LivenessFn = liveness or (lambda port: True)
+        self.tables: dict[int, FlowTable] = {}
+        self.groups = GroupTable(self._port_live)
+        self.packets_processed = 0
+        self.table_misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Configuration                                                      #
+    # ------------------------------------------------------------------ #
+
+    def table(self, table_id: int) -> FlowTable:
+        """Return table *table_id*, creating it if absent."""
+        if table_id not in self.tables:
+            self.tables[table_id] = FlowTable(table_id)
+        return self.tables[table_id]
+
+    def install(
+        self,
+        table_id: int,
+        match: Match,
+        instructions: Instructions,
+        priority: int = 0,
+        cookie: str = "",
+    ) -> FlowEntry:
+        """Install a flow entry; the main hook used by the compiler."""
+        return self.table(table_id).install(match, instructions, priority, cookie)
+
+    def add_group(self, group: Group) -> Group:
+        return self.groups.add(group)
+
+    def set_liveness(self, liveness: LivenessFn) -> None:
+        """Replace the port-liveness oracle (wired up by the simulator)."""
+        self._liveness = liveness
+
+    def _port_live(self, port: int) -> bool:
+        return self._liveness(port)
+
+    def port_live(self, port: int) -> bool:
+        """True if *port* is a physical port whose link is up."""
+        return is_physical_port(port) and port <= self.num_ports and self._liveness(port)
+
+    def live_ports(self) -> list[int]:
+        """All physical ports with an up link, in ascending order."""
+        return [p for p in range(1, self.num_ports + 1) if self._liveness(p)]
+
+    def rule_count(self) -> int:
+        """Total installed flow entries (all tables)."""
+        return sum(len(t) for t in self.tables.values())
+
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    # ------------------------------------------------------------------ #
+    # Pipeline execution                                                 #
+    # ------------------------------------------------------------------ #
+
+    def process(self, packet: Packet, in_port: int) -> list[PacketOut]:
+        """Run *packet* (arriving on *in_port*) through the pipeline.
+
+        Returns every emitted (port, packet) pair.  Output actions emit a
+        snapshot copy of the packet, as OpenFlow does; reserved port
+        ``IN_PORT`` is resolved to *in_port* here.  An empty list means the
+        packet was dropped (table miss with no entry, or no live FF bucket).
+        """
+        self.packets_processed = self.packets_processed + 1
+        outputs: list[PacketOut] = []
+        metadata = 0
+
+        def emit(port: int, pkt: Packet) -> None:
+            resolved = in_port if port == IN_PORT else port
+            outputs.append(PacketOut(resolved, pkt.copy()))
+
+        table_id = 0
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.MAX_PIPELINE_STEPS:
+                raise PipelineError(
+                    f"switch {self.node_id}: pipeline exceeded "
+                    f"{self.MAX_PIPELINE_STEPS} steps (rule loop?)"
+                )
+            table = self.tables.get(table_id)
+            if table is None:
+                raise TableError(
+                    f"switch {self.node_id}: goto to missing table {table_id}"
+                )
+            context = self._context(packet, in_port, metadata)
+            entry = table.lookup(context)
+            if entry is None:
+                # Table miss with no miss entry: drop (OF 1.3 default).
+                self.table_misses += 1
+                return outputs
+            instructions = entry.instructions
+            if instructions.write_metadata is not None:
+                value, mask = instructions.write_metadata
+                metadata = (metadata & ~mask) | (value & mask)
+            for action in instructions.apply_actions:
+                if isinstance(action, GroupAction):
+                    self.groups.execute(action.group_id, packet, emit, in_port)
+                else:
+                    action.apply(packet, emit, in_port)
+            if instructions.goto_table is None:
+                return outputs
+            if instructions.goto_table <= table_id:
+                raise PipelineError(
+                    f"switch {self.node_id}: goto_table must move forward "
+                    f"({table_id} -> {instructions.goto_table})"
+                )
+            table_id = instructions.goto_table
+
+    @staticmethod
+    def _context(
+        packet: Packet, in_port: int, metadata: int
+    ) -> Mapping[str, int]:
+        context = dict(packet.fields)
+        context["in_port"] = in_port
+        context["metadata"] = metadata
+        return context
+
+    # ------------------------------------------------------------------ #
+    # Introspection (used by the verifier and benchmarks)                #
+    # ------------------------------------------------------------------ #
+
+    def iter_entries(self) -> Iterable[tuple[int, FlowEntry]]:
+        for table_id in sorted(self.tables):
+            for entry in self.tables[table_id].entries():
+                yield table_id, entry
+
+    def describe(self) -> str:
+        """Multi-line dump of the installed configuration."""
+        lines = [f"switch {self.node_id} ({self.num_ports} ports)"]
+        for table_id in sorted(self.tables):
+            table = self.tables[table_id]
+            lines.append(f"  table {table_id} ({len(table)} entries)")
+            for entry in table.entries():
+                lines.append(f"    {entry.describe()}")
+        for group in self.groups.groups():
+            lines.append(
+                f"  group {group.group_id} {group.group_type.value} "
+                f"({len(group.buckets)} buckets)"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Switch({self.node_id}, ports={self.num_ports}, "
+            f"rules={self.rule_count()}, groups={self.group_count()})"
+        )

@@ -1,0 +1,77 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.simulator import Network
+from repro.net.topology import (
+    Topology,
+    abilene,
+    barabasi_albert,
+    binary_tree,
+    complete,
+    erdos_renyi,
+    grid,
+    line,
+    random_regular,
+    ring,
+    star,
+    torus,
+)
+
+#: A representative zoo of small topologies, used across service tests.
+TOPOLOGY_ZOO: list[Topology] = []
+
+
+def _zoo() -> list[Topology]:
+    if not TOPOLOGY_ZOO:
+        TOPOLOGY_ZOO.extend(
+            [
+                line(2),
+                line(5),
+                ring(3),
+                ring(8),
+                star(6),
+                complete(5),
+                binary_tree(3),
+                grid(3, 4),
+                torus(3, 3),
+                abilene(),
+                erdos_renyi(12, 0.25, seed=1),
+                erdos_renyi(16, 0.2, seed=2),
+                barabasi_albert(14, 2, seed=3),
+                random_regular(12, 3, seed=4),
+                _multigraph(),
+            ]
+        )
+    return TOPOLOGY_ZOO
+
+
+def _multigraph() -> Topology:
+    """A ring with parallel links and a doubled chord (multigraph case)."""
+    topo = Topology(5, name="multigraph-5")
+    for u in range(5):
+        topo.add_link(u, (u + 1) % 5)
+    topo.add_link(0, 1)  # parallel edge
+    topo.add_link(1, 3)  # chord
+    topo.add_link(1, 3)  # doubled chord
+    return topo
+
+
+def zoo_params():
+    return [pytest.param(t, id=t.name) for t in _zoo()]
+
+
+@pytest.fixture(params=zoo_params())
+def zoo_topology(request) -> Topology:
+    return request.param
+
+
+@pytest.fixture(params=["interpreted", "compiled"])
+def engine_mode(request) -> str:
+    return request.param
+
+
+def fresh_network(topology: Topology, seed: int = 0) -> Network:
+    return Network(topology, seed=seed)

@@ -1,0 +1,130 @@
+"""Analysis helpers: graph oracles and match-overlap logic."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.graph import (
+    articulation_points,
+    connected_components,
+    dfs_edge_order,
+    spanning_tree,
+)
+from repro.analysis.verify import matches_overlap
+from repro.net.topology import Topology, erdos_renyi, line, ring, star
+from repro.openflow.match import FieldTest, Match
+
+
+class TestComponents:
+    def test_single_component(self):
+        assert connected_components(ring(4)) == [{0, 1, 2, 3}]
+
+    def test_multiple_components(self):
+        topo = Topology(5)
+        topo.add_link(0, 1)
+        topo.add_link(2, 3)
+        comps = connected_components(topo)
+        assert {frozenset(c) for c in comps} == {
+            frozenset({0, 1}),
+            frozenset({2, 3}),
+            frozenset({4}),
+        }
+
+
+class TestSpanningTree:
+    def test_tree_size(self):
+        topo = erdos_renyi(12, 0.3, seed=5)
+        tree = spanning_tree(topo, 0)
+        assert len(tree) == topo.num_nodes - 1
+
+    def test_tree_edges_connect_graph(self):
+        topo = erdos_renyi(10, 0.4, seed=7)
+        tree = spanning_tree(topo, 0)
+        graph = nx.Graph()
+        graph.add_nodes_from(topo.nodes())
+        for edge_id in tree:
+            edge = topo.edge(edge_id)
+            graph.add_edge(edge.a.node, edge.b.node)
+        assert nx.is_connected(graph)
+
+    def test_disconnected_graph_spans_root_component(self):
+        topo = Topology(4)
+        topo.add_link(0, 1)
+        topo.add_link(2, 3)
+        assert len(spanning_tree(topo, 0)) == 1
+
+
+class TestArticulationPoints:
+    def test_adjacency_input(self):
+        adj = {0: [1], 1: [0, 2], 2: [1]}
+        assert articulation_points(adj) == {1}
+
+    def test_disconnected_graph(self):
+        topo = Topology(6)
+        topo.add_link(0, 1)
+        topo.add_link(1, 2)
+        topo.add_link(3, 4)
+        topo.add_link(4, 5)
+        assert articulation_points(topo) == {1, 4}
+
+    def test_empty_graph(self):
+        assert articulation_points(Topology(3)) == set()
+
+
+class TestDfsOrder:
+    def test_line_order(self):
+        hops = dfs_edge_order(line(3), 0)
+        assert hops == [
+            (0, 1, 1, 1),
+            (1, 2, 2, 1),
+            (2, 1, 1, 2),
+            (1, 1, 0, 1),
+        ]
+
+    def test_respects_live_filter(self):
+        topo = ring(4)
+        dead = topo.find_edge(0, 1)
+        hops = dfs_edge_order(topo, 0, live=lambda e: e is not dead)
+        crossed = {(u, p) for u, p, _, _ in hops}
+        assert (dead.a.node, dead.a.port) not in crossed
+        assert (dead.b.node, dead.b.port) not in crossed
+
+    def test_deep_line_does_not_blow_recursion(self):
+        hops = dfs_edge_order(line(600), 0)
+        assert len(hops) == 2 * 599
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 15), st.integers(0, 300))
+    def test_hop_count_matches_formula(self, n, seed):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        hops = dfs_edge_order(topo, 0)
+        assert len(hops) == 4 * topo.num_edges - 2 * n + 2
+
+
+class TestMatchOverlap:
+    def test_disjoint_exact(self):
+        assert not matches_overlap(Match(x=1), Match(x=2))
+
+    def test_same_exact(self):
+        assert matches_overlap(Match(x=1), Match(x=1))
+
+    def test_different_fields_overlap(self):
+        assert matches_overlap(Match(x=1), Match(y=2))
+
+    def test_wildcard_overlaps_everything(self):
+        assert matches_overlap(Match(), Match(x=5))
+
+    def test_masked_vs_exact(self):
+        masked = Match([FieldTest("x", 0b100, 0b110)])
+        assert matches_overlap(masked, Match(x=0b101))
+        assert not matches_overlap(masked, Match(x=0b010))
+
+    def test_masked_vs_masked(self):
+        a = Match([FieldTest("x", 0b10, 0b11)])
+        b = Match([FieldTest("x", 0b100, 0b100)])
+        assert matches_overlap(a, b)  # x = 0b110 satisfies both
+        c = Match([FieldTest("x", 0b00, 0b10)])
+        assert not matches_overlap(a, c)

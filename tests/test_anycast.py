@@ -1,0 +1,170 @@
+"""Anycast: delivery iff a member is reachable; zero controller messages."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.complexity import dfs_message_count
+from repro.core.runtime import SmartSouthRuntime
+from repro.core.services.anycast import AnycastService
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi, line, ring, star
+
+
+def run_anycast(topology, root, members, gid=1, mode="interpreted", fail=()):
+    net = Network(topology)
+    for u, v in fail:
+        net.fail_link(u, v)
+    runtime = SmartSouthRuntime(net, mode=mode)
+    return runtime.anycast(root, gid=gid, groups={gid: set(members)})
+
+
+class TestDelivery:
+    def test_delivers_to_some_member(self, zoo_topology, engine_mode):
+        n = zoo_topology.num_nodes
+        if n < 2:
+            pytest.skip("needs 2+ nodes")
+        members = {n - 1}
+        result = run_anycast(zoo_topology, 0, members, mode=engine_mode)
+        assert result.delivered_at in members
+
+    def test_sender_is_member(self, engine_mode):
+        result = run_anycast(ring(5), 2, {2, 4}, mode=engine_mode)
+        assert result.delivered_at == 2
+        assert result.in_band_messages == 0
+
+    def test_exactly_one_delivery(self, engine_mode):
+        result = run_anycast(ring(6), 0, {2, 3, 4}, mode=engine_mode)
+        assert len(result.deliveries) == 1
+
+    def test_zero_out_band_messages(self, engine_mode):
+        result = run_anycast(ring(6), 0, {3}, mode=engine_mode)
+        assert result.out_band_messages == 0
+
+    def test_no_member_no_delivery(self, engine_mode):
+        result = run_anycast(ring(6), 0, set(), mode=engine_mode)
+        assert result.delivered_at is None
+        assert result.out_band_messages == 0
+        # The packet still performed (at most) a full traversal.
+        assert result.in_band_messages == dfs_message_count(6, 6)
+
+    def test_wrong_gid_not_delivered(self, engine_mode):
+        topo = ring(5)
+        net = Network(topo)
+        runtime = SmartSouthRuntime(net, mode=engine_mode)
+        result = runtime.anycast(0, gid=2, groups={1: {3}})
+        assert result.delivered_at is None
+
+    def test_multiple_groups(self, engine_mode):
+        topo = line(6)
+        net = Network(topo)
+        runtime = SmartSouthRuntime(net, mode=engine_mode)
+        groups = {1: {5}, 2: {1}}
+        assert runtime.anycast(0, 1, groups).delivered_at == 5
+        net2 = Network(topo)
+        runtime2 = SmartSouthRuntime(net2, mode=engine_mode)
+        assert runtime2.anycast(0, 2, groups).delivered_at == 1
+
+    def test_in_band_bounded_by_full_dfs(self, engine_mode):
+        topo = erdos_renyi(14, 0.3, seed=8)
+        result = run_anycast(topo, 0, {13}, mode=engine_mode)
+        assert result.in_band_messages <= dfs_message_count(14, topo.num_edges)
+
+
+class TestRobustness:
+    def test_survives_failures_when_member_reachable(self, engine_mode):
+        topo = ring(8)
+        result = run_anycast(topo, 0, {4}, fail=[(1, 2)], mode=engine_mode)
+        assert result.delivered_at == 4
+
+    def test_unreachable_member_not_delivered(self, engine_mode):
+        topo = ring(6)
+        # Node 3 is cut off entirely.
+        result = run_anycast(
+            topo, 0, {3}, fail=[(2, 3), (3, 4)], mode=engine_mode
+        )
+        assert result.delivered_at is None
+
+    def test_falls_back_to_reachable_member(self, engine_mode):
+        topo = ring(6)
+        result = run_anycast(
+            topo, 0, {3, 5}, fail=[(2, 3), (3, 4)], mode=engine_mode
+        )
+        assert result.delivered_at == 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 16), st.integers(0, 500), st.data())
+    def test_delivery_iff_member_reachable(self, n, seed, data):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        net = Network(topo)
+        kills = data.draw(st.sets(st.integers(0, topo.num_edges - 1), max_size=4))
+        net.fail_edges(kills)
+        members = data.draw(
+            st.sets(st.integers(1, n - 1), min_size=1, max_size=3)
+        )
+        runtime = SmartSouthRuntime(net)
+        result = runtime.anycast(0, gid=1, groups={1: members})
+
+        # Reachability ground truth over live links.
+        reach = {0}
+        frontier = [0]
+        adj: dict[int, set[int]] = {u: set() for u in topo.nodes()}
+        for link in net.links:
+            if link.up:
+                adj[link.edge.a.node].add(link.edge.b.node)
+                adj[link.edge.b.node].add(link.edge.a.node)
+        while frontier:
+            u = frontier.pop()
+            for v in adj[u]:
+                if v not in reach:
+                    reach.add(v)
+                    frontier.append(v)
+        reachable_members = members & reach
+        if reachable_members:
+            assert result.delivered_at in reachable_members
+        else:
+            assert result.delivered_at is None
+
+
+class TestServiceChain:
+    def test_chain_visits_groups_in_order(self, engine_mode):
+        topo = ring(8)
+        net = Network(topo)
+        runtime = SmartSouthRuntime(net, mode=engine_mode)
+        groups = {1: {2}, 2: {5}, 3: {7}}
+        outcome = runtime.service_chain(0, [1, 2, 3], groups)
+        assert outcome.completed
+        assert outcome.path == [2, 5, 7]
+
+    def test_chain_breaks_on_unreachable_group(self, engine_mode):
+        topo = ring(6)
+        net = Network(topo)
+        net.fail_link(2, 3)
+        net.fail_link(3, 4)
+        runtime = SmartSouthRuntime(net, mode=engine_mode)
+        outcome = runtime.service_chain(0, [1, 2], {1: {1}, 2: {3}})
+        assert not outcome.completed
+        assert outcome.path == [1]
+
+    def test_chain_message_cost_accumulates(self, engine_mode):
+        topo = star(6)
+        net = Network(topo)
+        runtime = SmartSouthRuntime(net, mode=engine_mode)
+        outcome = runtime.service_chain(1, [1, 2], {1: {2}, 2: {3}})
+        assert outcome.completed
+        assert outcome.in_band_messages == sum(
+            leg.in_band_messages for leg in outcome.legs
+        )
+
+
+class TestServiceConfig:
+    def test_add_member(self):
+        service = AnycastService()
+        service.add_member(1, 4)
+        assert service.groups_of(4) == {1}
+
+    def test_nonpositive_gid_rejected(self):
+        with pytest.raises(ValueError):
+            AnycastService().add_member(0, 1)

@@ -1,0 +1,171 @@
+"""Blackhole detection: both algorithms, all edges, healthy networks."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.complexity import (
+    dfs_message_count,
+    echo_message_count,
+    ttl_search_probes,
+)
+from repro.core.runtime import SmartSouthRuntime
+from repro.net.link import Direction
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi, grid, line, ring
+
+
+def smart_verdict(topology, blackhole_edge=None, root=0, mode="interpreted"):
+    net = Network(topology)
+    if blackhole_edge is not None:
+        net.links[blackhole_edge].set_blackhole()
+    runtime = SmartSouthRuntime(net, mode=mode)
+    return runtime.detect_blackhole_smart(root), net
+
+
+def ttl_verdict(topology, blackhole_edge=None, root=0, mode="interpreted"):
+    net = Network(topology)
+    if blackhole_edge is not None:
+        net.links[blackhole_edge].set_blackhole()
+    runtime = SmartSouthRuntime(net, mode=mode)
+    return runtime.detect_blackhole_ttl(root), net
+
+
+def assert_located(verdict, topology, edge_id):
+    """The verdict must name the blackholed edge (either side)."""
+    assert verdict.found
+    edge = topology.edge(edge_id)
+    candidates = {
+        (edge.a.node, edge.a.port),
+        (edge.b.node, edge.b.port),
+    }
+    assert verdict.location in candidates
+    if verdict.far_end is not None:
+        assert verdict.far_end in candidates
+        assert verdict.far_end != verdict.location
+
+
+class TestSmartCounterAlgorithm:
+    def test_healthy_network_reports_none(self, engine_mode):
+        verdict, _ = smart_verdict(ring(6), mode=engine_mode)
+        assert not verdict.found
+        assert verdict.out_band_messages == 3  # 2 triggers + clean verdict
+
+    @pytest.mark.parametrize("edge_id", range(6))
+    def test_every_edge_of_a_ring(self, edge_id, engine_mode):
+        topo = ring(6)
+        verdict, _ = smart_verdict(topo, edge_id, mode=engine_mode)
+        assert_located(verdict, topo, edge_id)
+
+    def test_out_band_is_three_messages(self, engine_mode):
+        topo = grid(3, 3)
+        verdict, _ = smart_verdict(topo, 5, mode=engine_mode)
+        assert verdict.out_band_messages == 3
+
+    def test_in_band_bound(self, engine_mode):
+        topo = erdos_renyi(10, 0.3, seed=7)
+        verdict, _ = smart_verdict(topo, mode=engine_mode)
+        bound = echo_message_count(10, topo.num_edges) + dfs_message_count(
+            10, topo.num_edges
+        )
+        assert verdict.in_band_messages == bound  # healthy: both phases full
+
+    def test_probe_phase_echo_count_exact(self, engine_mode):
+        topo = erdos_renyi(9, 0.35, seed=9)
+        net = Network(topo)
+        runtime = SmartSouthRuntime(net, mode=engine_mode)
+        engine = runtime.engine_for(
+            __import__("repro.core.services.blackhole", fromlist=["BlackholeService"]).BlackholeService()
+        )
+        from repro.core.fields import FIELD_REPEAT
+
+        result = engine.trigger(0, fields={FIELD_REPEAT: 3})
+        assert result.in_band_messages == echo_message_count(9, topo.num_edges)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 12), st.integers(0, 300), st.data())
+    def test_random_graph_random_edge(self, n, seed, data):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        edge_id = data.draw(st.integers(0, topo.num_edges - 1))
+        verdict, _ = smart_verdict(topo, edge_id)
+        assert_located(verdict, topo, edge_id)
+
+    def test_directional_blackhole_still_names_the_link(self, engine_mode):
+        topo = line(5)
+        net = Network(topo)
+        net.links[2].set_blackhole(Direction.B_TO_A)  # only 3->2 direction
+        runtime = SmartSouthRuntime(net, mode=engine_mode)
+        verdict = runtime.detect_blackhole_smart(0)
+        assert_located(verdict, topo, 2)
+
+    def test_counters_modulo_do_not_confuse(self, engine_mode):
+        # Healthy counters land at 2/3 per direction, well inside modulus 8.
+        topo = grid(3, 4)
+        verdict, _ = smart_verdict(topo, mode=engine_mode)
+        assert not verdict.found
+
+
+class TestTtlAlgorithm:
+    def test_healthy_network_reports_none(self, engine_mode):
+        verdict, _ = ttl_verdict(ring(6), mode=engine_mode)
+        assert not verdict.found
+        assert verdict.probes == 1  # the sanity probe completes
+
+    @pytest.mark.parametrize("edge_id", range(6))
+    def test_every_edge_of_a_ring(self, edge_id, engine_mode):
+        topo = ring(6)
+        verdict, _ = ttl_verdict(topo, edge_id, mode=engine_mode)
+        assert_located(verdict, topo, edge_id)
+
+    def test_probe_budget_is_logarithmic(self, engine_mode):
+        topo = erdos_renyi(12, 0.3, seed=4)
+        verdict, _ = ttl_verdict(topo, 3, mode=engine_mode)
+        assert verdict.found
+        assert verdict.probes <= ttl_search_probes(topo.num_edges)
+
+    def test_out_band_bound(self, engine_mode):
+        topo = erdos_renyi(12, 0.3, seed=4)
+        verdict, _ = ttl_verdict(topo, 3, mode=engine_mode)
+        # Each probe costs one packet-out and at most one packet-in.
+        assert verdict.out_band_messages <= 2 * verdict.probes
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 10), st.integers(0, 200), st.data())
+    def test_random_graph_random_edge(self, n, seed, data):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        edge_id = data.draw(st.integers(0, topo.num_edges - 1))
+        verdict, _ = ttl_verdict(topo, edge_id)
+        assert_located(verdict, topo, edge_id)
+
+    def test_blackhole_on_first_hop(self, engine_mode):
+        topo = line(4)
+        verdict, _ = ttl_verdict(topo, 0, mode=engine_mode)
+        assert_located(verdict, topo, 0)
+
+    def test_blackhole_on_last_traversed_edge(self, engine_mode):
+        topo = line(4)
+        verdict, _ = ttl_verdict(topo, 2, mode=engine_mode)
+        assert_located(verdict, topo, 2)
+
+
+class TestAlgorithmsAgree:
+    @pytest.mark.parametrize("edge_id", [0, 2, 5, 8])
+    def test_same_link_named(self, edge_id, engine_mode):
+        topo = grid(3, 3)
+        smart, _ = smart_verdict(topo, edge_id, mode=engine_mode)
+        ttl, _ = ttl_verdict(topo, edge_id, mode=engine_mode)
+        edge = topo.edge(edge_id)
+        link = frozenset(
+            ((edge.a.node, edge.a.port), (edge.b.node, edge.b.port))
+        )
+        assert smart.found and ttl.found
+        assert smart.location in link
+        assert ttl.location in link
+
+    def test_smart_uses_fewer_out_band_messages(self, engine_mode):
+        topo = erdos_renyi(12, 0.3, seed=1)
+        smart, _ = smart_verdict(topo, 4, mode=engine_mode)
+        ttl, _ = ttl_verdict(topo, 4, mode=engine_mode)
+        assert smart.out_band_messages < ttl.out_band_messages

@@ -1,0 +1,72 @@
+"""Timing of the smart-counter phases: why the paper's delay gap matters.
+
+§3.3: "The controller sends the two packets with a time difference of twice
+the maximum delay."  A sufficient gap keeps the verify traversal strictly
+behind the probe traversal; an insufficient one lets the verify packet read
+counters the probe phase is still building.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import make_engine
+from repro.core.services.blackhole import (
+    BlackholeService,
+    SmartCounterBlackholeDetector,
+)
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi, line, ring
+
+
+def detector_on(topology, blackhole_edge=None, mode="compiled"):
+    net = Network(topology)
+    if blackhole_edge is not None:
+        net.links[blackhole_edge].set_blackhole()
+    engine = make_engine(net, BlackholeService(), mode)
+    return SmartCounterBlackholeDetector(engine), net
+
+
+class TestSafeGap:
+    def test_safe_gap_matches_sequential_healthy(self, engine_mode):
+        topo = erdos_renyi(10, 0.3, seed=6)
+        sequential, _ = detector_on(topo, mode=engine_mode)
+        timed, net = detector_on(topo, mode=engine_mode)
+        verdict_seq = sequential.run(0)
+        verdict_timed = timed.run(0, gap=timed.safe_gap(net))
+        assert verdict_seq.found == verdict_timed.found is False
+
+    @pytest.mark.parametrize("edge_id", [0, 3, 7])
+    def test_safe_gap_matches_sequential_blackhole(self, edge_id, engine_mode):
+        topo = erdos_renyi(10, 0.3, seed=6)
+        sequential, _ = detector_on(topo, edge_id, mode=engine_mode)
+        timed, net = detector_on(topo, edge_id, mode=engine_mode)
+        verdict_seq = sequential.run(0)
+        verdict_timed = timed.run(0, gap=timed.safe_gap(net))
+        assert verdict_timed.found
+        assert verdict_timed.location == verdict_seq.location
+
+    def test_safe_gap_bound_formula(self):
+        topo = ring(6)
+        net = Network(topo)
+        net.links[0].delay = 5.0
+        gap = SmartCounterBlackholeDetector.safe_gap(net)
+        assert gap == (4 * 6 + 2) * 5.0 + 1.0
+
+
+class TestUnsafeGap:
+    def test_overlapping_phases_misreport(self):
+        """With gap=0 the verify packet races the probe packet and reads
+        counters that are still 0 or 1 — producing false reports on a
+        perfectly healthy network.  This is exactly the failure the paper's
+        delay gap exists to rule out."""
+        topo = line(6)
+        detector, net = detector_on(topo)  # no blackhole at all
+        verdict = detector.run(0, gap=0.0)
+        assert verdict.found  # false positive, deterministically
+
+    def test_sequential_never_misreports_healthy(self, engine_mode):
+        topo = line(6)
+        detector, _net = detector_on(topo, mode=engine_mode)
+        verdict = detector.run(0)
+        assert not verdict.found

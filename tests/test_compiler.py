@@ -1,0 +1,208 @@
+"""Compiled pipelines: structure, sizes, and the static verifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verify import verify_engine, verify_switch
+from repro.core.compiler import (
+    T_BID,
+    T_CLASSIFY,
+    T_DISPATCH,
+    T_SWEEP,
+    T_VERIFY_CHECK,
+    T_VERIFY_SWEEP,
+    compile_service,
+    codegen_for,
+)
+from repro.core.engine import CompiledEngine, make_engine
+from repro.core.services.anycast import AnycastService, PriocastService
+from repro.core.services.base import PlainTraversalService, Service
+from repro.core.services.blackhole import BlackholeService, BlackholeTtlService
+from repro.core.services.critical import CriticalNodeService
+from repro.core.services.snapshot import SnapshotService
+from repro.net.simulator import Network
+from repro.net.topology import complete, erdos_renyi, ring, star
+
+ALL_SERVICES = [
+    PlainTraversalService,
+    SnapshotService,
+    lambda: AnycastService({1: {0}}),
+    lambda: PriocastService({1: {0: 5}}),
+    BlackholeService,
+    BlackholeTtlService,
+    CriticalNodeService,
+]
+
+
+def compile_all(topology, make_service):
+    net = Network(topology)
+    return [
+        compile_service(net, node, make_service()) for node in topology.nodes()
+    ]
+
+
+class TestStructure:
+    @pytest.mark.parametrize("make_service", ALL_SERVICES)
+    def test_verifier_clean_on_every_service(self, make_service):
+        topo = erdos_renyi(8, 0.35, seed=6)
+        net = Network(topo)
+        engine = make_engine(net, make_service(), "compiled")
+        for report in verify_engine(engine):
+            assert report.ok, report.errors
+
+    def test_tables_present(self):
+        switch = compile_all(ring(4), SnapshotService)[0]
+        assert T_DISPATCH in switch.tables
+        assert T_CLASSIFY in switch.tables
+        assert T_SWEEP in switch.tables
+
+    def test_priocast_has_bid_table(self):
+        switch = compile_all(ring(4), lambda: PriocastService({1: {0: 5}}))[0]
+        assert T_BID in switch.tables
+
+    def test_blackhole_has_verify_tables(self):
+        switch = compile_all(ring(4), BlackholeService)[0]
+        assert T_VERIFY_SWEEP in switch.tables
+        assert T_VERIFY_CHECK in switch.tables
+
+    def test_plain_service_has_no_extra_tables(self):
+        switch = compile_all(ring(4), PlainTraversalService)[0]
+        assert T_BID not in switch.tables
+        assert T_VERIFY_SWEEP not in switch.tables
+
+    def test_smart_counters_are_select_groups(self):
+        from repro.openflow.group import GroupType
+
+        switch = compile_all(ring(4), BlackholeService)[0]
+        select = [
+            g for g in switch.groups.groups() if g.group_type is GroupType.SELECT
+        ]
+        assert len(select) == 2  # one counter per port, degree 2
+        assert all(
+            len(g.buckets) == BlackholeService.counter_modulus for g in select
+        )
+
+    def test_sweep_groups_are_fast_failover(self):
+        from repro.openflow.group import GroupType
+
+        switch = compile_all(ring(4), PlainTraversalService)[0]
+        kinds = {g.group_type for g in switch.groups.groups()}
+        assert kinds == {GroupType.FF}
+
+    def test_ff_sweep_groups_end_unconditional(self):
+        from repro.openflow.group import GroupType
+
+        switch = compile_all(complete(5), SnapshotService)[0]
+        for group in switch.groups.groups():
+            if group.group_type is GroupType.FF:
+                assert group.buckets[-1].watch_port is None
+
+
+class TestScaling:
+    def test_groups_scale_quadratically_in_degree(self):
+        # The sweep needs one FF group per (start-port, parent) pair.
+        small = compile_all(star(4), PlainTraversalService)[0]  # hub deg 3
+        big = compile_all(star(8), PlainTraversalService)[0]  # hub deg 7
+        assert small.group_count() < big.group_count()
+        # Within a small constant of deg^2.
+        assert big.group_count() <= (7 + 2) * (7 + 2)
+
+    def test_snapshot_rules_quadratic_in_degree(self):
+        # The in < cur comparison is rule-enumerated.
+        deg5 = compile_all(star(6), SnapshotService)[0]
+        deg10 = compile_all(star(11), SnapshotService)[0]
+        assert deg10.rule_count() > deg5.rule_count()
+        assert deg10.rule_count() <= 12 * 10 * 10
+
+    def test_leaf_switch_is_small(self):
+        switches = compile_all(star(6), SnapshotService)
+        hub, leaf = switches[0], switches[1]
+        assert leaf.rule_count() < hub.rule_count()
+        assert leaf.rule_count() < 30
+
+    def test_total_rules_reported_by_engine(self):
+        topo = erdos_renyi(8, 0.3, seed=2)
+        net = Network(topo)
+        engine = make_engine(net, SnapshotService(), "compiled")
+        assert isinstance(engine, CompiledEngine)
+        engine.install()
+        assert engine.total_rules() == sum(
+            s.rule_count() for s in engine.switches.values()
+        )
+        assert engine.total_groups() > 0
+
+
+class TestCodegenRegistry:
+    def test_unknown_service_rejected(self):
+        class Exotic(Service):
+            name = "exotic"
+            service_id = 9
+
+        with pytest.raises(NotImplementedError):
+            codegen_for(Exotic(), 0, 2)
+
+    def test_subclass_inherits_codegen(self):
+        class MySnapshot(SnapshotService):
+            name = "my_snapshot"
+
+        codegen = codegen_for(MySnapshot(), 0, 2)
+        assert type(codegen).__name__ == "SnapshotCodegen"
+
+
+class TestVerifierDetectsBadRules:
+    def _clean_switch(self):
+        return compile_all(ring(4), PlainTraversalService)[0]
+
+    def test_backward_goto_detected(self):
+        from repro.openflow.actions import Instructions
+        from repro.openflow.match import Match
+
+        switch = self._clean_switch()
+        switch.install(T_SWEEP, Match(bogus=1), Instructions(goto_table=0))
+        report = verify_switch(switch)
+        assert not report.ok
+
+    def test_missing_group_detected(self):
+        from repro.openflow.actions import GroupAction, Instructions
+        from repro.openflow.match import Match
+
+        switch = self._clean_switch()
+        switch.install(
+            T_CLASSIFY,
+            Match(bogus=1),
+            Instructions(apply_actions=(GroupAction(9999),)),
+            priority=77,
+        )
+        report = verify_switch(switch)
+        assert any("missing group" in e for e in report.errors)
+
+    def test_nonexistent_port_detected(self):
+        from repro.openflow.actions import Instructions, Output
+        from repro.openflow.match import Match
+
+        switch = self._clean_switch()
+        switch.install(
+            T_CLASSIFY,
+            Match(bogus=1),
+            Instructions(apply_actions=(Output(42),)),
+            priority=78,
+        )
+        report = verify_switch(switch)
+        assert any("nonexistent port" in e for e in report.errors)
+
+    def test_ambiguous_overlap_detected(self):
+        from repro.openflow.actions import Instructions, Output
+        from repro.openflow.match import Match
+
+        switch = self._clean_switch()
+        switch.install(
+            T_CLASSIFY, Match(x=1), Instructions(apply_actions=(Output(1),)),
+            priority=42,
+        )
+        switch.install(
+            T_CLASSIFY, Match(), Instructions(apply_actions=(Output(2),)),
+            priority=42,
+        )
+        report = verify_switch(switch)
+        assert any("overlapping" in e for e in report.errors)

@@ -1,0 +1,128 @@
+"""Table 2 reproduction at test granularity: measured == closed form."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.complexity import (
+    dfs_message_count,
+    echo_message_count,
+    priocast_message_count,
+    table2,
+    table2_row,
+    tag_bits_estimate,
+    ttl_search_probes,
+)
+from repro.core.runtime import SmartSouthRuntime
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi
+
+
+def runtime_on(n=12, p=0.3, seed=21, mode="interpreted"):
+    topo = erdos_renyi(n, p, seed=seed)
+    return SmartSouthRuntime(Network(topo), mode=mode), topo
+
+
+class TestClosedForms:
+    def test_dfs_count_formula(self):
+        # Tree: 2(n-1); each extra edge adds 4.
+        assert dfs_message_count(5, 4) == 8
+        assert dfs_message_count(5, 5) == 12
+
+    def test_echo_count(self):
+        assert echo_message_count(5, 7) == 28
+
+    def test_priocast_is_double(self):
+        assert priocast_message_count(9, 20) == 2 * dfs_message_count(9, 20)
+
+    def test_ttl_probe_budget_logarithmic(self):
+        assert ttl_search_probes(16) < ttl_search_probes(4096)
+        assert ttl_search_probes(4096) <= 18
+
+    def test_row_lookup(self):
+        assert table2_row("snap").service == "Snapshot"
+        assert table2_row("critical").exact_out_band(10, 20) == 2
+        with pytest.raises(KeyError):
+            table2_row("nope")
+
+    def test_six_rows(self):
+        assert len(table2()) == 6
+
+    def test_tag_bits(self):
+        assert tag_bits_estimate(10, 3) == 10 * 2 * 2
+
+
+class TestMeasuredAgainstTable2:
+    def test_snapshot_row(self, engine_mode):
+        runtime, topo = runtime_on(mode=engine_mode)
+        row = table2_row("Snapshot")
+        outcome = runtime.snapshot(0)
+        n, e = topo.num_nodes, topo.num_edges
+        assert outcome.result.out_band_messages == row.exact_out_band(n, e)
+        assert outcome.result.in_band_messages == row.exact_in_band(n, e)
+
+    def test_anycast_row(self, engine_mode):
+        runtime, topo = runtime_on(mode=engine_mode)
+        row = table2_row("Anycast")
+        result = runtime.anycast(0, 1, {1: {topo.num_nodes - 1}})
+        n, e = topo.num_nodes, topo.num_edges
+        assert result.out_band_messages == row.exact_out_band(n, e)
+        assert result.in_band_messages <= row.exact_in_band(n, e)
+
+    def test_anycast_worst_case_tight(self, engine_mode):
+        # No member: the traversal is a full DFS, matching the bound exactly.
+        runtime, topo = runtime_on(mode=engine_mode)
+        result = runtime.anycast(0, 1, {1: set()})
+        assert result.in_band_messages == dfs_message_count(
+            topo.num_nodes, topo.num_edges
+        )
+
+    def test_priocast_row(self, engine_mode):
+        runtime, topo = runtime_on(mode=engine_mode)
+        row = table2_row("Priocast")
+        result = runtime.priocast(0, 1, {1: {topo.num_nodes - 1: 9}})
+        n, e = topo.num_nodes, topo.num_edges
+        assert result.out_band_messages == 0
+        assert result.in_band_messages <= row.exact_in_band(n, e)
+
+    def test_blackhole_counters_row(self, engine_mode):
+        runtime, topo = runtime_on(mode=engine_mode)
+        row = table2_row("Blackhole 2")
+        verdict = runtime.detect_blackhole_smart(0)
+        n, e = topo.num_nodes, topo.num_edges
+        assert verdict.out_band_messages == row.exact_out_band(n, e)
+        assert verdict.in_band_messages == row.exact_in_band(n, e)
+
+    def test_blackhole_ttl_row(self, engine_mode):
+        topo = erdos_renyi(12, 0.3, seed=21)
+        net = Network(topo)
+        net.links[4].set_blackhole()
+        runtime = SmartSouthRuntime(net, mode=engine_mode)
+        row = table2_row("Blackhole 1")
+        verdict = runtime.detect_blackhole_ttl(0)
+        n, e = topo.num_nodes, topo.num_edges
+        assert verdict.out_band_messages <= row.exact_out_band(n, e)
+        assert verdict.in_band_messages <= row.exact_in_band(n, e)
+
+    def test_critical_row(self, engine_mode):
+        runtime, topo = runtime_on(mode=engine_mode)
+        row = table2_row("Critical")
+        outcome = runtime.critical(0)
+        n, e = topo.num_nodes, topo.num_edges
+        assert outcome.result.out_band_messages == row.exact_out_band(n, e)
+        assert outcome.result.in_band_messages <= row.exact_in_band(n, e)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 16), st.integers(0, 300))
+    def test_all_bounds_hold_on_random_graphs(self, n, seed):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        e = topo.num_edges
+        runtime = SmartSouthRuntime(Network(topo))
+        snap = runtime.snapshot(0)
+        assert snap.result.in_band_messages == dfs_message_count(n, e)
+        verdict = runtime.detect_blackhole_smart(0)
+        assert verdict.in_band_messages == echo_message_count(
+            n, e
+        ) + dfs_message_count(n, e)

@@ -1,0 +1,228 @@
+"""Control channel, controller, and the three baseline applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.apps.probe_blackhole import ProbeBlackholeDetector
+from repro.control.apps.reactive_routing import ReactiveAnycastRouting
+from repro.control.apps.topology_service import LldpTopologyService
+from repro.control.channel import ControlChannel
+from repro.control.controller import Controller, ControllerApp
+from repro.core.runtime import SmartSouthRuntime
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi, grid, line, ring
+from repro.openflow.packet import Packet
+from repro.openflow.switch import PacketOut
+
+
+class TestControlChannel:
+    def test_packet_out_reaches_connected_switch(self):
+        net = Network(line(2))
+        seen = []
+        net.set_handler(0, lambda p, i: seen.append(p) or [])
+        channel = ControlChannel(net)
+        assert channel.packet_out(0, Packet())
+        net.run()
+        assert len(seen) == 1
+
+    def test_packet_out_to_disconnected_switch_lost(self):
+        net = Network(line(2))
+        net.set_handler(0, lambda p, i: [])
+        channel = ControlChannel(net)
+        channel.disconnect(0)
+        assert not channel.packet_out(0, Packet())
+        assert channel.packet_outs_lost == 1
+        assert channel.packet_outs_sent == 1
+
+    def test_packet_in_filtered_when_disconnected(self):
+        from repro.openflow.packet import CONTROLLER_PORT
+
+        net = Network(line(2))
+        net.set_handler(0, lambda p, i: [PacketOut(CONTROLLER_PORT, p)])
+        channel = ControlChannel(net)
+        received = []
+        channel.set_packet_in_handler(lambda node, pkt: received.append(node))
+        channel.disconnect(0)
+        net.inject(0, Packet())
+        net.run()
+        assert received == []
+        assert channel.packet_ins_lost == 1
+        channel.reconnect(0)
+        net.inject(0, Packet())
+        net.run()
+        assert received == [0]
+
+    def test_out_band_accounting(self):
+        net = Network(line(2))
+        net.set_handler(0, lambda p, i: [])
+        channel = ControlChannel(net)
+        channel.packet_out(0, Packet())
+        net.run()
+        assert channel.out_band_messages == 1
+
+
+class TestController:
+    def test_app_receives_packet_ins(self):
+        from repro.openflow.packet import CONTROLLER_PORT
+
+        class Recorder(ControllerApp):
+            def __init__(self):
+                super().__init__()
+                self.seen = []
+
+            def packet_in(self, node, packet):
+                self.seen.append(node)
+
+        net = Network(line(2))
+        net.set_handler(1, lambda p, i: [PacketOut(CONTROLLER_PORT, p)])
+        controller = Controller(net)
+        app = controller.register(Recorder())
+        net.inject(1, Packet())
+        controller.run()
+        assert app.seen == [1]
+
+
+class TestLldpBaseline:
+    def test_full_discovery(self):
+        topo = erdos_renyi(10, 0.3, seed=4)
+        controller = Controller(Network(topo))
+        service = controller.register(LldpTopologyService())
+        assert service.discover() == topo.port_pair_set()
+
+    def test_message_cost_is_theta_edges(self):
+        topo = grid(3, 3)
+        controller = Controller(Network(topo))
+        service = controller.register(LldpTopologyService())
+        service.discover()
+        # One packet-out per port = 2E, one packet-in per crossing = 2E.
+        assert controller.channel.packet_outs_sent == 2 * topo.num_edges
+        assert controller.channel.packet_ins_received == 2 * topo.num_edges
+
+    def test_disconnected_switch_hides_its_links(self):
+        topo = ring(6)
+        controller = Controller(Network(topo))
+        service = controller.register(LldpTopologyService())
+        controller.channel.disconnect(2)
+        links = service.discover()
+        expected = {
+            pair
+            for pair in topo.port_pair_set()
+            if all(endpoint[0] != 2 for endpoint in pair)
+        }
+        assert links == expected
+
+    def test_smartsouth_snapshot_beats_lldp_under_disconnection(self):
+        """The paper's core robustness claim, end to end: with most of the
+        management plane down, LLDP sees almost nothing while the in-band
+        snapshot (triggered via the one connected switch) sees everything."""
+        topo = ring(8)
+        # Baseline with 7 of 8 switches unreachable.
+        controller = Controller(Network(topo))
+        service = controller.register(LldpTopologyService())
+        for node in range(1, 8):
+            controller.channel.disconnect(node)
+        assert service.discover() == set()
+        # SmartSouth snapshot from the single connected switch.
+        runtime = SmartSouthRuntime(Network(topo), mode="compiled")
+        snap = runtime.snapshot(0)
+        assert snap.links == topo.port_pair_set()
+
+    def test_failed_links_not_discovered(self):
+        topo = ring(5)
+        net = Network(topo)
+        net.fail_link(1, 2)
+        controller = Controller(net)
+        service = controller.register(LldpTopologyService())
+        assert service.discover() == net.live_port_pairs()
+
+
+class TestProbeBaseline:
+    def test_healthy_network_all_quiet(self):
+        topo = grid(3, 3)
+        controller = Controller(Network(topo))
+        detector = controller.register(ProbeBlackholeDetector())
+        result = detector.check()
+        assert result.silent == set()
+        assert result.probes_sent == 2 * topo.num_edges
+
+    def test_blackhole_direction_flagged(self):
+        topo = ring(5)
+        net = Network(topo)
+        net.links[3].set_blackhole()
+        controller = Controller(net)
+        detector = controller.register(ProbeBlackholeDetector())
+        result = detector.check()
+        edge = topo.edge(3)
+        assert result.silent == {
+            (edge.a.node, edge.a.port),
+            (edge.b.node, edge.b.port),
+        }
+
+    def test_message_cost_much_higher_than_smart_counters(self):
+        topo = erdos_renyi(12, 0.3, seed=9)
+        net = Network(topo)
+        net.links[0].set_blackhole()
+        controller = Controller(net)
+        detector = controller.register(ProbeBlackholeDetector())
+        baseline = detector.check()
+
+        net2 = Network(topo)
+        net2.links[0].set_blackhole()
+        runtime = SmartSouthRuntime(net2)
+        verdict = runtime.detect_blackhole_smart(0)
+        assert verdict.out_band_messages == 3
+        assert baseline.out_band_messages > 10 * verdict.out_band_messages
+
+
+class TestReactiveBaseline:
+    def test_install_and_deliver(self):
+        topo = line(5)
+        controller = Controller(Network(topo))
+        app = controller.register(ReactiveAnycastRouting({1: {4}}))
+        install = app.install_path(0, 1)
+        assert install.path == [0, 1, 2, 3, 4]
+        assert app.send(0, install) == 4
+
+    def test_nearest_member_chosen(self):
+        topo = line(6)
+        controller = Controller(Network(topo))
+        app = controller.register(ReactiveAnycastRouting({1: {2, 5}}))
+        install = app.install_path(0, 1)
+        assert install.path[-1] == 2
+
+    def test_failure_breaks_delivery_until_repair(self):
+        topo = ring(6)
+        net = Network(topo)
+        controller = Controller(net)
+        app = controller.register(ReactiveAnycastRouting({1: {3}}))
+        install = app.install_path(0, 1)
+        net.fail_link(install.path[0], install.path[1])
+        assert app.send(0, install) is None  # baseline fails silently
+        repaired, messages = app.repair(0, 1)
+        assert repaired is not None
+        assert app.send(0, repaired) == 3
+        assert messages >= 1 + len(repaired.path) - 1
+
+    def test_anycast_survives_where_baseline_fails(self):
+        topo = ring(6)
+        net = Network(topo)
+        controller = Controller(net)
+        app = controller.register(ReactiveAnycastRouting({1: {3}}))
+        install = app.install_path(0, 1)
+        net.fail_link(install.path[0], install.path[1])
+        assert app.send(0, install) is None
+        # Same network state, in-band anycast: delivers with no controller.
+        runtime = SmartSouthRuntime(Network(topo), mode="compiled")
+        runtime.network.fail_link(install.path[0], install.path[1])
+        result = runtime.anycast(0, 1, {1: {3}})
+        assert result.delivered_at == 3
+        assert result.out_band_messages == 0
+
+    def test_no_path_returns_none(self):
+        topo = line(4)
+        net = Network(topo)
+        net.fail_link(1, 2)
+        controller = Controller(net)
+        app = controller.register(ReactiveAnycastRouting({1: {3}}))
+        assert app.install_path(0, 1, respect_failures=True) is None

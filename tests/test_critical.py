@@ -1,0 +1,127 @@
+"""Critical-node detection vs. articulation-point oracles."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.graph import articulation_points
+from repro.core.runtime import SmartSouthRuntime
+from repro.net.simulator import Network
+from repro.net.topology import (
+    Topology,
+    binary_tree,
+    complete,
+    erdos_renyi,
+    line,
+    ring,
+    star,
+)
+
+
+def nx_articulation(topology) -> set[int]:
+    graph = nx.Graph()
+    graph.add_nodes_from(topology.nodes())
+    graph.add_edges_from((e.a.node, e.b.node) for e in topology.edges())
+    return set(nx.articulation_points(graph))
+
+
+def detected_set(topology, mode="interpreted", fail=()):
+    net = Network(topology)
+    for u, v in fail:
+        net.fail_link(u, v)
+    runtime = SmartSouthRuntime(net, mode=mode)
+    return {u for u in topology.nodes() if runtime.critical(u).critical}, net
+
+
+class TestKnownShapes:
+    def test_line_interior_nodes_critical(self, engine_mode):
+        got, _ = detected_set(line(5), mode=engine_mode)
+        assert got == {1, 2, 3}
+
+    def test_ring_has_no_critical_nodes(self, engine_mode):
+        got, _ = detected_set(ring(6), mode=engine_mode)
+        assert got == set()
+
+    def test_star_hub_is_critical(self, engine_mode):
+        got, _ = detected_set(star(6), mode=engine_mode)
+        assert got == {0}
+
+    def test_complete_graph_has_none(self, engine_mode):
+        got, _ = detected_set(complete(5), mode=engine_mode)
+        assert got == set()
+
+    def test_tree_internal_nodes_critical(self, engine_mode):
+        topo = binary_tree(3)
+        got, _ = detected_set(topo, mode=engine_mode)
+        assert got == {u for u in topo.nodes() if topo.degree(u) > 1}
+
+    def test_two_node_graph(self, engine_mode):
+        got, _ = detected_set(line(2), mode=engine_mode)
+        assert got == set()
+
+    def test_zoo_matches_networkx(self, zoo_topology, engine_mode):
+        got, _ = detected_set(zoo_topology, mode=engine_mode)
+        assert got == nx_articulation(zoo_topology)
+
+
+class TestOracles:
+    def test_own_tarjan_matches_networkx(self, zoo_topology):
+        assert articulation_points(zoo_topology) == nx_articulation(zoo_topology)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 25), st.integers(0, 1000))
+    def test_own_tarjan_random(self, n, seed):
+        topo = erdos_renyi(n, 0.2, seed=seed)
+        assert articulation_points(topo) == nx_articulation(topo)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(3, 14), st.integers(0, 500))
+    def test_service_matches_oracle_random(self, n, seed):
+        topo = erdos_renyi(n, 0.25, seed=seed)
+        got, _ = detected_set(topo)
+        assert got == articulation_points(topo)
+
+
+class TestCostAndMechanics:
+    def test_two_out_band_messages(self, engine_mode):
+        topo = erdos_renyi(10, 0.3, seed=5)
+        net = Network(topo)
+        runtime = SmartSouthRuntime(net, mode=engine_mode)
+        outcome = runtime.critical(0)
+        assert outcome.result.out_band_messages == 2
+
+    def test_critical_verdict_may_end_early(self, engine_mode):
+        # The hub of a star learns it is critical as soon as its *second*
+        # DFS child returns — long before a full traversal would finish.
+        topo = star(10)
+        net = Network(topo)
+        runtime = SmartSouthRuntime(net, mode=engine_mode)
+        outcome = runtime.critical(0)
+        assert outcome.critical
+        from repro.analysis.complexity import dfs_message_count
+
+        assert outcome.result.in_band_messages == 4  # two leaves, out & back
+        assert outcome.result.in_band_messages < dfs_message_count(10, 9)
+
+    def test_respects_link_failures(self, engine_mode):
+        # A ring has no critical node, but failing one link makes every
+        # interior node of the resulting path critical.
+        got, _net = detected_set(ring(6), fail=[(0, 1)], mode=engine_mode)
+        # The live graph is the path 1-2-3-4-5-0: its interior is critical.
+        assert got == {2, 3, 4, 5}
+
+    def test_isolated_node_not_critical(self, engine_mode):
+        topo = Topology(1)
+        got, _ = detected_set(topo, mode=engine_mode)
+        assert got == set()
+
+    def test_bridge_endpoints(self, engine_mode):
+        # Two triangles joined by a bridge: both bridge endpoints critical.
+        topo = Topology(6)
+        for u, v in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]:
+            topo.add_link(u, v)
+        got, _ = detected_set(topo, mode=engine_mode)
+        assert got == {2, 3}

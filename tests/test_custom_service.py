@@ -1,0 +1,96 @@
+"""The tutorial's custom service, tested the way the tutorial prescribes."""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify import verify_engine
+from repro.core.engine import make_engine
+from repro.net.simulator import Network
+from repro.net.topology import Topology, erdos_renyi, ring
+
+_EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example():
+    spec = importlib.util.spec_from_file_location(
+        "custom_service_example", _EXAMPLES / "custom_service.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("custom_service_example", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+example = _load_example()
+NodeCountService = example.NodeCountService
+count_nodes = example.count_nodes
+FIELD_BUDGET = example.FIELD_BUDGET
+INITIAL_BUDGET = example.INITIAL_BUDGET
+
+
+class TestNodeCount:
+    def test_counts_whole_network(self, zoo_topology, engine_mode):
+        count = count_nodes(Network(zoo_topology), 0, engine_mode)
+        assert count == zoo_topology.num_nodes
+
+    def test_counts_component_only(self, engine_mode):
+        topo = ring(6)
+        net = Network(topo)
+        net.fail_link(1, 2)
+        net.fail_link(3, 4)
+        assert count_nodes(net, 2, engine_mode) == 2  # just {2, 3}
+
+    def test_single_node(self, engine_mode):
+        assert count_nodes(Network(Topology(1)), 0, engine_mode) == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(2, 16), st.integers(0, 300))
+    def test_random_graphs(self, n, seed):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        assert count_nodes(Network(topo), 0) == n
+
+    def test_differential(self):
+        """Tutorial step 5: compiled hop sequence == interpreted."""
+        topo = erdos_renyi(10, 0.3, seed=7)
+        traces = []
+        for mode in ("interpreted", "compiled"):
+            net = Network(topo)
+            engine = make_engine(net, NodeCountService(), mode)
+            engine.trigger(0, fields={FIELD_BUDGET: INITIAL_BUDGET})
+            traces.append(net.trace.hop_sequence())
+        assert traces[0] == traces[1]
+
+    def test_statically_verifiable(self):
+        """Tutorial step 5: the verifier must accept the compiled rules."""
+        topo = erdos_renyi(8, 0.35, seed=1)
+        engine = make_engine(Network(topo), NodeCountService(), "compiled")
+        for report in verify_engine(engine):
+            assert report.ok, report.errors
+
+    def test_composes_with_multiservice_pipeline(self):
+        from repro.core.engine import MultiServiceEngine
+        from repro.core.services.snapshot import SnapshotService
+
+        topo = erdos_renyi(8, 0.35, seed=1)
+        net = Network(topo)
+        engine = MultiServiceEngine(
+            net, [SnapshotService(), NodeCountService()], mode="compiled"
+        )
+        result = engine.trigger(
+            NodeCountService.service_id, 0, fields={FIELD_BUDGET: 200}
+        )
+        _node, packet = result.reports[-1]
+        assert 200 - packet.get(FIELD_BUDGET) == topo.num_nodes
+
+    def test_register_codegen_validates(self):
+        from repro.core.compiler import register_codegen
+
+        with pytest.raises(TypeError):
+            register_codegen(NodeCountService, object)

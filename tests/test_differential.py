@@ -1,0 +1,232 @@
+"""Differential testing: compiled OpenFlow rules ≡ interpreted Algorithm 1.
+
+This is the mechanical check of the paper's expressibility claim: for every
+service, on every topology, the hop-by-hop link-crossing sequence of the
+compiled pipelines must equal the reference interpreter's, and so must the
+externally visible outcomes (deliveries, reports, verdicts).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import make_engine
+from repro.core.fields import FIELD_GID, FIELD_REPEAT, FIELD_TTL
+from repro.core.runtime import SmartSouthRuntime
+from repro.core.services.anycast import AnycastService, PriocastService
+from repro.core.services.base import PlainTraversalService
+from repro.core.services.blackhole import BlackholeService, BlackholeTtlService
+from repro.core.services.critical import CriticalNodeService
+from repro.core.services.snapshot import SnapshotService
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi
+
+
+def hop_sequences(topology, make_service, fields=None, root=0, fail=()):
+    """Run both engines on identical networks; return their hop sequences
+    and the (reports, deliveries) outcomes."""
+    results = []
+    for mode in ("interpreted", "compiled"):
+        net = Network(topology)
+        for u, v in fail:
+            net.fail_link(u, v)
+        engine = make_engine(net, make_service(), mode)
+        outcome = engine.trigger(root, fields=dict(fields or {}))
+        results.append(
+            (
+                net.trace.hop_sequence(),
+                [node for node, _ in outcome.reports],
+                [node for node, _ in outcome.deliveries],
+                outcome.in_band_messages,
+            )
+        )
+    return results
+
+
+def assert_equivalent(topology, make_service, fields=None, root=0, fail=()):
+    interpreted, compiled = hop_sequences(topology, make_service, fields, root, fail)
+    assert interpreted[0] == compiled[0], "hop sequences diverge"
+    assert interpreted[1] == compiled[1], "reports diverge"
+    assert interpreted[2] == compiled[2], "deliveries diverge"
+    assert interpreted[3] == compiled[3], "message counts diverge"
+
+
+class TestPlain:
+    def test_zoo(self, zoo_topology):
+        assert_equivalent(zoo_topology, PlainTraversalService)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 18), st.integers(0, 1000))
+    def test_random(self, n, seed):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        assert_equivalent(topo, PlainTraversalService)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 14), st.integers(0, 500), st.data())
+    def test_random_with_failures(self, n, seed, data):
+        topo = erdos_renyi(n, 0.35, seed=seed)
+        edges = list(topo.edges())
+        kills = data.draw(st.sets(st.integers(0, len(edges) - 1), max_size=3))
+        fail = [(edges[k].a.node, edges[k].b.node) for k in kills]
+        assert_equivalent(topo, PlainTraversalService, fail=fail)
+
+
+class TestSnapshot:
+    def test_zoo(self, zoo_topology):
+        assert_equivalent(zoo_topology, SnapshotService)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(2, 16), st.integers(0, 500))
+    def test_random(self, n, seed):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        assert_equivalent(topo, SnapshotService)
+
+    def test_record_streams_identical(self):
+        topo = erdos_renyi(12, 0.3, seed=17)
+        stacks = []
+        for mode in ("interpreted", "compiled"):
+            runtime = SmartSouthRuntime(Network(topo), mode=mode)
+            snap = runtime.snapshot(0)
+            stacks.append(list(snap.result.reports[-1][1].stack))
+        assert stacks[0] == stacks[1]
+
+
+class TestAnycast:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(3, 14), st.integers(0, 300), st.data())
+    def test_random(self, n, seed, data):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        members = data.draw(st.sets(st.integers(0, n - 1), min_size=1, max_size=3))
+        root = data.draw(st.integers(0, n - 1))
+        assert_equivalent(
+            topo,
+            lambda: AnycastService({1: members}),
+            fields={FIELD_GID: 1},
+            root=root,
+        )
+
+
+class TestPriocast:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(3, 12), st.integers(0, 300), st.data())
+    def test_random(self, n, seed, data):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        priorities = data.draw(
+            st.dictionaries(
+                st.integers(0, n - 1), st.integers(1, 255), min_size=1, max_size=4
+            )
+        )
+        root = data.draw(st.integers(0, n - 1))
+        assert_equivalent(
+            topo,
+            lambda: PriocastService({1: priorities}),
+            fields={FIELD_GID: 1},
+            root=root,
+        )
+
+
+class TestChunkedSnapshot:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 12), st.integers(0, 300), st.integers(3, 30))
+    def test_chunk_streams_identical(self, n, seed, budget):
+        from repro.core.services.snapshot import ChunkedSnapshotCollector
+
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        outcomes = []
+        for mode in ("interpreted", "compiled"):
+            net = Network(topo)
+            runtime = SmartSouthRuntime(net, mode=mode)
+            result = runtime.snapshot_chunked(0, max_records=budget)
+            outcomes.append((result[0], result[1], result[2]["chunks"],
+                             net.trace.hop_sequence()))
+        assert outcomes[0] == outcomes[1]
+
+
+class TestMultiServiceDifferential:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(3, 10), st.integers(0, 200))
+    def test_multi_matches_single_for_every_service(self, n, seed):
+        from repro.core.engine import MultiServiceEngine
+
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        services = [
+            PlainTraversalService(),
+            SnapshotService(),
+            CriticalNodeService(),
+        ]
+        for mode in ("interpreted", "compiled"):
+            multi_net = Network(topo)
+            multi = MultiServiceEngine(multi_net, services, mode=mode)
+            for service in services:
+                multi_result = multi.trigger(service, 0)
+                single_net = Network(topo)
+                single = make_engine(single_net, type(service)(), mode)
+                single_result = single.trigger(0)
+                assert (
+                    multi_result.in_band_messages
+                    == single_result.in_band_messages
+                )
+                assert [
+                    (node, packet.fields) for node, packet in multi_result.reports
+                ] == [
+                    (node, packet.fields) for node, packet in single_result.reports
+                ]
+
+
+class TestCritical:
+    def test_zoo_all_roots(self, zoo_topology):
+        for root in list(zoo_topology.nodes())[:6]:
+            assert_equivalent(zoo_topology, CriticalNodeService, root=root)
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(3, 12), st.integers(0, 300), st.data())
+    def test_random(self, n, seed, data):
+        topo = erdos_renyi(n, 0.25, seed=seed)
+        root = data.draw(st.integers(0, n - 1))
+        assert_equivalent(topo, CriticalNodeService, root=root)
+
+
+class TestBlackhole:
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(3, 12), st.integers(0, 300))
+    def test_probe_phase_random(self, n, seed):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        assert_equivalent(topo, BlackholeService, fields={FIELD_REPEAT: 3})
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 10), st.integers(0, 200), st.data())
+    def test_full_detection_random(self, n, seed, data):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        edge_id = data.draw(st.integers(0, topo.num_edges - 1))
+        verdicts = []
+        for mode in ("interpreted", "compiled"):
+            net = Network(topo)
+            net.links[edge_id].set_blackhole()
+            runtime = SmartSouthRuntime(net, mode=mode)
+            verdict = runtime.detect_blackhole_smart(0)
+            verdicts.append(
+                (verdict.found, verdict.location, verdict.in_band_messages)
+            )
+        assert verdicts[0] == verdicts[1]
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 10), st.integers(0, 200), st.integers(0, 40))
+    def test_ttl_probe_random(self, n, seed, ttl):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        assert_equivalent(topo, BlackholeTtlService, fields={FIELD_TTL: ttl})
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(3, 9), st.integers(0, 150), st.data())
+    def test_ttl_full_detection_random(self, n, seed, data):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        edge_id = data.draw(st.integers(0, topo.num_edges - 1))
+        verdicts = []
+        for mode in ("interpreted", "compiled"):
+            net = Network(topo)
+            net.links[edge_id].set_blackhole()
+            runtime = SmartSouthRuntime(net, mode=mode)
+            verdict = runtime.detect_blackhole_ttl(0)
+            verdicts.append((verdict.found, verdict.location, verdict.probes))
+        assert verdicts[0] == verdicts[1]

@@ -1,0 +1,119 @@
+"""Engine plumbing: binding, deferred triggers, result bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import (
+    CompiledEngine,
+    InterpretedEngine,
+    MultiServiceEngine,
+    TraversalResult,
+    make_engine,
+)
+from repro.core.services.base import PlainTraversalService
+from repro.core.services.snapshot import SnapshotService
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi, ring
+from repro.openflow.packet import Packet
+
+
+class TestBinding:
+    def test_compiled_engine_compiles_once(self):
+        net = Network(ring(5))
+        engine = make_engine(net, SnapshotService(), "compiled")
+        engine.install()
+        switches = dict(engine.switches)
+        engine.install()  # re-binding must not recompile
+        assert engine.switches == switches
+        assert all(engine.switches[n] is switches[n] for n in switches)
+
+    def test_last_engine_owns_the_sinks(self):
+        net = Network(ring(5))
+        first = make_engine(net, SnapshotService(), "compiled")
+        second = make_engine(net, PlainTraversalService(), "compiled")
+        first.trigger(0)
+        second.trigger(0)
+        result = first.trigger(0)  # first re-binds and still collects
+        assert result.reports
+
+    def test_modes_exposed(self):
+        net = Network(ring(4))
+        assert make_engine(net, SnapshotService(), "interpreted").mode == "interpreted"
+        assert make_engine(net, SnapshotService(), "compiled").mode == "compiled"
+
+    def test_interpreted_counters_live_on_the_interpreter(self):
+        net = Network(ring(4))
+        engine = make_engine(net, PlainTraversalService(), "interpreted")
+        assert isinstance(engine, InterpretedEngine)
+        assert set(engine.interpreter.counters) == set(range(4))
+
+
+class TestDeferredTrigger:
+    def test_run_false_enqueues_without_draining(self):
+        net = Network(ring(5))
+        engine = make_engine(net, PlainTraversalService(), "compiled")
+        result = engine.trigger(0, run=False)
+        assert result.reports == []
+        assert net.sim.pending == 1
+        net.run()
+        assert engine.reports  # the verdict arrived once the caller ran
+
+    def test_two_deferred_triggers_interleave_on_the_clock(self):
+        # Two plain traversals launched together share the network without
+        # corrupting each other (their state lives in separate packets).
+        net = Network(ring(6))
+        engine = make_engine(net, PlainTraversalService(), "compiled")
+        engine.trigger(0, run=False)
+        engine.trigger(3, run=False)
+        net.run()
+        assert len(engine.reports) == 2
+        assert {node for node, _ in engine.reports} == {0, 3}
+
+
+class TestTraversalResult:
+    def test_delivered_at_none_without_deliveries(self):
+        result = TraversalResult(root=0, packet=Packet())
+        assert result.delivered_at is None
+        assert not result.completed
+
+    def test_completed_with_reports(self):
+        result = TraversalResult(root=0, packet=Packet(),
+                                 reports=[(1, Packet())])
+        assert result.completed
+
+    def test_message_counts_are_per_run(self):
+        topo = erdos_renyi(8, 0.35, seed=1)
+        net = Network(topo)
+        engine = make_engine(net, PlainTraversalService(), "compiled")
+        first = engine.trigger(0)
+        second = engine.trigger(0)
+        assert first.in_band_messages == second.in_band_messages
+        assert first.out_band_messages == second.out_band_messages == 2
+
+
+class TestMultiServiceDetails:
+    def test_interpreted_counters_isolated_per_service(self):
+        from repro.core.services.blackhole import BlackholeService
+
+        net = Network(ring(4))
+        engine = MultiServiceEngine(
+            net, [BlackholeService(), PlainTraversalService()],
+            mode="interpreted",
+        )
+        engine.install()
+        banks = engine._interpreters
+        assert banks[BlackholeService.service_id].counters is not (
+            banks[PlainTraversalService.service_id].counters
+        )
+
+    def test_total_rules_requires_compiled(self):
+        net = Network(ring(4))
+        engine = MultiServiceEngine(net, [SnapshotService()], mode="compiled")
+        assert engine.total_rules() > 0
+
+    def test_trigger_accepts_service_instance(self):
+        net = Network(ring(4))
+        service = SnapshotService()
+        engine = MultiServiceEngine(net, [service], mode="interpreted")
+        assert engine.trigger(service, 0).reports

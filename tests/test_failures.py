@@ -1,0 +1,110 @@
+"""Failure-scenario generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.channel import ControlChannel
+from repro.core.runtime import SmartSouthRuntime
+from repro.net.failures import (
+    fail_random_links,
+    fail_region,
+    isolate_node,
+    live_component,
+    management_outage,
+)
+from repro.net.simulator import Network
+from repro.net.topology import complete, erdos_renyi, line, ring
+
+
+class TestRandomLinks:
+    def test_fails_exactly_k(self):
+        net = Network(ring(8))
+        dead = fail_random_links(net, 3, seed=1)
+        assert len(dead) == 3
+        assert sum(1 for link in net.links if not link.up) == 3
+
+    def test_deterministic_by_seed(self):
+        a = Network(ring(8))
+        b = Network(ring(8))
+        assert fail_random_links(a, 3, seed=4) == fail_random_links(b, 3, seed=4)
+
+    def test_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            fail_random_links(Network(line(3)), 5)
+
+    def test_keep_connected(self):
+        topo = complete(6)
+        for seed in range(10):
+            net = Network(topo)
+            fail_random_links(net, 4, seed=seed, keep_connected=True)
+            assert live_component(net, 0) == set(topo.nodes())
+
+    def test_keep_connected_impossible_raises(self):
+        # A line cannot survive losing any link.
+        net = Network(line(4))
+        with pytest.raises(RuntimeError):
+            fail_random_links(net, 1, keep_connected=True)
+
+
+class TestIsolateAndRegion:
+    def test_isolate_node(self):
+        topo = ring(6)
+        net = Network(topo)
+        failed = isolate_node(net, 2)
+        assert len(failed) == 2
+        assert live_component(net, 0) == {0, 1, 3, 4, 5}
+
+    def test_isolate_is_idempotent(self):
+        net = Network(ring(6))
+        isolate_node(net, 2)
+        assert isolate_node(net, 2) == []
+
+    def test_fail_region_internal_links_only(self):
+        topo = complete(6)
+        net = Network(topo)
+        failed = fail_region(net, {0, 1, 2})
+        assert len(failed) == 3  # the triangle inside the region
+        # Uplinks to the rest of the graph survive.
+        assert live_component(net, 0) == set(topo.nodes())
+
+    def test_snapshot_after_region_failure(self):
+        topo = complete(6)
+        net = Network(topo)
+        fail_region(net, {0, 1, 2})
+        runtime = SmartSouthRuntime(net, mode="compiled")
+        snap = runtime.snapshot(0)
+        assert snap.links == net.live_port_pairs()
+
+
+class TestManagementOutage:
+    def test_fraction_of_switches_disconnected(self):
+        net = Network(ring(10))
+        channel = ControlChannel(net)
+        down = management_outage(channel, 0.5, seed=2)
+        assert len(down) == 5
+        assert channel.disconnected_switches() == set(down)
+
+    def test_zero_and_full(self):
+        net = Network(ring(10))
+        channel = ControlChannel(net)
+        assert management_outage(channel, 0.0) == []
+        down = management_outage(channel, 1.0)
+        assert len(down) == 10
+
+    def test_bad_fraction_rejected(self):
+        net = Network(ring(4))
+        channel = ControlChannel(net)
+        with pytest.raises(ValueError):
+            management_outage(channel, 1.5)
+
+
+class TestLiveComponent:
+    def test_matches_traversal_coverage(self):
+        topo = erdos_renyi(14, 0.25, seed=8)
+        net = Network(topo)
+        fail_random_links(net, 4, seed=3)
+        component = live_component(net, 0)
+        runtime = SmartSouthRuntime(net, mode="compiled")
+        snap = runtime.snapshot(0)
+        assert snap.nodes == component

@@ -1,0 +1,104 @@
+"""Tag layout: bit packing, sizing, record costs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fields import (
+    FIELD_GID,
+    FIELD_START,
+    GLOBAL_FIELD_BITS,
+    TagLayout,
+    cur_field,
+    par_field,
+    port_bits,
+)
+from repro.net.topology import erdos_renyi, line, ring, star
+from repro.openflow.packet import Packet
+
+
+class TestPortBits:
+    @pytest.mark.parametrize(
+        "degree,expected", [(0, 1), (1, 1), (2, 2), (3, 2), (4, 3), (255, 8)]
+    )
+    def test_widths(self, degree, expected):
+        assert port_bits(degree) == expected
+
+
+class TestTagLayout:
+    def test_field_names(self):
+        assert par_field(3) == "v3.par"
+        assert cur_field(3) == "v3.cur"
+
+    def test_total_bits_composition(self):
+        topo = ring(5)  # every node degree 2 -> 2 bits per tag field
+        layout = TagLayout(topo)
+        global_bits = sum(GLOBAL_FIELD_BITS.values())
+        assert layout.total_bits == global_bits + 5 * 2 * 2
+        assert layout.tag_bits == 5 * 2 * 2
+        assert layout.total_bytes == (layout.total_bits + 7) // 8
+
+    def test_star_hub_gets_wider_slots(self):
+        topo = star(9)  # hub degree 8 -> 4 bits; leaves 1 bit
+        layout = TagLayout(topo)
+        assert layout.slot(par_field(0)).width == 4
+        assert layout.slot(par_field(1)).width == 1
+
+    def test_pack_unpack_roundtrip_simple(self):
+        topo = line(3)
+        layout = TagLayout(topo)
+        fields = {FIELD_START: 1, FIELD_GID: 300, par_field(1): 1, cur_field(1): 2}
+        assert layout.unpack(layout.pack(fields)) == fields
+
+    def test_pack_rejects_overflow(self):
+        layout = TagLayout(line(3))
+        with pytest.raises(ValueError):
+            layout.pack({FIELD_START: 4})  # start is 2 bits
+
+    def test_pack_rejects_unknown_field(self):
+        layout = TagLayout(line(3))
+        with pytest.raises(KeyError):
+            layout.pack({"nonsense": 1})
+
+    def test_pack_packet_ignores_foreign_fields(self):
+        layout = TagLayout(line(3))
+        packet = Packet(fields={FIELD_START: 1, "scratch_foreign": 9})
+        header = layout.pack_packet(packet)
+        assert layout.unpack(header) == {FIELD_START: 1}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(3, 20), st.integers(0, 50), st.data())
+    def test_roundtrip_random(self, n, seed, data):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        layout = TagLayout(topo)
+        fields = {}
+        for node in topo.nodes():
+            deg = topo.degree(node)
+            fields[par_field(node)] = data.draw(st.integers(0, deg))
+            fields[cur_field(node)] = data.draw(st.integers(0, deg))
+        fields[FIELD_START] = data.draw(st.integers(0, 3))
+        packed = layout.pack(fields)
+        unpacked = layout.unpack(packed)
+        nonzero = {k: v for k, v in fields.items() if v}
+        assert unpacked == nonzero
+
+    def test_record_bits_scale_with_size(self):
+        small = TagLayout(line(4)).record_bits()
+        big = TagLayout(erdos_renyi(200, 0.02, seed=1)).record_bits()
+        assert big["visit"] > small["visit"]
+        assert small["ret"] == big["ret"] == 2
+
+    def test_stack_bits(self):
+        layout = TagLayout(line(4))
+        costs = layout.record_bits()
+        stack = [("visit", 0, 0), ("out", 1), ("ret",)]
+        assert layout.stack_bits(stack) == (
+            costs["visit"] + costs["out"] + costs["ret"]
+        )
+
+    def test_tag_bits_grow_linearly(self):
+        bits_10 = TagLayout(ring(10)).tag_bits
+        bits_40 = TagLayout(ring(40)).tag_bits
+        assert bits_40 == 4 * bits_10

@@ -1,0 +1,90 @@
+"""In-band reporting: verdicts delivered to a server at the root switch.
+
+The paper (§3.5): "all out-of-band messages can be sent in-band to any
+server connected to the first node of the traversal, thereby allowing
+complete in-band monitoring."  Root-reporting services accept
+``inband_report=True`` to route their verdict to the root's local port
+instead of the controller.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import make_engine
+from repro.core.fields import FIELD_SNAP_DONE
+from repro.core.services.base import PlainTraversalService
+from repro.core.services.critical import (
+    CRITICAL,
+    FIELD_CRITICAL,
+    NOT_CRITICAL,
+    CriticalNodeService,
+)
+from repro.core.services.snapshot import SnapshotService, decode_snapshot
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi, ring, star
+
+
+class TestInbandReporting:
+    def test_plain_traversal_reports_locally(self, engine_mode):
+        net = Network(ring(5))
+        engine = make_engine(net, PlainTraversalService(inband_report=True),
+                             engine_mode)
+        result = engine.trigger(0, from_controller=False)
+        assert not result.reports  # nothing touched the controller
+        assert result.deliveries and result.deliveries[0][0] == 0
+        assert result.out_band_messages == 0  # fully in-band
+
+    def test_snapshot_delivered_to_root_server(self, engine_mode):
+        topo = erdos_renyi(10, 0.3, seed=4)
+        net = Network(topo)
+        engine = make_engine(net, SnapshotService(inband_report=True), engine_mode)
+        result = engine.trigger(0, from_controller=False)
+        assert result.out_band_messages == 0
+        node, packet = result.deliveries[0]
+        assert node == 0
+        assert packet.get(FIELD_SNAP_DONE) == 1
+        nodes, links = decode_snapshot(packet)
+        assert links == topo.port_pair_set()
+
+    def test_critical_verdicts_delivered_locally(self, engine_mode):
+        topo = star(5)
+        net = Network(topo)
+        engine = make_engine(net, CriticalNodeService(inband_report=True),
+                             engine_mode)
+        hub = engine.trigger(0, from_controller=False)
+        assert hub.deliveries[0][1].get(FIELD_CRITICAL) == CRITICAL
+        leaf = engine.trigger(2, from_controller=False)
+        assert leaf.deliveries[0][1].get(FIELD_CRITICAL) == NOT_CRITICAL
+        assert hub.out_band_messages == leaf.out_band_messages == 0
+
+    def test_default_still_reports_to_controller(self, engine_mode):
+        net = Network(ring(5))
+        engine = make_engine(net, SnapshotService(), engine_mode)
+        result = engine.trigger(0)
+        assert result.reports and not result.deliveries
+
+    def test_verdict_node_is_the_root(self, engine_mode):
+        topo = erdos_renyi(10, 0.3, seed=4)
+        net = Network(topo)
+        engine = make_engine(net, CriticalNodeService(inband_report=True),
+                             engine_mode)
+        for root in (0, 3, 7):
+            result = engine.trigger(root, from_controller=False)
+            assert result.deliveries[0][0] == root
+
+    def test_matches_controller_mode_verdicts(self, engine_mode):
+        """Same verdicts either way; only the delivery path changes."""
+        topo = erdos_renyi(12, 0.25, seed=9)
+        inband = make_engine(
+            Network(topo), CriticalNodeService(inband_report=True), engine_mode
+        )
+        outband = make_engine(
+            Network(topo), CriticalNodeService(), engine_mode
+        )
+        for node in topo.nodes():
+            a = inband.trigger(node, from_controller=False)
+            b = outband.trigger(node)
+            verdict_a = a.deliveries[0][1].get(FIELD_CRITICAL)
+            verdict_b = b.reports[0][1].get(FIELD_CRITICAL)
+            assert verdict_a == verdict_b

@@ -1,0 +1,160 @@
+"""Load inference via smart counters (the paper's §4 remark) + CRT."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runtime import SmartSouthRuntime
+from repro.core.services.load import LoadAuditService, LoadMonitor, crt
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi, grid, line, ring
+
+
+def make_monitor(topology, moduli=(5, 7, 11), seed=0):
+    net = Network(topology, seed=seed)
+    runtime = SmartSouthRuntime(net)
+    return runtime.load_monitor(moduli), net
+
+
+class TestCrt:
+    def test_single_modulus(self):
+        assert crt({7: 3}) == 3
+
+    def test_two_moduli(self):
+        # x = 23: 23 mod 5 = 3, 23 mod 7 = 2.
+        assert crt({5: 3, 7: 2}) == 23
+
+    def test_three_moduli(self):
+        x = 311
+        assert crt({5: x % 5, 7: x % 7, 11: x % 11}) == x
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 5 * 7 * 11 - 1))
+    def test_roundtrip(self, x):
+        assert crt({5: x % 5, 7: x % 7, 11: x % 11}) == x
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2 * 3 * 5 * 7 - 1))
+    def test_roundtrip_other_basis(self, x):
+        residues = {m: x % m for m in (2, 3, 5, 7)}
+        assert crt(residues) == x
+
+
+class TestLoadAudit:
+    def test_uniform_traffic(self):
+        monitor, _net = make_monitor(ring(5))
+        monitor.send_uniform_traffic(9)
+        report = monitor.audit(0)
+        assert report.loads == monitor.ground_truth()
+        assert all(v == 9 for v in report.loads.values())
+
+    def test_skewed_traffic(self):
+        topo = grid(3, 3)
+        monitor, _net = make_monitor(topo)
+        rng = random.Random(3)
+        loads = {
+            (e.a.node, e.a.port): rng.randrange(0, 380)
+            for e in topo.edges()
+        }
+        monitor.send_traffic(loads)
+        report = monitor.audit(0)
+        assert report.loads == monitor.ground_truth()
+
+    def test_loads_beyond_product_wrap(self):
+        monitor, _net = make_monitor(line(3), moduli=(5, 7))
+        monitor.send_traffic({(0, 1): 35 + 4})  # wraps to 4 mod 35
+        report = monitor.audit(0)
+        assert report.loads[(1, 1)] == 4
+        assert report.modulus_product == 35
+
+    def test_zero_traffic_reads_zero(self):
+        monitor, _net = make_monitor(ring(4))
+        report = monitor.audit(0)
+        assert all(v == 0 for v in report.loads.values())
+
+    def test_every_connected_port_audited(self):
+        topo = erdos_renyi(10, 0.3, seed=6)
+        monitor, _net = make_monitor(topo)
+        report = monitor.audit(0)
+        expected_keys = set()
+        for edge in topo.edges():
+            expected_keys.add((edge.a.node, edge.a.port))
+            expected_keys.add((edge.b.node, edge.b.port))
+        assert set(report.loads) == expected_keys
+
+    def test_repeated_audits_are_corrected(self):
+        monitor, _net = make_monitor(ring(4))
+        monitor.send_uniform_traffic(3)
+        first = monitor.audit(0)
+        monitor.send_uniform_traffic(2)
+        second = monitor.audit(0)
+        assert all(v == 3 for v in first.loads.values())
+        assert all(v == 5 for v in second.loads.values())
+        assert second.loads == monitor.ground_truth()
+
+    def test_lossy_links_count_only_deliveries(self):
+        from repro.net.link import Direction
+
+        monitor, net = make_monitor(line(3), seed=5)
+        net.links[0].set_loss(0.5, Direction.A_TO_B)
+        monitor.send_traffic({(0, 1): 40})
+        net.links[0].clear()
+        report = monitor.audit(0)
+        assert report.loads == monitor.ground_truth()
+        assert report.loads[(1, 1)] < 40  # losses visible in the counter
+
+    def test_load_between_helper(self):
+        monitor, net = make_monitor(line(3))
+        monitor.send_traffic({(0, 1): 6})
+        report = monitor.audit(0)
+        assert report.load_between(net, 0, 1) == 6
+        assert report.load_between(net, 0, 2) is None
+
+    def test_audit_cost_is_one_dfs(self):
+        from repro.analysis.complexity import dfs_message_count
+
+        topo = erdos_renyi(12, 0.3, seed=8)
+        monitor, _net = make_monitor(topo)
+        report = monitor.audit(0)
+        assert report.in_band_messages == dfs_message_count(
+            topo.num_nodes, topo.num_edges
+        )
+        assert report.out_band_messages == 2
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(4, 12), st.integers(0, 200), st.data())
+    def test_random_loads_property(self, n, seed, data):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        monitor, _net = make_monitor(topo)
+        loads = {}
+        for edge in list(topo.edges())[:6]:
+            loads[(edge.a.node, edge.a.port)] = data.draw(st.integers(0, 100))
+        monitor.send_traffic(loads)
+        report = monitor.audit(0)
+        assert report.loads == monitor.ground_truth()
+
+
+class TestConfig:
+    def test_monitor_requires_load_service(self):
+        from repro.core.engine import make_engine
+        from repro.core.services.base import PlainTraversalService
+
+        engine = make_engine(Network(ring(4)), PlainTraversalService(), "interpreted")
+        with pytest.raises(TypeError):
+            LoadMonitor(engine)
+
+    def test_bad_port_rejected(self):
+        monitor, _net = make_monitor(ring(4))
+        with pytest.raises(ValueError):
+            monitor.send_traffic({(0, 9): 1})
+
+    def test_not_compilable(self):
+        from repro.core.compiler import compile_service
+
+        net = Network(ring(4))
+        with pytest.raises(NotImplementedError):
+            compile_service(net, 0, LoadAuditService())

@@ -1,0 +1,166 @@
+"""Multi-service pipelines: all SmartSouth functions on one data plane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verify import verify_switch
+from repro.core.compiler import compile_services
+from repro.core.engine import MultiServiceEngine, make_engine
+from repro.core.fields import FIELD_GID, FIELD_REPEAT
+from repro.core.services.anycast import AnycastService, PriocastService
+from repro.core.services.base import PlainTraversalService
+from repro.core.services.blackhole import BlackholeService
+from repro.core.services.critical import CriticalNodeService
+from repro.core.services.snapshot import SnapshotService, decode_snapshot
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi, ring
+
+
+def full_stack():
+    return [
+        PlainTraversalService(),
+        SnapshotService(),
+        AnycastService({1: {5}}),
+        PriocastService({1: {5: 10, 2: 4}}),
+        BlackholeService(),
+        CriticalNodeService(),
+    ]
+
+
+@pytest.fixture(params=["interpreted", "compiled"])
+def multi(request):
+    topo = erdos_renyi(10, 0.3, seed=12)
+    net = Network(topo)
+    return MultiServiceEngine(net, full_stack(), mode=request.param), topo
+
+
+class TestMultiService:
+    def test_each_service_works(self, multi):
+        engine, topo = multi
+        services = list(engine.services.values())
+        snap = engine.trigger(services[1], 0)
+        nodes, links = decode_snapshot(snap.reports[-1][1])
+        assert links == topo.port_pair_set()
+
+        anycast = engine.trigger(
+            services[2], 0, fields={FIELD_GID: 1}, from_controller=False
+        )
+        assert anycast.delivered_at == 5
+
+        priocast = engine.trigger(
+            services[3], 0, fields={FIELD_GID: 1}, from_controller=False
+        )
+        assert priocast.delivered_at == 5
+
+        critical = engine.trigger(services[5], 0)
+        assert critical.reports
+
+    def test_trigger_by_id(self, multi):
+        engine, _topo = multi
+        result = engine.trigger(SnapshotService.service_id, 0)
+        assert result.reports
+
+    def test_unknown_service_id_rejected(self, multi):
+        engine, _topo = multi
+        with pytest.raises(KeyError):
+            engine.trigger(99, 0)
+
+    def test_unknown_svc_packet_dropped(self, multi):
+        engine, _topo = multi
+        engine.install()
+        from repro.openflow.packet import Packet
+
+        engine.network.inject(0, Packet(fields={"svc": 13}))
+        engine.network.run()
+        # No emission: the packet died at the dispatch miss.
+        assert engine.network.trace.in_band_messages == 0
+
+    def test_results_match_single_service_engines(self, multi):
+        engine, topo = multi
+        multi_snap = engine.trigger(SnapshotService.service_id, 0)
+        single = make_engine(Network(topo), SnapshotService(), engine.mode)
+        single_snap = single.trigger(0)
+        assert (
+            multi_snap.reports[-1][1].stack == single_snap.reports[-1][1].stack
+        )
+        assert multi_snap.in_band_messages == single_snap.in_band_messages
+
+    def test_duplicate_ids_rejected(self):
+        net = Network(ring(4))
+        with pytest.raises(ValueError):
+            MultiServiceEngine(net, [SnapshotService(), SnapshotService()])
+
+    def test_bad_mode_rejected(self):
+        net = Network(ring(4))
+        with pytest.raises(ValueError):
+            MultiServiceEngine(net, [SnapshotService()], mode="psychic")
+
+
+class TestCompiledMultiPipeline:
+    def test_verifier_clean(self):
+        topo = erdos_renyi(8, 0.35, seed=3)
+        net = Network(topo)
+        for node in topo.nodes():
+            switch = compile_services(net, node, full_stack())
+            report = verify_switch(switch)
+            assert report.ok, report.errors
+
+    def test_table_blocks_disjoint(self):
+        net = Network(ring(4))
+        switch = compile_services(net, 0, [SnapshotService(), BlackholeService()])
+        # svc dispatch at table 0; two blocks of 8 tables each.
+        assert 0 in switch.tables
+        snapshot_tables = {t for t in switch.tables if 1 <= t < 9}
+        blackhole_tables = {t for t in switch.tables if 9 <= t < 17}
+        assert snapshot_tables and blackhole_tables
+
+    def test_group_ids_do_not_clash(self):
+        net = Network(ring(4))
+        switch = compile_services(
+            net, 0, [PlainTraversalService(), BlackholeService()]
+        )
+        ids = [g.group_id for g in switch.groups.groups()]
+        assert len(ids) == len(set(ids))
+
+    def test_duplicate_service_ids_rejected(self):
+        net = Network(ring(4))
+        with pytest.raises(ValueError):
+            compile_services(net, 0, [SnapshotService(), SnapshotService()])
+
+    def test_blackhole_detection_in_multi_pipeline(self):
+        topo = erdos_renyi(8, 0.35, seed=3)
+        for mode in ("interpreted", "compiled"):
+            net = Network(topo)
+            net.links[2].set_blackhole()
+            engine = MultiServiceEngine(net, full_stack(), mode=mode)
+            engine.trigger(BlackholeService.service_id, 0,
+                           fields={FIELD_REPEAT: 3})
+            result = engine.trigger(BlackholeService.service_id, 0,
+                                    fields={FIELD_REPEAT: 0})
+            found = [
+                packet.get("report_port")
+                for _node, packet in result.reports
+                if packet.get("bh") == 1
+            ]
+            edge = topo.edge(2)
+            assert found
+            reporter = result.reports[0][0]
+            assert (reporter, found[0]) in {
+                (edge.a.node, edge.a.port),
+                (edge.b.node, edge.b.port),
+            }
+
+    def test_interleaving_services_shares_switch_state(self):
+        """Running other services between blackhole phases must not disturb
+        the counters (they are per-service group state)."""
+        topo = erdos_renyi(8, 0.35, seed=3)
+        net = Network(topo)
+        net.links[1].set_blackhole()
+        engine = MultiServiceEngine(net, full_stack(), mode="compiled")
+        engine.trigger(BlackholeService.service_id, 0, fields={FIELD_REPEAT: 3})
+        engine.trigger(CriticalNodeService.service_id, 0)  # interleaved
+        result = engine.trigger(
+            BlackholeService.service_id, 0, fields={FIELD_REPEAT: 0}
+        )
+        assert any(p.get("bh") == 1 for _n, p in result.reports)

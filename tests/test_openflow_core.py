@@ -1,0 +1,153 @@
+"""Packets, actions, flow tables: the single-switch building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.openflow.actions import (
+    DecTtl,
+    Instructions,
+    Output,
+    PopLabel,
+    PushLabel,
+    SetField,
+)
+from repro.openflow.errors import ActionError
+from repro.openflow.flowtable import FlowTable
+from repro.openflow.match import Match
+from repro.openflow.packet import Packet
+
+
+class TestPacket:
+    def test_absent_field_reads_zero(self):
+        assert Packet().get("anything") == 0
+
+    def test_set_get_roundtrip(self):
+        packet = Packet()
+        packet.set("x", 7)
+        assert packet.get("x") == 7
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            Packet().set("x", -1)
+
+    def test_stack_push_pop(self):
+        packet = Packet()
+        packet.push(("a", 1))
+        packet.push(("b", 2))
+        assert packet.pop() == ("b", 2)
+        assert packet.pop() == ("a", 1)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            Packet().pop()
+
+    def test_copy_is_independent(self):
+        packet = Packet(fields={"x": 1})
+        packet.push(("r",))
+        clone = packet.copy()
+        clone.set("x", 2)
+        clone.pop()
+        assert packet.get("x") == 1
+        assert packet.stack == [("r",)]
+
+    def test_copy_gets_fresh_id(self):
+        packet = Packet()
+        assert packet.copy().packet_id != packet.packet_id
+
+
+class TestActions:
+    def _emitted(self):
+        out = []
+        return out, lambda port, pkt: out.append((port, pkt))
+
+    def test_set_field(self):
+        packet = Packet()
+        out, emit = self._emitted()
+        SetField("x", 3).apply(packet, emit, in_port=1)
+        assert packet.get("x") == 3
+        assert out == []
+
+    def test_output_emits(self):
+        packet = Packet()
+        out, emit = self._emitted()
+        Output(4).apply(packet, emit, in_port=1)
+        assert out == [(4, packet)]
+
+    def test_push_pop_label(self):
+        packet = Packet()
+        out, emit = self._emitted()
+        PushLabel(("rec", 1)).apply(packet, emit, 1)
+        assert packet.stack == [("rec", 1)]
+        PopLabel().apply(packet, emit, 1)
+        assert packet.stack == []
+
+    def test_pop_on_empty_is_noop(self):
+        packet = Packet()
+        out, emit = self._emitted()
+        PopLabel().apply(packet, emit, 1)  # must not raise
+        assert packet.stack == []
+
+    def test_dec_ttl_floors_at_zero(self):
+        packet = Packet(fields={"ttl": 1})
+        out, emit = self._emitted()
+        DecTtl().apply(packet, emit, 1)
+        assert packet.get("ttl") == 0
+        DecTtl().apply(packet, emit, 1)
+        assert packet.get("ttl") == 0
+
+    def test_instructions_metadata_consistency(self):
+        with pytest.raises(ActionError):
+            Instructions(write_metadata=(0xFF, 0x0F))
+
+    def test_instructions_describe(self):
+        text = Instructions(
+            apply_actions=(SetField("x", 1), Output(2)), goto_table=3
+        ).describe()
+        assert "SetField" in text and "goto:3" in text
+
+
+class TestFlowTable:
+    def test_lookup_priority_order(self):
+        table = FlowTable(0)
+        low = table.install(Match(), Instructions(), priority=1, cookie="low")
+        high = table.install(Match(x=1), Instructions(), priority=10, cookie="high")
+        assert table.lookup({"x": 1}) is high
+        assert table.lookup({"x": 2}) is low
+
+    def test_miss_returns_none(self):
+        table = FlowTable(0)
+        table.install(Match(x=1), Instructions())
+        assert table.lookup({"x": 2}) is None
+
+    def test_counters_increment(self):
+        table = FlowTable(0)
+        entry = table.install(Match(), Instructions())
+        table.lookup({})
+        table.lookup({})
+        assert entry.packet_count == 2
+
+    def test_insertion_order_breaks_ties(self):
+        table = FlowTable(0)
+        first = table.install(Match(), Instructions(), priority=5)
+        table.install(Match(), Instructions(), priority=5)
+        assert table.lookup({}) is first
+
+    def test_entries_sorted_by_priority(self):
+        table = FlowTable(0)
+        table.install(Match(), Instructions(), priority=1)
+        table.install(Match(), Instructions(), priority=9)
+        priorities = [e.priority for e in table.entries()]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_negative_table_id_rejected(self):
+        from repro.openflow.errors import TableError
+
+        with pytest.raises(TableError):
+            FlowTable(-1)
+
+    def test_len(self):
+        table = FlowTable(0)
+        assert len(table) == 0
+        table.install(Match(), Instructions())
+        assert len(table) == 1

@@ -1,0 +1,136 @@
+"""Matches: exact, masked, range encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.openflow.errors import MatchError
+from repro.openflow.match import FieldTest, Match, encode_range
+
+
+class TestFieldTest:
+    def test_exact_hit(self):
+        assert FieldTest("x", 5).hits({"x": 5})
+
+    def test_exact_miss(self):
+        assert not FieldTest("x", 5).hits({"x": 6})
+
+    def test_absent_field_reads_zero(self):
+        assert FieldTest("x", 0).hits({})
+        assert not FieldTest("x", 1).hits({})
+
+    def test_masked_hit(self):
+        test = FieldTest("x", 0b1000, 0b1100)
+        assert test.hits({"x": 0b1011})
+        assert test.hits({"x": 0b1000})
+
+    def test_masked_miss(self):
+        test = FieldTest("x", 0b1000, 0b1100)
+        assert not test.hits({"x": 0b0100})
+
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(MatchError):
+            FieldTest("x", 0b11, 0b10)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(MatchError):
+            FieldTest("x", -1)
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(MatchError):
+            FieldTest("x", 0, -2)
+
+
+class TestMatch:
+    def test_empty_match_is_wildcard(self):
+        assert Match().hits({})
+        assert Match().hits({"anything": 42})
+
+    def test_conjunction(self):
+        match = Match(x=1, y=2)
+        assert match.hits({"x": 1, "y": 2})
+        assert not match.hits({"x": 1, "y": 3})
+        assert not match.hits({"x": 0, "y": 2})
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(MatchError):
+            Match([FieldTest("x", 1), FieldTest("x", 2)])
+
+    def test_duplicate_kwarg_vs_test_rejected(self):
+        with pytest.raises(MatchError):
+            Match([FieldTest("x", 1)], x=2)
+
+    def test_extended_adds_tests(self):
+        base = Match(x=1)
+        extended = base.extended(y=2)
+        assert extended.hits({"x": 1, "y": 2})
+        assert not extended.hits({"x": 1, "y": 0})
+        # The original is unchanged.
+        assert base.hits({"x": 1, "y": 0})
+
+    def test_extended_duplicate_rejected(self):
+        with pytest.raises(MatchError):
+            Match(x=1).extended(x=2)
+
+    def test_field_names(self):
+        assert Match(x=1, y=2).field_names() == {"x", "y"}
+
+    def test_len(self):
+        assert len(Match()) == 0
+        assert len(Match(a=1, b=2, c=3)) == 3
+
+    def test_equality_and_hash(self):
+        assert Match(x=1, y=2) == Match(y=2, x=1)
+        assert hash(Match(x=1)) == hash(Match(x=1))
+        assert Match(x=1) != Match(x=2)
+
+
+class TestEncodeRange:
+    def test_full_range_is_one_wildcardish_pair(self):
+        pairs = encode_range(0, 255, 8)
+        assert pairs == [(0, 0)]
+
+    def test_single_value(self):
+        pairs = encode_range(7, 7, 8)
+        assert pairs == [(7, 255)]
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(MatchError):
+            encode_range(5, 4, 8)
+
+    def test_out_of_width_rejected(self):
+        with pytest.raises(MatchError):
+            encode_range(0, 256, 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(MatchError):
+            encode_range(-1, 3, 8)
+
+    @staticmethod
+    def _covers(pairs: list[tuple[int, int]], x: int) -> bool:
+        return any((x & mask) == value for value, mask in pairs)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_exact_coverage(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        pairs = encode_range(lo, hi, 8)
+        for x in range(256):
+            assert self._covers(pairs, x) == (lo <= x <= hi)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_pair_count_bound(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        pairs = encode_range(lo, hi, 8)
+        assert len(pairs) <= 2 * 8 - 2 or (lo, hi) == (0, 255)
+
+    @given(st.integers(1, 16), st.data())
+    def test_arbitrary_width(self, width, data):
+        top = (1 << width) - 1
+        lo = data.draw(st.integers(0, top))
+        hi = data.draw(st.integers(lo, top))
+        pairs = encode_range(lo, hi, width)
+        # Spot-check the boundaries and a midpoint.
+        for x in {lo, hi, (lo + hi) // 2, max(0, lo - 1), min(top, hi + 1)}:
+            assert self._covers(pairs, x) == (lo <= x <= hi)

@@ -1,0 +1,173 @@
+"""Switch pipeline execution: goto, metadata, reserved ports, groups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.openflow.actions import (
+    GroupAction,
+    Instructions,
+    Output,
+    SetField,
+)
+from repro.openflow.errors import PipelineError, TableError
+from repro.openflow.group import Bucket, Group, GroupType
+from repro.openflow.match import FieldTest, Match
+from repro.openflow.packet import CONTROLLER_PORT, IN_PORT, Packet
+from repro.openflow.switch import Switch
+
+
+def make_switch(num_ports=4, live=None):
+    live = set(live if live is not None else range(1, num_ports + 1))
+    return Switch(1, num_ports, liveness=lambda p: p in live)
+
+
+class TestPipeline:
+    def test_single_table_output(self):
+        switch = make_switch()
+        switch.install(0, Match(), Instructions(apply_actions=(Output(2),)))
+        outs = switch.process(Packet(), in_port=1)
+        assert [o.port for o in outs] == [2]
+
+    def test_miss_drops(self):
+        switch = make_switch()
+        switch.install(0, Match(x=1), Instructions(apply_actions=(Output(2),)))
+        assert switch.process(Packet(), in_port=1) == []
+        assert switch.table_misses == 1
+
+    def test_goto_chain(self):
+        switch = make_switch()
+        switch.install(
+            0, Match(), Instructions(apply_actions=(SetField("x", 1),), goto_table=2)
+        )
+        switch.install(2, Match(x=1), Instructions(apply_actions=(Output(3),)))
+        outs = switch.process(Packet(), in_port=1)
+        assert [o.port for o in outs] == [3]
+
+    def test_goto_backwards_rejected(self):
+        switch = make_switch()
+        switch.install(0, Match(), Instructions(goto_table=1))
+        switch.install(1, Match(), Instructions(goto_table=1))
+        with pytest.raises(PipelineError):
+            switch.process(Packet(), in_port=1)
+
+    def test_goto_missing_table_rejected(self):
+        switch = make_switch()
+        switch.install(0, Match(), Instructions(goto_table=7))
+        with pytest.raises(TableError):
+            switch.process(Packet(), in_port=1)
+
+    def test_in_port_resolution(self):
+        switch = make_switch()
+        switch.install(0, Match(), Instructions(apply_actions=(Output(IN_PORT),)))
+        outs = switch.process(Packet(), in_port=3)
+        assert [o.port for o in outs] == [3]
+
+    def test_in_port_matchable(self):
+        switch = make_switch()
+        switch.install(
+            0, Match(in_port=2), Instructions(apply_actions=(Output(9),)), priority=5
+        )
+        switch.install(0, Match(), Instructions(apply_actions=(Output(1),)))
+        assert [o.port for o in switch.process(Packet(), in_port=2)] == [9]
+        assert [o.port for o in switch.process(Packet(), in_port=3)] == [1]
+
+    def test_metadata_write_and_match(self):
+        switch = make_switch()
+        switch.install(
+            0, Match(), Instructions(write_metadata=(0x2, 0xF), goto_table=1)
+        )
+        switch.install(
+            1,
+            Match([FieldTest("metadata", 0x2, 0xF)]),
+            Instructions(apply_actions=(Output(4),)),
+        )
+        assert [o.port for o in switch.process(Packet(), in_port=1)] == [4]
+
+    def test_metadata_masked_update_preserves_other_bits(self):
+        switch = make_switch()
+        switch.install(
+            0, Match(), Instructions(write_metadata=(0xF0, 0xF0), goto_table=1)
+        )
+        switch.install(
+            1, Match(), Instructions(write_metadata=(0x02, 0x0F), goto_table=2)
+        )
+        switch.install(
+            2,
+            Match([FieldTest("metadata", 0xF2, 0xFF)]),
+            Instructions(apply_actions=(Output(1),)),
+        )
+        assert [o.port for o in switch.process(Packet(), in_port=1)] == [1]
+
+    def test_output_copies_packet_state_at_emit_time(self):
+        switch = make_switch()
+        switch.install(
+            0,
+            Match(),
+            Instructions(
+                apply_actions=(
+                    SetField("x", 1),
+                    Output(CONTROLLER_PORT),
+                    SetField("x", 2),
+                    Output(1),
+                )
+            ),
+        )
+        outs = switch.process(Packet(), in_port=2)
+        assert outs[0].packet.get("x") == 1
+        assert outs[1].packet.get("x") == 2
+
+    def test_group_action_in_pipeline(self):
+        switch = make_switch(live={2})
+        switch.add_group(
+            Group(
+                7,
+                GroupType.FF,
+                [
+                    Bucket([Output(1)], watch_port=1),
+                    Bucket([Output(2)], watch_port=2),
+                ],
+            )
+        )
+        switch.install(0, Match(), Instructions(apply_actions=(GroupAction(7),)))
+        assert [o.port for o in switch.process(Packet(), in_port=3)] == [2]
+
+    def test_rule_loop_guard(self):
+        # A pathological pipeline with very many tables still terminates.
+        switch = make_switch()
+        for t in range(Switch.MAX_PIPELINE_STEPS + 2):
+            switch.install(t, Match(), Instructions(goto_table=t + 1))
+        with pytest.raises(PipelineError):
+            switch.process(Packet(), in_port=1)
+
+
+class TestIntrospection:
+    def test_rule_and_group_counts(self):
+        switch = make_switch()
+        switch.install(0, Match(), Instructions())
+        switch.install(1, Match(x=1), Instructions())
+        switch.add_group(Group(1, GroupType.ALL, []))
+        assert switch.rule_count() == 2
+        assert switch.group_count() == 1
+
+    def test_live_ports(self):
+        switch = make_switch(num_ports=4, live={1, 3})
+        assert switch.live_ports() == [1, 3]
+
+    def test_port_live_bounds(self):
+        switch = make_switch(num_ports=2, live={1, 2, 3})
+        assert switch.port_live(1)
+        assert not switch.port_live(3)  # beyond num_ports
+        assert not switch.port_live(0)
+        assert not switch.port_live(-1)
+
+    def test_describe_mentions_tables_and_groups(self):
+        switch = make_switch()
+        switch.install(0, Match(), Instructions(), cookie="hello")
+        switch.add_group(Group(3, GroupType.FF, []))
+        text = switch.describe()
+        assert "table 0" in text and "group 3" in text
+
+    def test_negative_port_count_rejected(self):
+        with pytest.raises(PipelineError):
+            Switch(1, -1)

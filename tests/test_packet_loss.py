@@ -1,0 +1,118 @@
+"""Packet-loss monitoring with multi-prime smart counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runtime import SmartSouthRuntime
+from repro.core.services.blackhole import LossCheckService, PacketLossMonitor
+from repro.net.link import Direction
+from repro.net.simulator import Network
+from repro.net.topology import grid, line, ring
+
+
+def make_monitor(topology, moduli=(5, 7), seed=0):
+    net = Network(topology, seed=seed)
+    runtime = SmartSouthRuntime(net)
+    return runtime.loss_monitor(moduli), net
+
+
+class TestHealthyNetwork:
+    def test_no_reports_without_traffic(self):
+        monitor, _net = make_monitor(ring(5))
+        report = monitor.check(0)
+        assert report.completed
+        assert report.flagged == set()
+
+    def test_no_reports_with_lossless_traffic(self):
+        monitor, _net = make_monitor(grid(3, 3))
+        monitor.send_traffic(packets_per_direction=9)
+        report = monitor.check(0)
+        assert report.completed
+        assert report.flagged == set()
+
+    def test_repeated_checks_stay_clean(self):
+        monitor, _net = make_monitor(ring(4))
+        monitor.send_traffic(3)
+        first = monitor.check(0)
+        second = monitor.check(0)
+        assert first.flagged == set()
+        assert second.flagged == set()
+
+
+class TestLossDetection:
+    def test_drop_all_link_flagged(self):
+        monitor, net = make_monitor(line(4))
+        net.links[1].set_blackhole(Direction.A_TO_B)
+        monitor.send_traffic(4)
+        net.links[1].clear()  # heal before the check so the check survives
+        report = monitor.check(0)
+        edge = net.topology.edge(1)
+        assert (edge.b.node, edge.b.port) in report.flagged
+
+    def test_flags_match_ground_truth(self):
+        monitor, net = make_monitor(grid(3, 3), seed=3)
+        net.links[2].set_loss(0.5)
+        net.links[7].set_loss(0.5)
+        monitor.send_traffic(11)
+        for link in net.links:
+            link.clear()
+        report = monitor.check(0)
+        assert report.flagged == monitor.detectable_losses()
+
+    def test_loss_multiple_of_all_moduli_is_missed(self):
+        # Drop exactly 35 packets (= 5 x 7): invisible to mod-5 and mod-7
+        # counters — the paper's false-negative case.
+        monitor, net = make_monitor(line(3), moduli=(5, 7))
+        link = net.links[0]
+        link.set_blackhole(Direction.A_TO_B)
+        monitor.send_traffic(35)
+        link.clear()
+        report = monitor.check(0)
+        assert monitor.detectable_losses() == set()
+        assert report.flagged == set()
+
+    def test_extra_prime_catches_the_blind_spot(self):
+        monitor, net = make_monitor(line(3), moduli=(5, 7, 11))
+        link = net.links[0]
+        link.set_blackhole(Direction.A_TO_B)
+        monitor.send_traffic(35)
+        link.clear()
+        report = monitor.check(0)
+        edge = net.topology.edge(0)
+        assert (edge.b.node, edge.b.port) in report.flagged
+
+    def test_single_lost_packet_detected(self):
+        monitor, net = make_monitor(ring(4))
+        link = net.links[2]
+        link.set_blackhole(Direction.B_TO_A)
+        # Send exactly one packet on the lossy direction, lose it.
+        monitor.send_traffic(1)
+        link.clear()
+        report = monitor.check(0)
+        assert report.flagged == monitor.detectable_losses()
+        assert len(report.flagged) == 1
+
+
+class TestConfig:
+    def test_bad_moduli_rejected(self):
+        with pytest.raises(ValueError):
+            LossCheckService(moduli=())
+        with pytest.raises(ValueError):
+            LossCheckService(moduli=(1,))
+
+    def test_monitor_requires_losscheck_engine(self):
+        from repro.core.engine import make_engine
+        from repro.core.services.base import PlainTraversalService
+
+        net = Network(ring(4))
+        engine = make_engine(net, PlainTraversalService(), "interpreted")
+        with pytest.raises(TypeError):
+            PacketLossMonitor(engine)
+
+    def test_losscheck_not_compilable(self):
+        from repro.core.compiler import compile_service
+
+        net = Network(ring(4))
+        with pytest.raises(NotImplementedError):
+            compile_service(net, 0, LossCheckService())

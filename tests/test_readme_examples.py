@@ -1,0 +1,59 @@
+"""The documentation's code must actually run.
+
+Executes every ``python`` code block in README.md and the package
+docstring's quickstart, so the docs can never drift from the API.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+import pytest
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def python_blocks(path: pathlib.Path) -> list[str]:
+    text = path.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_has_python_examples(self):
+        assert len(python_blocks(ROOT / "README.md")) >= 1
+
+    @pytest.mark.parametrize(
+        "index,block",
+        list(enumerate(python_blocks(ROOT / "README.md"))),
+        ids=lambda value: str(value) if isinstance(value, int) else "block",
+    )
+    def test_readme_block_runs(self, index, block):
+        exec(compile(block, f"README.md[block {index}]", "exec"), {})
+
+
+class TestPackageDocstring:
+    def test_quickstart_in_module_docstring_runs(self):
+        import repro
+
+        match = re.search(r"Quickstart::\n\n(.*)\Z", repro.__doc__, re.DOTALL)
+        assert match, "package docstring lost its quickstart"
+        code = "\n".join(
+            line[4:] if line.startswith("    ") else line
+            for line in match.group(1).splitlines()
+        )
+        exec(compile(code, "repro.__doc__", "exec"), {})
+
+
+class TestTutorial:
+    def test_tutorial_service_snippets_consistent(self):
+        """The tutorial's code must match the example it claims to match."""
+        tutorial = (ROOT / "docs" / "TUTORIAL.md").read_text()
+        example = (ROOT / "examples" / "custom_service.py").read_text()
+        for fragment in (
+            "FIELD_BUDGET = \"count_budget\"",
+            "class NodeCountService(Service):",
+            "register_codegen(NodeCountService, NodeCountCodegen)",
+        ):
+            assert fragment in tutorial
+            assert fragment in example

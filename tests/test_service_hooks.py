@@ -1,0 +1,295 @@
+"""Fine-grained unit tests of the Table 1 hooks, in isolation.
+
+The integration suites exercise the hooks through whole traversals; these
+tests pin each hook's behaviour on a synthetic :class:`HookContext`, making
+the reconstructed Table 1 explicit and reviewable against the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fields import (
+    FIELD_FIRST_PORT,
+    FIELD_GID,
+    FIELD_OPT_ID,
+    FIELD_OPT_VAL,
+    FIELD_REPEAT,
+    FIELD_START,
+    FIELD_TO_PARENT,
+    FIELD_TTL,
+    cur_field,
+    par_field,
+)
+from repro.core.services.anycast import AnycastService, PriocastService
+from repro.core.services.base import HookContext, SmartCounterBank
+from repro.core.services.blackhole import (
+    BH_FOUND,
+    FIELD_BH,
+    FIELD_REPORT_PORT,
+    BlackholeService,
+    BlackholeTtlService,
+)
+from repro.core.services.critical import (
+    CRITICAL,
+    FIELD_CRITICAL,
+    CriticalNodeService,
+)
+from repro.core.services.snapshot import SnapshotService
+from repro.openflow.packet import CONTROLLER_PORT, LOCAL_PORT, Packet
+
+
+def ctx_for(node=1, in_port=1, deg=3, fields=None, live=None):
+    packet = Packet(fields=dict(fields or {}))
+    return HookContext(
+        node=node,
+        in_port=in_port,
+        packet=packet,
+        deg=deg,
+        live=live or (lambda port: True),
+        counters=SmartCounterBank(),
+    )
+
+
+class TestSnapshotHooks:
+    def test_first_visit_records_node_and_inport(self):
+        ctx = ctx_for(node=4, in_port=2)
+        SnapshotService().first_visit(ctx)
+        assert ctx.packet.stack == [("visit", 4, 2)]
+
+    def test_bounce_known_pops(self):
+        service = SnapshotService()
+        # in < cur: the bounce arrives on an already-swept port.
+        ctx = ctx_for(node=4, in_port=1, fields={cur_field(4): 3, par_field(4): 2})
+        ctx.packet.push(("out", 9))
+        service.visit_not_from_cur(ctx)
+        assert ctx.packet.stack == []
+
+    def test_bounce_finished_node_pops(self):
+        service = SnapshotService()
+        # cur == par: the node already returned to its parent.
+        ctx = ctx_for(node=4, in_port=3, fields={cur_field(4): 2, par_field(4): 2})
+        ctx.packet.push(("out", 9))
+        service.visit_not_from_cur(ctx)
+        assert ctx.packet.stack == []
+
+    def test_bounce_new_edge_pushes(self):
+        service = SnapshotService()
+        # in > cur and node mid-sweep: edge not yet recorded.
+        ctx = ctx_for(node=4, in_port=3, fields={cur_field(4): 1, par_field(4): 2})
+        service.visit_not_from_cur(ctx)
+        assert ctx.packet.stack == [("visit", 4, 3)]
+
+    def test_root_first_send_pushes_self_record(self):
+        service = SnapshotService()
+        ctx = ctx_for(node=7)
+        ctx.out = 2
+        service.send_next_neighbor(ctx)
+        assert ctx.packet.stack == [("visit", 7, 0), ("out", 2)]
+
+    def test_send_parent_pushes_ret(self):
+        service = SnapshotService()
+        ctx = ctx_for(node=7, fields={par_field(7): 2})
+        ctx.out = 2
+        service.send_parent(ctx)
+        assert ctx.packet.stack == [("ret",)]
+
+    def test_root_finish_does_not_push_ret(self):
+        service = SnapshotService()
+        ctx = ctx_for(node=7)
+        ctx.out = 0
+        service.send_parent(ctx)
+        assert ctx.packet.stack == []
+
+
+class TestPriocastHooks:
+    def _service(self):
+        return PriocastService({1: {1: 50, 2: 30}})
+
+    def test_bid_updates_when_higher(self):
+        ctx = ctx_for(node=1, fields={FIELD_GID: 1, FIELD_START: 1,
+                                      FIELD_OPT_VAL: 30})
+        self._service().first_visit(ctx)
+        assert ctx.packet.get(FIELD_OPT_VAL) == 50
+        assert ctx.packet.get(FIELD_OPT_ID) == 2  # node + 1
+
+    def test_bid_keeps_when_lower(self):
+        ctx = ctx_for(node=2, fields={FIELD_GID: 1, FIELD_START: 1,
+                                      FIELD_OPT_VAL: 50, FIELD_OPT_ID: 2})
+        self._service().first_visit(ctx)
+        assert ctx.packet.get(FIELD_OPT_VAL) == 50
+        assert ctx.packet.get(FIELD_OPT_ID) == 2
+
+    def test_non_member_never_bids(self):
+        ctx = ctx_for(node=5, fields={FIELD_GID: 1, FIELD_START: 1})
+        self._service().first_visit(ctx)
+        assert ctx.packet.get(FIELD_OPT_ID) == 0
+
+    def test_phase2_winner_delivers_locally(self):
+        ctx = ctx_for(node=1, in_port=2, fields={
+            FIELD_START: 2, FIELD_OPT_ID: 2, par_field(1): 2, cur_field(1): 2,
+        })
+        self._service().visit_from_cur(ctx)
+        assert ctx.out == LOCAL_PORT and ctx.skip_sweep
+
+    def test_phase2_loser_restarts_sweep(self):
+        ctx = ctx_for(node=5, in_port=2, fields={
+            FIELD_START: 2, FIELD_OPT_ID: 2, par_field(5): 2, cur_field(5): 2,
+        })
+        self._service().visit_from_cur(ctx)
+        assert ctx.out == 1 and not ctx.skip_sweep
+
+    def test_finish_phase1_restarts_via_firstport(self):
+        service = self._service()
+        ctx = ctx_for(node=9, fields={
+            FIELD_START: 1, FIELD_OPT_ID: 2, FIELD_FIRST_PORT: 3,
+        })
+        ctx.out = 0
+        service.finish(ctx)
+        assert ctx.packet.get(FIELD_START) == 2
+        assert ctx.out == 3
+        assert ctx.cur == 3
+
+    def test_finish_phase1_root_wins(self):
+        service = self._service()
+        ctx = ctx_for(node=1, fields={FIELD_START: 1, FIELD_OPT_ID: 2})
+        ctx.out = 0
+        service.finish(ctx)
+        assert ctx.out == LOCAL_PORT
+
+    def test_finish_no_receiver_drops(self):
+        service = self._service()
+        ctx = ctx_for(node=9, fields={FIELD_START: 1})
+        ctx.out = 0
+        service.finish(ctx)
+        assert ctx.out == 0
+
+
+class TestCriticalHooks:
+    def test_root_detects_second_child(self):
+        service = CriticalNodeService()
+        ctx = ctx_for(node=0, in_port=3, fields={
+            cur_field(0): 3, FIELD_TO_PARENT: 1, FIELD_FIRST_PORT: 1,
+        })
+        service.visit_from_cur(ctx)
+        assert ctx.out == CONTROLLER_PORT and ctx.skip_sweep
+        assert ctx.packet.get(FIELD_CRITICAL) == CRITICAL
+
+    def test_firstport_return_is_not_critical(self):
+        service = CriticalNodeService()
+        ctx = ctx_for(node=0, in_port=1, fields={
+            cur_field(0): 1, FIELD_TO_PARENT: 1, FIELD_FIRST_PORT: 1,
+        })
+        service.visit_from_cur(ctx)
+        assert ctx.out == 0 and not ctx.skip_sweep
+        assert ctx.packet.get(FIELD_TO_PARENT) == 0  # cleared by the root
+
+    def test_non_root_does_not_inspect(self):
+        service = CriticalNodeService()
+        ctx = ctx_for(node=5, in_port=3, fields={
+            par_field(5): 2, cur_field(5): 3, FIELD_TO_PARENT: 1,
+            FIELD_FIRST_PORT: 1,
+        })
+        service.visit_from_cur(ctx)
+        assert ctx.out == 0 and not ctx.skip_sweep
+
+    def test_send_clears_and_send_parent_sets(self):
+        service = CriticalNodeService()
+        ctx = ctx_for(node=5, fields={FIELD_TO_PARENT: 1, par_field(5): 2})
+        ctx.out = 3
+        service.send_next_neighbor(ctx)
+        assert ctx.packet.get(FIELD_TO_PARENT) == 0
+        ctx.out = 2
+        service.send_parent(ctx)
+        assert ctx.packet.get(FIELD_TO_PARENT) == 1
+
+
+class TestBlackholeHooks:
+    def test_first_visit_probe_echoes(self):
+        service = BlackholeService()
+        ctx = ctx_for(node=3, in_port=2, fields={FIELD_REPEAT: 3,
+                                                 par_field(3): 2})
+        service.first_visit(ctx)
+        assert ctx.out == 2 and ctx.skip_sweep
+        assert ctx.packet.get(FIELD_REPEAT) == 2
+        assert ctx.counters.peek("C2") == 1
+
+    def test_parent_returns_echo(self):
+        service = BlackholeService()
+        ctx = ctx_for(node=1, in_port=1, fields={FIELD_REPEAT: 2,
+                                                 cur_field(1): 1})
+        service.visit_from_cur(ctx)
+        assert ctx.out == 1 and ctx.skip_sweep
+        assert ctx.packet.get(FIELD_REPEAT) == 1
+
+    def test_echo_back_resumes(self):
+        service = BlackholeService()
+        ctx = ctx_for(node=3, in_port=2, fields={FIELD_REPEAT: 1})
+        ctx.out = 1
+        service.first_visit(ctx)
+        assert not ctx.skip_sweep
+        assert ctx.packet.get(FIELD_REPEAT) == 3
+
+    def test_verify_fetch_of_one_reports(self):
+        service = BlackholeService()
+        ctx = ctx_for(node=3, fields={FIELD_REPEAT: 0})
+        ctx.counters.fetch_inc("C2", service.counter_modulus)  # counter -> 1
+        ctx.out = 2
+        service.send_next_neighbor(ctx)
+        assert ctx.packet.get(FIELD_BH) == BH_FOUND
+        assert ctx.packet.get(FIELD_REPORT_PORT) == 2
+        assert len(ctx.extra_outputs) == 1
+        assert ctx.extra_outputs[0].port == CONTROLLER_PORT
+
+    def test_verify_healthy_fetch_silent(self):
+        service = BlackholeService()
+        ctx = ctx_for(node=3, fields={FIELD_REPEAT: 0})
+        for _ in range(2):
+            ctx.counters.fetch_inc("C2", service.counter_modulus)
+        ctx.out = 2
+        service.send_next_neighbor(ctx)
+        assert ctx.extra_outputs == []
+
+    def test_arrival_counts_receive(self):
+        service = BlackholeService()
+        ctx = ctx_for(node=3, in_port=2, fields={FIELD_REPEAT: 3})
+        assert service.on_arrival(ctx) is None
+        assert ctx.counters.peek("C2") == 1
+
+    def test_trigger_arrival_not_counted(self):
+        service = BlackholeService()
+        ctx = ctx_for(node=3, in_port=LOCAL_PORT, fields={FIELD_REPEAT: 3})
+        service.on_arrival(ctx)
+        assert ctx.counters.names() == []
+
+
+class TestTtlHooks:
+    def test_expired_ttl_reports(self):
+        service = BlackholeTtlService()
+        ctx = ctx_for(node=3, in_port=2, fields={FIELD_TTL: 0})
+        assert service.on_arrival(ctx) == CONTROLLER_PORT
+        assert ctx.packet.get(FIELD_BH) == BH_FOUND
+        assert ctx.packet.get("report_in") == 2
+
+    def test_live_ttl_decrements(self):
+        service = BlackholeTtlService()
+        ctx = ctx_for(fields={FIELD_TTL: 5})
+        assert service.on_arrival(ctx) is None
+        assert ctx.packet.get(FIELD_TTL) == 4
+
+
+class TestAnycastHooks:
+    def test_member_consumes(self):
+        service = AnycastService({1: {4}})
+        ctx = ctx_for(node=4, fields={FIELD_GID: 1})
+        assert service.pre_dispatch(ctx) == LOCAL_PORT
+
+    def test_non_member_passes(self):
+        service = AnycastService({1: {4}})
+        ctx = ctx_for(node=5, fields={FIELD_GID: 1})
+        assert service.pre_dispatch(ctx) is None
+
+    def test_zero_gid_never_matches(self):
+        service = AnycastService({1: {4}})
+        ctx = ctx_for(node=4)  # gid absent (= 0)
+        assert service.pre_dispatch(ctx) is None

@@ -1,0 +1,298 @@
+"""Discrete-event simulator, link state, traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.link import Direction, Link
+from repro.net.simulator import Network, SimulationLimitError, Simulator
+from repro.net.topology import Topology, line, ring
+from repro.net.trace import EventKind, Trace, TraceEvent
+from repro.openflow.packet import (
+    CONTROLLER_PORT,
+    LOCAL_PORT,
+    Packet,
+)
+from repro.openflow.switch import PacketOut
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_times(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(1.0, lambda: order.append(2))
+        sim.run()
+        assert order == [1, 2]
+
+    def test_run_until(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append(1))
+        sim.schedule(5.0, lambda: order.append(2))
+        sim.run(until=2.0)
+        assert order == [1]
+        assert sim.pending == 1
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(1.0, lambda: None)
+
+    def test_event_budget(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationLimitError):
+            sim.run(max_events=100)
+
+
+def echo_handler(packet: Packet, in_port: int) -> list[PacketOut]:
+    """Bounce everything back where it came from."""
+    return [PacketOut(in_port, packet)]
+
+
+def sink_handler(packet: Packet, in_port: int) -> list[PacketOut]:
+    return []
+
+
+class TestNetworkMotion:
+    def _two_nodes(self) -> Network:
+        topo = line(2)
+        net = Network(topo)
+        return net
+
+    def test_hop_recorded(self):
+        net = self._two_nodes()
+        net.set_handler(0, lambda p, i: [PacketOut(1, p)])
+        net.set_handler(1, sink_handler)
+        net.inject(0, Packet())
+        net.run()
+        assert net.trace.hop_sequence() == [(0, 1, 1, 1)]
+        assert net.trace.count(EventKind.PIPELINE_DROP) == 1
+
+    def test_failed_link_is_dead_port(self):
+        net = self._two_nodes()
+        net.set_handler(0, lambda p, i: [PacketOut(1, p)])
+        net.set_handler(1, sink_handler)
+        net.fail_link(0, 1)
+        net.inject(0, Packet())
+        net.run()
+        assert net.trace.count(EventKind.DEAD_PORT) == 1
+        assert net.trace.in_band_messages == 0
+
+    def test_blackhole_counts_as_in_band_drop(self):
+        net = self._two_nodes()
+        net.set_handler(0, lambda p, i: [PacketOut(1, p)])
+        net.set_handler(1, sink_handler)
+        net.link_between(0, 1).set_blackhole()
+        net.inject(0, Packet())
+        net.run()
+        assert net.trace.count(EventKind.DROP) == 1
+        assert net.trace.in_band_messages == 1  # the send was attempted
+
+    def test_directional_blackhole(self):
+        net = self._two_nodes()
+        link = net.link_between(0, 1)
+        link.set_blackhole(Direction.B_TO_A)
+        net.set_handler(0, lambda p, i: [PacketOut(1, p)])
+        net.set_handler(1, echo_handler)
+        net.inject(0, Packet())
+        net.run()
+        # Forward crossing succeeds, echo back is swallowed.
+        assert net.trace.count(EventKind.HOP) == 1
+        assert net.trace.count(EventKind.DROP) == 1
+
+    def test_probabilistic_loss_is_seeded(self):
+        def run_once(seed: int) -> int:
+            net = Network(line(2), seed=seed)
+            net.link_between(0, 1).set_loss(0.5)
+            net.set_handler(0, lambda p, i: [PacketOut(1, p)])
+            net.set_handler(1, sink_handler)
+            for _ in range(50):
+                net.inject(0, Packet())
+            net.run()
+            return net.trace.count(EventKind.DROP)
+
+        assert run_once(7) == run_once(7)
+        assert 5 < run_once(7) < 45  # not degenerate
+
+    def test_controller_sink(self):
+        net = self._two_nodes()
+        seen = []
+        net.set_controller_sink(lambda node, pkt: seen.append(node))
+        net.set_handler(0, lambda p, i: [PacketOut(CONTROLLER_PORT, p)])
+        net.inject(0, Packet())
+        net.run()
+        assert seen == [0]
+        assert net.trace.count(EventKind.PACKET_IN) == 1
+
+    def test_delivery_sink(self):
+        net = self._two_nodes()
+        seen = []
+        net.set_delivery_sink(lambda node, pkt: seen.append(node))
+        net.set_handler(0, lambda p, i: [PacketOut(LOCAL_PORT, p)])
+        net.inject(0, Packet())
+        net.run()
+        assert seen == [0]
+        assert net.trace.deliveries == 1
+
+    def test_packet_out_accounting(self):
+        net = self._two_nodes()
+        net.set_handler(0, sink_handler)
+        net.inject(0, Packet(), from_controller=True)
+        net.run()
+        assert net.trace.count(EventKind.PACKET_OUT) == 1
+        assert net.trace.out_band_messages == 1
+
+    def test_transmit_bypasses_pipeline(self):
+        net = self._two_nodes()
+        arrived = []
+        net.set_handler(0, lambda p, i: (_ for _ in ()).throw(AssertionError))
+        net.set_handler(1, lambda p, i: arrived.append(i) or [])
+        net.transmit(0, 1, Packet())
+        net.run()
+        assert arrived == [1]
+
+    def test_missing_handler_raises(self):
+        net = self._two_nodes()
+        net.inject(0, Packet())
+        with pytest.raises(RuntimeError):
+            net.run()
+
+    def test_link_delay_ordering(self):
+        topo = Topology(3)
+        topo.add_link(0, 1)
+        topo.add_link(0, 2)
+        net = Network(topo)
+        net.links[0].delay = 5.0
+        net.links[1].delay = 1.0
+        order = []
+        net.set_handler(0, lambda p, i: [PacketOut(1, p), PacketOut(2, p.copy())])
+        net.set_handler(1, lambda p, i: order.append(1) or [])
+        net.set_handler(2, lambda p, i: order.append(2) or [])
+        net.inject(0, Packet())
+        net.run()
+        assert order == [2, 1]
+
+    def test_output_to_unused_port_is_dead(self):
+        net = self._two_nodes()
+        net.set_handler(0, lambda p, i: [PacketOut(5, p)])
+        net.inject(0, Packet())
+        net.run()
+        assert net.trace.count(EventKind.DEAD_PORT) == 1
+
+    def test_live_port_pairs_tracks_failures(self):
+        topo = ring(4)
+        net = Network(topo)
+        full = net.live_port_pairs()
+        assert len(full) == 4
+        net.fail_link(0, 1)
+        assert len(net.live_port_pairs()) == 3
+
+
+class TestLink:
+    def _link(self) -> Link:
+        topo = line(2)
+        return Link(next(topo.edges()))
+
+    def test_direction_from(self):
+        link = self._link()
+        assert link.direction_from(0) is Direction.A_TO_B
+        assert link.direction_from(1) is Direction.B_TO_A
+        with pytest.raises(ValueError):
+            link.direction_from(9)
+
+    def test_blackhole_and_clear(self):
+        link = self._link()
+        link.set_blackhole()
+        assert link.is_blackhole()
+        link.clear()
+        assert not link.is_blackhole()
+        assert link.up
+
+    def test_bad_loss_probability(self):
+        with pytest.raises(ValueError):
+            self._link().set_loss(1.5)
+
+    def test_down_link_is_not_blackhole(self):
+        link = self._link()
+        link.set_blackhole()
+        link.up = False
+        assert not link.is_blackhole()
+
+    def test_flipped(self):
+        assert Direction.A_TO_B.flipped() is Direction.B_TO_A
+        assert Direction.B_TO_A.flipped() is Direction.A_TO_B
+
+
+class TestTrace:
+    def test_summary_keys(self):
+        trace = Trace()
+        trace.record(TraceEvent(0.0, EventKind.HOP, 0, 1, (0, 1, 1, 1)))
+        trace.record(TraceEvent(0.0, EventKind.PACKET_IN, 1, 1))
+        summary = trace.summary()
+        assert summary["hop"] == 1
+        assert summary["in_band"] == 1
+        assert summary["out_band"] == 1
+
+    def test_hops_of_filters_by_packet(self):
+        trace = Trace()
+        trace.record(TraceEvent(0.0, EventKind.HOP, 0, 1))
+        trace.record(TraceEvent(0.0, EventKind.HOP, 0, 2))
+        trace.record(TraceEvent(0.0, EventKind.DROP, 0, 2))
+        assert trace.hops_of({2}) == 2
+
+    def test_clear_and_len(self):
+        trace = Trace()
+        trace.record(TraceEvent(0.0, EventKind.HOP, 0, 1))
+        assert len(trace) == 1
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.last_time() == 0.0
+
+    def test_to_jsonl_roundtrips(self):
+        import json
+
+        trace = Trace()
+        trace.record(TraceEvent(1.5, EventKind.HOP, 0, 7, (0, 1, 2, 3)))
+        trace.record(TraceEvent(2.0, EventKind.PACKET_IN, 2, 7))
+        lines = trace.to_jsonl().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {
+            "t": 1.5, "kind": "hop", "node": 0, "packet": 7,
+            "detail": [0, 1, 2, 3],
+        }
+
+    def test_format_hops(self):
+        trace = Trace()
+        for i in range(4):
+            trace.record(TraceEvent(float(i), EventKind.HOP, i, 1,
+                                    (i, 1, i + 1, 1)))
+        text = trace.format_hops(limit=2)
+        assert "0:p1 -> 1:p1" in text
+        assert text.endswith("...")
+
+    def test_format_hops_unlimited(self):
+        trace = Trace()
+        trace.record(TraceEvent(0.0, EventKind.HOP, 0, 1, (0, 1, 1, 2)))
+        assert trace.format_hops() == "t=0      0:p1 -> 1:p2"

@@ -1,0 +1,116 @@
+"""Smart counters: the round-robin-group fetch-and-increment construction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fields import FIELD_SCRATCH
+from repro.core.services.base import SmartCounterBank
+from repro.core.smart_counter import build_counter_group, counter_value
+from repro.openflow.group import GroupTable, GroupType
+from repro.openflow.packet import Packet
+
+
+class TestCounterGroup:
+    def _table_with_counter(self, modulus):
+        table = GroupTable(lambda port: True)
+        table.add(build_counter_group(1, modulus))
+        return table
+
+    def _fetch(self, table):
+        packet = Packet()
+        table.execute(1, packet, lambda port, pkt: None, in_port=1)
+        return packet.get(FIELD_SCRATCH)
+
+    def test_is_select_group(self):
+        group = build_counter_group(1, 4)
+        assert group.group_type is GroupType.SELECT
+        assert len(group.buckets) == 4
+
+    def test_fetch_returns_pre_increment_value(self):
+        table = self._table_with_counter(4)
+        assert [self._fetch(table) for _ in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_counter_value_tracks_cursor(self):
+        table = self._table_with_counter(3)
+        group = table.get(1)
+        assert counter_value(group) == 0
+        self._fetch(table)
+        assert counter_value(group) == 1
+
+    def test_custom_field_name(self):
+        table = GroupTable(lambda port: True)
+        table.add(build_counter_group(2, 3, field_name="mycnt"))
+        packet = Packet()
+        table.execute(2, packet, lambda port, pkt: None, in_port=1)
+        table.execute(2, packet, lambda port, pkt: None, in_port=1)
+        assert packet.get("mycnt") == 1
+
+    def test_too_small_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            build_counter_group(1, 1)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 16), st.integers(1, 60))
+    def test_wraps_mod_k(self, modulus, fetches):
+        table = self._table_with_counter(modulus)
+        values = [self._fetch(table) for _ in range(fetches)]
+        assert values == [i % modulus for i in range(fetches)]
+
+
+class TestSmartCounterBank:
+    def test_fetch_inc_semantics(self):
+        bank = SmartCounterBank()
+        assert bank.fetch_inc("c", 3) == 0
+        assert bank.fetch_inc("c", 3) == 1
+        assert bank.fetch_inc("c", 3) == 2
+        assert bank.fetch_inc("c", 3) == 0
+
+    def test_peek_does_not_increment(self):
+        bank = SmartCounterBank()
+        bank.fetch_inc("c", 5)
+        assert bank.peek("c") == 1
+        assert bank.peek("c") == 1
+
+    def test_peek_unknown_counter(self):
+        assert SmartCounterBank().peek("nope") == 0
+
+    def test_independent_counters(self):
+        bank = SmartCounterBank()
+        bank.fetch_inc("a", 4)
+        bank.fetch_inc("a", 4)
+        bank.fetch_inc("b", 4)
+        assert bank.peek("a") == 2
+        assert bank.peek("b") == 1
+
+    def test_modulus_fixed_at_creation(self):
+        bank = SmartCounterBank()
+        bank.fetch_inc("c", 2)
+        bank.fetch_inc("c", 99)  # modulus argument ignored after creation
+        assert bank.peek("c") == 0
+
+    def test_default_modulus(self):
+        bank = SmartCounterBank(default_modulus=3)
+        for _ in range(4):
+            bank.fetch_inc("c")
+        assert bank.peek("c") == 1
+
+    def test_names_sorted(self):
+        bank = SmartCounterBank()
+        bank.fetch_inc("z")
+        bank.fetch_inc("a")
+        assert bank.names() == ["a", "z"]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 12), st.integers(0, 50))
+    def test_bank_and_group_agree(self, modulus, fetches):
+        """The interpreted bank and the compiled group are the same counter."""
+        bank = SmartCounterBank()
+        table = GroupTable(lambda port: True)
+        table.add(build_counter_group(1, modulus))
+        for _ in range(fetches):
+            packet = Packet()
+            table.execute(1, packet, lambda port, pkt: None, in_port=1)
+            assert bank.fetch_inc("c", modulus) == packet.get(FIELD_SCRATCH)

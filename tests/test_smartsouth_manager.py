@@ -1,0 +1,143 @@
+"""The SmartSouth controller app and the counter-polling alternative."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.apps.counter_polling import CounterPollingDetector
+from repro.control.apps.smartsouth_manager import SmartSouthManager
+from repro.control.controller import Controller
+from repro.core.fields import FIELD_REPEAT
+from repro.core.services.blackhole import BlackholeService, REPEAT_PROBE
+from repro.core.services.critical import FIELD_CRITICAL, NOT_CRITICAL
+from repro.core.services.critical import CriticalNodeService
+from repro.core.services.snapshot import SnapshotService
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi, ring
+
+
+def manager_on(topology, services=None):
+    net = Network(topology)
+    controller = Controller(net)
+    manager = controller.register(
+        SmartSouthManager(services or [SnapshotService(), CriticalNodeService()])
+    )
+    return controller, manager
+
+
+class TestManagerLifecycle:
+    def test_snapshot_through_channel(self):
+        topo = erdos_renyi(10, 0.3, seed=5)
+        controller, manager = manager_on(topo)
+        outcome = manager.snapshot(0)
+        assert outcome is not None
+        nodes, links = outcome
+        assert links == topo.port_pair_set()
+        # One packet-out, one packet-in.
+        assert controller.channel.packet_outs_sent == 1
+        assert controller.channel.packet_ins_received == 1
+
+    def test_trigger_unreachable_entry_fails(self):
+        topo = ring(6)
+        controller, manager = manager_on(topo)
+        controller.channel.disconnect(0)
+        assert manager.snapshot(0) is None
+
+    def test_any_other_connected_switch_works(self):
+        """The paper's robustness story: one manageable switch suffices."""
+        topo = erdos_renyi(10, 0.3, seed=5)
+        controller, manager = manager_on(topo)
+        for node in range(topo.num_nodes - 1):
+            controller.channel.disconnect(node)
+        entry = manager.first_reachable_switch()
+        assert entry == topo.num_nodes - 1
+        outcome = manager.snapshot(entry)
+        assert outcome is not None
+        assert outcome[1] == topo.port_pair_set()
+
+    def test_verdict_lost_if_entry_disconnects_midway(self):
+        # Disconnect after the trigger was sent but before the verdict:
+        # the packet-in is filtered by the channel.
+        topo = ring(5)
+        controller, manager = manager_on(topo)
+        mark = len(manager.verdicts)
+        controller.channel.packet_out(
+            0,
+            __import__("repro.openflow.packet", fromlist=["Packet"]).Packet(
+                fields={"svc": SnapshotService.service_id}
+            ),
+            in_port=-3,
+        )
+        controller.channel.disconnect(0)
+        controller.network.run()
+        assert manager.verdicts[mark:] == []
+
+    def test_critical_service_through_manager(self):
+        topo = ring(6)
+        _controller, manager = manager_on(topo)
+        verdicts = manager.trigger(CriticalNodeService.service_id, 2)
+        assert verdicts
+        assert verdicts[0][1].get(FIELD_CRITICAL) == NOT_CRITICAL
+
+    def test_unknown_service_rejected(self):
+        _controller, manager = manager_on(ring(4))
+        with pytest.raises(KeyError):
+            manager.trigger(99, 0)
+
+    def test_snapshot_requires_snapshot_service(self):
+        _controller, manager = manager_on(
+            ring(4), services=[CriticalNodeService()]
+        )
+        with pytest.raises(KeyError):
+            manager.snapshot(0)
+
+    def test_duplicate_services_rejected(self):
+        with pytest.raises(ValueError):
+            SmartSouthManager([SnapshotService(), SnapshotService()])
+
+
+class TestCounterPolling:
+    def _setup(self, topology, blackhole_edge=None):
+        net = Network(topology)
+        if blackhole_edge is not None:
+            net.links[blackhole_edge].set_blackhole()
+        controller = Controller(net)
+        manager = controller.register(SmartSouthManager([BlackholeService()]))
+        poller = controller.register(CounterPollingDetector(manager.switches))
+        manager.trigger(
+            BlackholeService.service_id, 0, fields={FIELD_REPEAT: REPEAT_PROBE}
+        )
+        return controller, poller
+
+    def test_healthy_network_no_suspects(self):
+        topo = erdos_renyi(8, 0.35, seed=2)
+        _controller, poller = self._setup(topo)
+        result = poller.poll()
+        assert result.suspects == set()
+        assert result.switches_polled == topo.num_nodes
+
+    def test_blackhole_found_by_polling(self):
+        topo = erdos_renyi(8, 0.35, seed=2)
+        victim = 3
+        _controller, poller = self._setup(topo, blackhole_edge=victim)
+        result = poller.poll()
+        edge = topo.edge(victim)
+        expected = {(edge.a.node, edge.a.port), (edge.b.node, edge.b.port)}
+        assert result.suspects and result.suspects <= expected
+
+    def test_polling_costs_theta_n_messages(self):
+        topo = erdos_renyi(8, 0.35, seed=2)
+        _controller, poller = self._setup(topo, blackhole_edge=1)
+        result = poller.poll()
+        assert result.out_band_messages == 2 * topo.num_nodes
+
+    def test_polling_blind_at_unmanageable_switch(self):
+        topo = ring(6)
+        victim = 2  # edge between nodes 2 and 3
+        controller, poller = self._setup(topo, blackhole_edge=victim)
+        edge = topo.edge(victim)
+        controller.channel.disconnect(edge.a.node)
+        controller.channel.disconnect(edge.b.node)
+        result = poller.poll()
+        assert result.suspects == set()  # the outage hides the blackhole
+        assert result.switches_unreachable == 2

@@ -1,0 +1,163 @@
+"""Snapshot service: full topology reconstruction from the record stream."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runtime import SmartSouthRuntime
+from repro.core.services.snapshot import (
+    SnapshotDecodeError,
+    decode_snapshot,
+    snapshot_record_count,
+)
+from repro.net.simulator import Network
+from repro.net.topology import Topology, erdos_renyi, ring
+
+
+def take_snapshot(topology, root=0, mode="interpreted", fail=()):
+    net = Network(topology)
+    for u, v in fail:
+        net.fail_link(u, v)
+    runtime = SmartSouthRuntime(net, mode=mode)
+    return net, runtime.snapshot(root)
+
+
+class TestReconstruction:
+    def test_exact_reconstruction(self, zoo_topology, engine_mode):
+        _net, snap = take_snapshot(zoo_topology, mode=engine_mode)
+        assert snap.ok
+        assert snap.nodes == set(zoo_topology.nodes())
+        assert snap.links == zoo_topology.port_pair_set()
+
+    def test_all_roots(self, engine_mode):
+        topo = erdos_renyi(9, 0.35, seed=13)
+        for root in topo.nodes():
+            _net, snap = take_snapshot(topo, root=root, mode=engine_mode)
+            assert snap.links == topo.port_pair_set(), f"root {root}"
+
+    def test_with_failed_link(self, engine_mode):
+        topo = ring(6)
+        net, snap = take_snapshot(topo, fail=[(1, 2)], mode=engine_mode)
+        assert snap.ok
+        assert snap.links == net.live_port_pairs()
+        assert snap.nodes == set(topo.nodes())
+
+    def test_partitioned_network_snapshots_own_component(self, engine_mode):
+        topo = ring(6)
+        net, snap = take_snapshot(topo, fail=[(0, 1), (3, 4)], mode=engine_mode)
+        assert snap.ok
+        assert snap.nodes == {0, 5, 4}
+        assert snap.links == {
+            pair for pair in net.live_port_pairs()
+            if all(endpoint[0] in {0, 4, 5} for endpoint in pair)
+        }
+
+    def test_single_node(self, engine_mode):
+        _net, snap = take_snapshot(Topology(1), mode=engine_mode)
+        assert snap.ok
+        assert snap.nodes == {0}
+        assert snap.links == set()
+
+    def test_parallel_edges_distinguished(self, engine_mode):
+        topo = Topology(2)
+        topo.add_link(0, 1)
+        topo.add_link(0, 1)
+        _net, snap = take_snapshot(topo, mode=engine_mode)
+        assert len(snap.links) == 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 22), st.integers(0, 1000))
+    def test_random_graph_property(self, n, seed):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        _net, snap = take_snapshot(topo)
+        assert snap.nodes == set(topo.nodes())
+        assert snap.links == topo.port_pair_set()
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 14), st.integers(0, 300), st.integers(0, 3))
+    def test_random_failures_property(self, n, seed, kills):
+        topo = erdos_renyi(n, 0.35, seed=seed)
+        net = Network(topo)
+        for edge_id in range(min(kills, topo.num_edges)):
+            net.links[edge_id].up = False
+        runtime = SmartSouthRuntime(net)
+        snap = runtime.snapshot(0)
+        assert snap.ok
+        # Snapshot sees exactly the live links inside the root's component.
+        assert snap.links <= net.live_port_pairs()
+        for pair in net.live_port_pairs():
+            nodes = {endpoint[0] for endpoint in pair}
+            if nodes <= snap.nodes:
+                assert pair in snap.links
+
+
+class TestRecordStream:
+    def test_record_count_formula(self, engine_mode):
+        topo = erdos_renyi(12, 0.3, seed=4)
+        _net, snap = take_snapshot(topo, mode=engine_mode)
+        _node, packet = snap.result.reports[-1]
+        assert len(packet.stack) == snapshot_record_count(
+            topo.num_nodes, topo.num_edges
+        )
+
+    def test_stream_is_theta_of_edges(self):
+        small = erdos_renyi(10, 0.25, seed=1)
+        big = erdos_renyi(40, 0.25, seed=1)
+        _n1, snap_small = take_snapshot(small)
+        _n2, snap_big = take_snapshot(big)
+        records_small = len(snap_small.result.reports[-1][1].stack)
+        records_big = len(snap_big.result.reports[-1][1].stack)
+        assert records_small <= 2 * small.num_edges + small.num_nodes
+        assert records_big <= 2 * big.num_edges + big.num_nodes
+
+    def test_out_band_is_two_messages(self, engine_mode):
+        topo = erdos_renyi(10, 0.3, seed=2)
+        _net, snap = take_snapshot(topo, mode=engine_mode)
+        assert snap.result.out_band_messages == 2  # trigger + response
+
+
+class TestDecoder:
+    def test_decode_from_record_list(self):
+        records = [
+            ("visit", 0, 0),
+            ("out", 1),
+            ("visit", 1, 1),
+            ("ret",),
+        ]
+        nodes, links = decode_snapshot(records)
+        assert nodes == {0, 1}
+        assert links == {frozenset(((0, 1), (1, 1)))}
+
+    def test_visit_without_out_rejected(self):
+        with pytest.raises(SnapshotDecodeError):
+            decode_snapshot([("visit", 0, 0), ("visit", 1, 1)])
+
+    def test_ret_with_empty_path_rejected(self):
+        with pytest.raises(SnapshotDecodeError):
+            decode_snapshot([("visit", 0, 0), ("ret",)])
+
+    def test_unknown_record_rejected(self):
+        with pytest.raises(SnapshotDecodeError):
+            decode_snapshot([("visit", 0, 0), ("garbage",)])
+
+    def test_empty_stream(self):
+        nodes, links = decode_snapshot([])
+        assert nodes == set() and links == set()
+
+    def test_bounce_at_known_node(self):
+        records = [
+            ("visit", 0, 0),
+            ("out", 1),
+            ("visit", 1, 1),  # descend to 1
+            ("out", 2),
+            ("visit", 0, 2),  # bounce at known node 0 -> edge recorded
+            ("ret",),
+        ]
+        nodes, links = decode_snapshot(records)
+        assert links == {
+            frozenset(((0, 1), (1, 1))),
+            frozenset(((1, 2), (0, 2))),
+        }
+        assert nodes == {0, 1}

@@ -1,0 +1,71 @@
+"""Topology file round-trips preserve port numbering (and hence DFS order)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runtime import SmartSouthRuntime
+from repro.net.simulator import Network
+from repro.net.topofile import dumps, load, loads, save
+from repro.net.topology import TopologyError, abilene, erdos_renyi
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identity(self, zoo_topology):
+        restored = loads(dumps(zoo_topology))
+        assert restored.num_nodes == zoo_topology.num_nodes
+        assert restored.port_pair_set() == zoo_topology.port_pair_set()
+        assert restored.name == zoo_topology.name
+
+    def test_file_roundtrip(self, tmp_path):
+        topo = abilene()
+        path = tmp_path / "abilene.topo"
+        save(topo, path)
+        restored = load(path)
+        assert restored.port_pair_set() == topo.port_pair_set()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 20), st.integers(0, 500))
+    def test_random_roundtrip_preserves_ports(self, n, seed):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        assert loads(dumps(topo)).port_pair_set() == topo.port_pair_set()
+
+    def test_dfs_order_identical_after_roundtrip(self):
+        topo = erdos_renyi(10, 0.3, seed=5)
+        restored = loads(dumps(topo))
+        traces = []
+        for t in (topo, restored):
+            net = Network(t)
+            SmartSouthRuntime(net, mode="compiled").snapshot(0)
+            traces.append(net.trace.hop_sequence())
+        assert traces[0] == traces[1]
+
+
+class TestFormatErrors:
+    def test_missing_header(self):
+        with pytest.raises(TopologyError):
+            loads("nodes 3\n0 1\n")
+
+    def test_missing_node_count(self):
+        with pytest.raises(TopologyError):
+            loads("# smartsouth-topology x\n0 1\n")
+
+    def test_bad_edge_line(self):
+        with pytest.raises(TopologyError):
+            loads("# smartsouth-topology x\nnodes 3\n0 1 2\n")
+
+    def test_non_numeric_edge(self):
+        with pytest.raises(TopologyError):
+            loads("# smartsouth-topology x\nnodes 3\na b\n")
+
+    def test_out_of_range_edge(self):
+        with pytest.raises(TopologyError):
+            loads("# smartsouth-topology x\nnodes 2\n0 5\n")
+
+    def test_comments_ignored(self):
+        text = ("# smartsouth-topology demo\nnodes 2\n# a comment\n0 1\n")
+        topo = loads(text)
+        assert topo.num_edges == 1
+        assert topo.name == "demo"

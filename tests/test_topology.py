@@ -1,0 +1,246 @@
+"""Topology model and generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.topology import (
+    Topology,
+    TopologyError,
+    abilene,
+    barabasi_albert,
+    binary_tree,
+    complete,
+    erdos_renyi,
+    fat_tree,
+    from_edge_list,
+    generators,
+    grid,
+    line,
+    ring,
+    star,
+    torus,
+    waxman,
+)
+
+
+class TestTopologyModel:
+    def test_ports_assigned_in_insertion_order(self):
+        topo = Topology(3)
+        e1 = topo.add_link(0, 1)
+        e2 = topo.add_link(0, 2)
+        assert (e1.a.node, e1.a.port) == (0, 1)
+        assert (e2.a.node, e2.a.port) == (0, 2)
+        assert topo.degree(0) == 2
+
+    def test_self_loop_rejected(self):
+        topo = Topology(2)
+        with pytest.raises(TopologyError):
+            topo.add_link(1, 1)
+
+    def test_parallel_edges_get_distinct_ports(self):
+        topo = Topology(2)
+        e1 = topo.add_link(0, 1)
+        e2 = topo.add_link(0, 1)
+        assert e1.a.port != e2.a.port
+        assert topo.num_edges == 2
+
+    def test_unknown_node_rejected(self):
+        topo = Topology(2)
+        with pytest.raises(TopologyError):
+            topo.add_link(0, 5)
+
+    def test_neighbor_lookup(self):
+        topo = Topology(2)
+        topo.add_link(0, 1)
+        far = topo.neighbor(0, 1)
+        assert (far.node, far.port) == (1, 1)
+        assert topo.neighbor(0, 2) is None
+
+    def test_edge_other_and_endpoint(self):
+        topo = Topology(2)
+        edge = topo.add_link(0, 1)
+        assert edge.other(0).node == 1
+        assert edge.endpoint(1).node == 1
+        with pytest.raises(TopologyError):
+            edge.other(5)
+
+    def test_add_node(self):
+        topo = Topology(1)
+        new = topo.add_node()
+        assert new == 1
+        topo.add_link(0, 1)
+        assert topo.degree(1) == 1
+
+    def test_connectivity(self):
+        topo = Topology(4)
+        topo.add_link(0, 1)
+        topo.add_link(2, 3)
+        assert not topo.is_connected()
+        assert topo.connected_component(0) == {0, 1}
+        topo.add_link(1, 2)
+        assert topo.is_connected()
+
+    def test_port_pair_set(self):
+        topo = Topology(2)
+        topo.add_link(0, 1)
+        assert topo.port_pair_set() == {frozenset(((0, 1), (1, 1)))}
+
+    def test_find_edge(self):
+        topo = Topology(3)
+        topo.add_link(0, 1)
+        assert topo.find_edge(0, 1) is not None
+        assert topo.find_edge(0, 2) is None
+
+    def test_empty_topology_is_connected(self):
+        assert Topology(0).is_connected()
+
+    def test_from_edge_list(self):
+        topo = from_edge_list(3, [(0, 1), (1, 2)])
+        assert topo.num_edges == 2
+        assert topo.is_connected()
+
+
+class TestGenerators:
+    def test_line(self):
+        topo = line(5)
+        assert topo.num_edges == 4
+        assert topo.is_connected()
+        assert topo.max_degree() == 2
+
+    def test_ring(self):
+        topo = ring(6)
+        assert topo.num_edges == 6
+        assert all(topo.degree(u) == 2 for u in topo.nodes())
+
+    def test_ring_too_small(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_star(self):
+        topo = star(7)
+        assert topo.degree(0) == 6
+        assert all(topo.degree(u) == 1 for u in range(1, 7))
+
+    def test_complete(self):
+        topo = complete(5)
+        assert topo.num_edges == 10
+        assert all(topo.degree(u) == 4 for u in topo.nodes())
+
+    def test_binary_tree(self):
+        topo = binary_tree(3)
+        assert topo.num_nodes == 15
+        assert topo.num_edges == 14
+        assert topo.is_connected()
+
+    def test_grid(self):
+        topo = grid(3, 4)
+        assert topo.num_nodes == 12
+        assert topo.num_edges == 3 * 3 + 2 * 4
+        assert topo.is_connected()
+
+    def test_torus(self):
+        topo = torus(3, 3)
+        assert topo.num_edges == 2 * 9
+        assert all(topo.degree(u) == 4 for u in topo.nodes())
+
+    def test_torus_too_small(self):
+        with pytest.raises(TopologyError):
+            torus(2, 5)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_erdos_renyi_connected_by_default(self, seed):
+        topo = erdos_renyi(20, 0.05, seed=seed)
+        assert topo.is_connected()
+
+    def test_erdos_renyi_deterministic(self):
+        a = erdos_renyi(15, 0.3, seed=9)
+        b = erdos_renyi(15, 0.3, seed=9)
+        assert a.port_pair_set() == b.port_pair_set()
+
+    def test_erdos_renyi_unconnected_option(self):
+        topo = erdos_renyi(30, 0.0, seed=1, connect=False)
+        assert topo.num_edges == 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_barabasi_albert(self, seed):
+        topo = barabasi_albert(20, 2, seed=seed)
+        assert topo.is_connected()
+        assert topo.num_edges >= 2 * (20 - 3)
+
+    def test_barabasi_albert_bad_params(self):
+        with pytest.raises(TopologyError):
+            barabasi_albert(3, 3)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_waxman_connected(self, seed):
+        assert waxman(15, seed=seed).is_connected()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_regular(self, seed):
+        from repro.net.topology import random_regular
+
+        topo = random_regular(16, 4, seed=seed)
+        assert topo.is_connected()
+        assert all(topo.degree(u) == 4 for u in topo.nodes())
+        assert topo.num_edges == 16 * 4 // 2
+        # Simple graph: no parallel edges.
+        assert len(topo.edge_set()) == topo.num_edges
+
+    def test_random_regular_bad_params(self):
+        from repro.net.topology import random_regular
+
+        with pytest.raises(TopologyError):
+            random_regular(5, 1)  # degree < 2
+        with pytest.raises(TopologyError):
+            random_regular(4, 4)  # degree >= n
+        with pytest.raises(TopologyError):
+            random_regular(5, 3)  # odd stub count
+
+    def test_random_regular_deterministic(self):
+        from repro.net.topology import random_regular
+
+        a = random_regular(12, 3, seed=5)
+        b = random_regular(12, 3, seed=5)
+        assert a.port_pair_set() == b.port_pair_set()
+
+    def test_fat_tree(self):
+        topo = fat_tree(4)
+        assert topo.num_nodes == 4 + 8 + 8
+        # Each pod: 2 agg x 2 edge links; each agg: 2 core links.
+        assert topo.num_edges == 4 * 4 + 4 * 2 * 2
+        assert topo.is_connected()
+
+    def test_fat_tree_odd_k_rejected(self):
+        with pytest.raises(TopologyError):
+            fat_tree(3)
+
+    def test_abilene(self):
+        topo = abilene()
+        assert topo.num_nodes == 11
+        assert topo.num_edges == 15
+        assert topo.is_connected()
+
+    def test_registry_complete(self):
+        assert set(generators) >= {
+            "line", "ring", "star", "complete", "binary_tree", "grid",
+            "torus", "erdos_renyi", "barabasi_albert", "waxman",
+            "fat_tree", "abilene",
+        }
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(4, 30), st.integers(0, 100))
+    def test_random_graph_port_consistency(self, n, seed):
+        """Every port maps to exactly one edge and the mapping is symmetric."""
+        topo = erdos_renyi(n, 0.2, seed=seed)
+        for node in topo.nodes():
+            for port in range(1, topo.degree(node) + 1):
+                edge = topo.port_edge(node, port)
+                assert edge is not None
+                mine = edge.endpoint(node)
+                assert mine.port == port
+                far = edge.other(node)
+                back = topo.port_edge(far.node, far.port)
+                assert back is edge

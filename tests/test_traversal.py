@@ -1,0 +1,196 @@
+"""The plain SmartSouth traversal: coverage, counts, failover, oracles."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.complexity import dfs_message_count
+from repro.analysis.graph import dfs_edge_order
+from repro.core.engine import make_engine
+from repro.core.services.base import PlainTraversalService
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi, line, ring, star, Topology
+
+
+def run_traversal(topology, root=0, mode="interpreted", fail=(), seed=0):
+    net = Network(topology, seed=seed)
+    for u, v in fail:
+        net.fail_link(u, v)
+    engine = make_engine(net, PlainTraversalService(), mode)
+    result = engine.trigger(root)
+    return net, result
+
+
+def visited_nodes(net, root):
+    nodes = {root}
+    for u, _pu, v, _pv in net.trace.hop_sequence():
+        nodes.add(u)
+        nodes.add(v)
+    return nodes
+
+
+class TestCoverage:
+    def test_single_node(self, engine_mode):
+        _net, result = run_traversal(Topology(1), mode=engine_mode)
+        assert result.reports  # finish reaches the controller
+        assert result.in_band_messages == 0
+
+    def test_visits_every_node(self, zoo_topology, engine_mode):
+        net, result = run_traversal(zoo_topology, mode=engine_mode)
+        assert result.reports
+        assert visited_nodes(net, 0) == set(zoo_topology.nodes())
+
+    def test_exact_message_count(self, zoo_topology, engine_mode):
+        _net, result = run_traversal(zoo_topology, mode=engine_mode)
+        expected = dfs_message_count(
+            zoo_topology.num_nodes, zoo_topology.num_edges
+        )
+        assert result.in_band_messages == expected
+
+    def test_every_root_works(self, engine_mode):
+        topo = erdos_renyi(10, 0.3, seed=11)
+        for root in topo.nodes():
+            _net, result = run_traversal(topo, root=root, mode=engine_mode)
+            assert result.reports, f"root {root} failed"
+
+    def test_matches_offline_oracle(self, zoo_topology):
+        net, _result = run_traversal(zoo_topology)
+        oracle = dfs_edge_order(zoo_topology, 0)
+        assert net.trace.hop_sequence() == oracle
+
+
+class TestFailover:
+    def test_single_failure_on_ring_still_covers(self, engine_mode):
+        topo = ring(8)
+        net, result = run_traversal(topo, fail=[(2, 3)], mode=engine_mode)
+        assert result.reports
+        assert visited_nodes(net, 0) == set(topo.nodes())
+
+    def test_traversal_confined_to_component(self, engine_mode):
+        # Failing both ring links around node 4 cuts it off.
+        topo = ring(6)
+        net, result = run_traversal(topo, fail=[(3, 4), (4, 5)], mode=engine_mode)
+        assert result.reports
+        assert 4 not in visited_nodes(net, 0)
+        assert visited_nodes(net, 0) == {0, 1, 2, 3, 5}
+
+    def test_root_with_all_ports_down(self, engine_mode):
+        topo = star(4)
+        net, result = run_traversal(
+            topo, fail=[(0, 1), (0, 2), (0, 3)], mode=engine_mode
+        )
+        assert result.reports  # immediate finish
+        assert result.in_band_messages == 0
+
+    def test_leaf_root(self, engine_mode):
+        topo = star(5)
+        _net, result = run_traversal(topo, root=3, mode=engine_mode)
+        assert result.reports
+        assert result.in_band_messages == dfs_message_count(5, 4)
+
+    @pytest.mark.parametrize("kill", range(4))
+    def test_complete_graph_single_failures(self, kill, engine_mode):
+        from repro.net.topology import complete
+
+        topo = complete(5)
+        edge = list(topo.edges())[kill]
+        net, result = run_traversal(
+            topo, fail=[(edge.a.node, edge.b.node)], mode=engine_mode
+        )
+        assert result.reports
+        assert visited_nodes(net, 0) == set(topo.nodes())
+
+    def test_failed_links_reduce_message_count(self, engine_mode):
+        topo = erdos_renyi(12, 0.4, seed=6)
+        _net1, full = run_traversal(topo, mode=engine_mode)
+        edge = list(topo.edges())[0]
+        _net2, less = run_traversal(
+            topo, fail=[(edge.a.node, edge.b.node)], mode=engine_mode
+        )
+        assert less.in_band_messages < full.in_band_messages
+
+
+class TestProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 24), st.integers(0, 1000))
+    def test_random_graphs_complete_with_exact_count(self, n, seed):
+        topo = erdos_renyi(n, 0.25, seed=seed)
+        _net, result = run_traversal(topo)
+        assert result.reports
+        assert result.in_band_messages == dfs_message_count(n, topo.num_edges)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 16), st.integers(0, 500), st.data())
+    def test_random_failures_cover_live_component(self, n, seed, data):
+        topo = erdos_renyi(n, 0.35, seed=seed)
+        net = Network(topo)
+        edge_ids = data.draw(
+            st.sets(st.integers(0, topo.num_edges - 1), max_size=3)
+        )
+        net.fail_edges(edge_ids)
+        engine = make_engine(net, PlainTraversalService(), "interpreted")
+        result = engine.trigger(0)
+        assert result.reports
+
+        # Compute the live component of the root independently.
+        live_adj: dict[int, set[int]] = {u: set() for u in topo.nodes()}
+        for link in net.links:
+            if link.up:
+                live_adj[link.edge.a.node].add(link.edge.b.node)
+                live_adj[link.edge.b.node].add(link.edge.a.node)
+        component = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in live_adj[u]:
+                if v not in component:
+                    component.add(v)
+                    frontier.append(v)
+        if len(component) > 1:
+            assert visited_nodes(net, 0) == component
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 12), st.integers(0, 200))
+    def test_traversal_is_a_closed_walk(self, n, seed):
+        """Consecutive hops chain: each starts where the previous ended,
+        and the walk starts and ends at the root."""
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        net, _result = run_traversal(topo)
+        hops = net.trace.hop_sequence()
+        here = 0
+        for u, _pu, v, _pv in hops:
+            assert u == here
+            here = v
+        assert here == 0  # the packet returns to the root
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 12), st.integers(0, 200))
+    def test_every_live_edge_crossed_both_ways(self, n, seed):
+        topo = erdos_renyi(n, 0.3, seed=seed)
+        net, _result = run_traversal(topo)
+        directed = {(u, pu) for u, pu, _v, _pv in net.trace.hop_sequence()}
+        for edge in topo.edges():
+            assert (edge.a.node, edge.a.port) in directed
+            assert (edge.b.node, edge.b.port) in directed
+
+
+class TestLineAndSmallCases:
+    def test_two_nodes(self, engine_mode):
+        _net, result = run_traversal(line(2), mode=engine_mode)
+        assert result.in_band_messages == 2
+
+    def test_triangle(self, engine_mode):
+        _net, result = run_traversal(ring(3), mode=engine_mode)
+        # 2 tree edges x2 + 1 non-tree x4 = 8
+        assert result.in_band_messages == 8
+
+    def test_parallel_edges(self, engine_mode):
+        topo = Topology(2)
+        topo.add_link(0, 1)
+        topo.add_link(0, 1)
+        _net, result = run_traversal(topo, mode=engine_mode)
+        # 1 tree edge (2) + 1 parallel non-tree edge (4) = 6
+        assert result.reports
+        assert result.in_band_messages == 6
