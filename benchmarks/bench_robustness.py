@@ -19,7 +19,6 @@ import pytest
 
 from repro.core.engine import make_engine
 from repro.core.services.base import PlainTraversalService
-from repro.core.services.snapshot import SnapshotService
 from repro.core.runtime import SmartSouthRuntime
 from repro.net.simulator import Network
 from repro.net.topology import erdos_renyi, torus

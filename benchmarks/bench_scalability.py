@@ -22,7 +22,7 @@ from repro.core.engine import CompiledEngine, make_engine
 from repro.core.fields import TagLayout
 from repro.core.services.snapshot import SnapshotService
 from repro.net.simulator import Network
-from repro.net.topology import erdos_renyi, grid
+from repro.net.topology import erdos_renyi
 
 from conftest import fmt_row
 

@@ -1,0 +1,76 @@
+"""Benchmark: symbolic lint wall-time as the node degree Δ grows.
+
+The sweep template costs O(Δ²) rules per switch (C-tablesize), so the
+symbolic analyses the lint rules share are the quadratic-degree hot path of
+the static layer.  A star topology isolates Δ: the hub carries the full
+O(Δ²) sweep block while every leaf stays constant-size.  The gate below is
+the PR's acceptance bar — a full lint run must stay subsecond at Δ = 16.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.lint import run_lint
+from repro.core.compiler import compile_service
+from repro.core.services.base import PlainTraversalService
+from repro.net.simulator import Network
+from repro.net.topology import star
+
+from conftest import fmt_row
+
+DEGREES = [4, 8, 12, 16]
+SUBSECOND_GATE_DELTA = 16
+WIDTHS = (8, 8, 10, 12, 12)
+
+
+def _lint_star(delta: int):
+    """Compile plain traversal on a star with hub degree *delta*, lint it,
+    and return (report, seconds)."""
+    topo = star(delta + 1)
+    service = PlainTraversalService()
+    net = Network(topo)
+    switches = {
+        node: compile_service(net, node, service) for node in topo.nodes()
+    }
+    started = time.perf_counter()
+    report = run_lint(switches, topo, service=service)
+    elapsed = time.perf_counter() - started
+    return report, elapsed
+
+
+@pytest.mark.parametrize("delta", DEGREES)
+def test_lint_walltime_vs_degree(benchmark, emit, delta):
+    topo = star(delta + 1)
+    service = PlainTraversalService()
+    net = Network(topo)
+    switches = {
+        node: compile_service(net, node, service) for node in topo.nodes()
+    }
+    rules = sum(
+        len(tbl) for sw in switches.values() for tbl in sw.tables.values()
+    )
+    started = time.perf_counter()
+    report = benchmark(run_lint, switches, topo, service=service)
+    elapsed = time.perf_counter() - started
+    assert report.errors == []
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        elapsed = benchmark.stats.stats.mean
+    if delta == DEGREES[0]:
+        emit("\n=== bench_symbolic: lint wall-time vs node degree ===")
+        emit(fmt_row(["delta", "nodes", "rules", "mean s", "errors"], WIDTHS))
+    emit(fmt_row(
+        [delta, topo.num_nodes, rules, f"{elapsed:.3f}", len(report.errors)],
+        WIDTHS,
+    ))
+
+
+def test_subsecond_at_delta_16(emit):
+    """The acceptance gate: one full lint pass at Δ = 16 under a second."""
+    report, elapsed = _lint_star(SUBSECOND_GATE_DELTA)
+    emit(f"\nlint at delta={SUBSECOND_GATE_DELTA}: {elapsed:.3f}s "
+         f"({len(report.findings)} findings)")
+    assert report.errors == []
+    assert elapsed < 1.0, f"lint took {elapsed:.3f}s at delta 16"

@@ -21,7 +21,7 @@ Run:  python examples/custom_service.py
 from repro import Network, generators, make_engine
 from repro.core.compiler import ServiceCodegen, register_codegen
 from repro.core.services.base import HookContext, Service
-from repro.openflow.actions import Action, DecTtl, Output
+from repro.openflow.actions import Action, DecTtl
 from repro.openflow.packet import CONTROLLER_PORT
 
 #: The packet field carrying the countdown.

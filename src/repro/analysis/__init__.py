@@ -1,4 +1,5 @@
-"""Analysis tools: graph algorithms, Table 2 closed forms, rule verification."""
+"""Analysis tools: graph algorithms, Table 2 closed forms, symbolic
+header-space analysis, lint rules, and rule-set verification."""
 
 from repro.analysis.complexity import (
     dfs_message_count,
@@ -11,16 +12,47 @@ from repro.analysis.graph import (
     dfs_edge_order,
     spanning_tree,
 )
-from repro.analysis.verify import VerificationReport, verify_switch
+from repro.analysis.lint import (
+    LINT_RULES,
+    LintConfig,
+    LintFinding,
+    LintReport,
+    lint_engine,
+    lint_rule,
+    run_lint,
+)
+from repro.analysis.symbolic import (
+    Cube,
+    SwitchAnalyzer,
+    WalkResult,
+    walk_network,
+)
+from repro.analysis.verify import (
+    VerificationReport,
+    verify_engine,
+    verify_switch,
+)
 
 __all__ = [
+    "Cube",
+    "LINT_RULES",
+    "LintConfig",
+    "LintFinding",
+    "LintReport",
+    "SwitchAnalyzer",
     "VerificationReport",
+    "WalkResult",
     "articulation_points",
     "connected_components",
     "dfs_edge_order",
     "dfs_message_count",
+    "lint_engine",
+    "lint_rule",
+    "run_lint",
     "spanning_tree",
     "table2",
     "table2_row",
+    "verify_engine",
     "verify_switch",
+    "walk_network",
 ]

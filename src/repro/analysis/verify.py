@@ -16,16 +16,19 @@ verifiable*.  This module makes that concrete for the compiled pipelines:
 
 These are decidable, syntax-level properties — exactly what makes the
 SmartSouth approach verifiable where an active controller program is not.
+The overlap and coverage checks delegate to the header-space engine in
+:mod:`repro.analysis.symbolic` (one source of truth shared with the lint
+rules in :mod:`repro.analysis.lint`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.analysis.symbolic import SwitchAnalyzer
 from repro.openflow.actions import GroupAction, Output
-from repro.openflow.flowtable import FlowEntry
 from repro.openflow.group import GroupType
-from repro.openflow.match import FieldTest, Match
+from repro.openflow.match import FieldTest, Match, pairs_intersect
 from repro.openflow.packet import is_physical_port
 from repro.openflow.switch import Switch
 
@@ -50,32 +53,30 @@ class VerificationReport:
 
 
 def _tests_compatible(a: FieldTest, b: FieldTest) -> bool:
-    """Can some field value satisfy both tests?"""
-    if a.mask is None and b.mask is None:
-        return a.value == b.value
-    if a.mask is None:
-        return (a.value & b.mask) == b.value
-    if b.mask is None:
-        return (b.value & a.mask) == a.value
-    common = a.mask & b.mask
-    return (a.value & common) == (b.value & common)
+    """Can some field value satisfy both tests?
+
+    A test with ``mask == 0`` is a wildcard (OXM permits such TLVs): it
+    constrains nothing and is compatible with everything — made explicit
+    here so the cube algebra's invariants cannot be violated by a
+    degenerate TLV.  The actual intersection lives in
+    :func:`repro.openflow.match.pairs_intersect`.
+    """
+    if a.is_wildcard or b.is_wildcard:
+        return True
+    return pairs_intersect(a.value, a.mask, b.value, b.mask) is not None
 
 
 def matches_overlap(a: Match, b: Match) -> bool:
-    """Can some packet context satisfy both matches?"""
+    """Can some packet context satisfy both matches?
+
+    Per-field intersection: two conjunctions of single-field cubes overlap
+    exactly when every commonly-constrained field has a common value.
+    """
     for name, test_a in a.tests.items():
         test_b = b.tests.get(name)
         if test_b is not None and not _tests_compatible(test_a, test_b):
             return False
     return True
-
-
-def _same_behaviour(a: FlowEntry, b: FlowEntry) -> bool:
-    return (
-        a.instructions.apply_actions == b.instructions.apply_actions
-        and a.instructions.goto_table == b.instructions.goto_table
-        and a.instructions.write_metadata == b.instructions.write_metadata
-    )
 
 
 def verify_switch(switch: Switch) -> VerificationReport:
@@ -110,9 +111,10 @@ def verify_switch(switch: Switch) -> VerificationReport:
                         f"nonexistent port {action.port}"
                     )
 
+    analyzer = SwitchAnalyzer(switch, project_unmatched=True)
     _check_groups(switch, report)
-    _check_overlaps(switch, report)
-    _check_classify_coverage(switch, report)
+    _check_overlaps(analyzer, report)
+    _check_classify_coverage(switch, analyzer, report)
     _check_reachability(switch, report)
     return report
 
@@ -197,57 +199,44 @@ def _check_groups(switch: Switch, report: VerificationReport) -> None:
             )
 
 
-def _check_overlaps(switch: Switch, report: VerificationReport) -> None:
-    for table_id in sorted(switch.tables):
-        entries = list(switch.tables[table_id].entries())
-        by_priority: dict[int, list[FlowEntry]] = {}
-        for entry in entries:
-            by_priority.setdefault(entry.priority, []).append(entry)
-        for priority, bucket in by_priority.items():
-            for i, a in enumerate(bucket):
-                for b in bucket[i + 1:]:
-                    if matches_overlap(a.match, b.match) and not _same_behaviour(a, b):
-                        report.error(
-                            f"table {table_id}: overlapping same-priority "
-                            f"({priority}) entries with different behaviour: "
-                            f"{a.cookie!r} vs {b.cookie!r}"
-                        )
+def _check_overlaps(analyzer: SwitchAnalyzer, report: VerificationReport) -> None:
+    """Ambiguous same-priority overlaps, via the symbolic engine's precise
+    cube intersection (a packet witnessing both matches must exist)."""
+    for table_id, priority, a, b in analyzer.ambiguous_overlaps():
+        report.error(
+            f"table {table_id}: overlapping same-priority "
+            f"({priority}) entries with different behaviour: "
+            f"{a.cookie!r} vs {b.cookie!r}"
+        )
 
 
-def _check_classify_coverage(switch: Switch, report: VerificationReport) -> None:
-    """Every arrival must match something in every classify table.
+def _check_classify_coverage(
+    switch: Switch, analyzer: SwitchAnalyzer, report: VerificationReport
+) -> None:
+    """Every physical arrival must match something in every classify table.
 
     Classify tables are identified by their rule cookies (``classify:*``),
     which also makes the check work for multi-service pipelines with one
-    relocated classify table per service block.
+    relocated classify table per service block.  The check propagates 'any
+    packet, any physical port' seeds through the pipeline symbolically: a
+    classify table that can be reached by a class matching none of its
+    entries (a table miss = silent drop of an in-flight traversal) fails.
     """
-    classify_tables = sorted(
-        {
-            table_id
-            for table_id, entry in switch.iter_entries()
-            if entry.cookie.startswith("classify:")
-        }
-    )
+    classify_tables = {
+        table_id
+        for table_id, entry in switch.iter_entries()
+        if entry.cookie.startswith("classify:")
+    }
     if not classify_tables:
         report.error("no classify table installed")
         return
-    for table_id in classify_tables:
-        entries = list(switch.tables[table_id].entries())
-        if any(len(e.match) == 0 for e in entries):
-            continue  # catch-all present
-        # Without a catch-all, demand per-in-port coverage at bounce priority.
-        covered = set()
-        for entry in entries:
-            test = entry.match.tests.get("in_port")
-            if test is None or test.mask is not None:
-                continue
-            if entry.match.field_names() <= {"in_port", "repeat"}:
-                covered.add(test.value)
-        missing = set(range(1, switch.num_ports + 1)) - covered
-        if missing:
+    result = analyzer.analyze(analyzer.free_seeds(include_local=False))
+    for table_id in sorted(classify_tables):
+        missed = result.misses.get(table_id)
+        if missed:
             report.error(
-                f"classify table {table_id} has no catch-all and misses "
-                f"bounce coverage for ports {sorted(missing)}"
+                f"classify table {table_id} misses bounce coverage for "
+                f"arrivals like {missed[0].describe()}"
             )
 
 

@@ -191,6 +191,7 @@ def _service_registry():
         AnycastService,
         BlackholeService,
         BlackholeTtlService,
+        ChunkedSnapshotService,
         CriticalNodeService,
         PlainTraversalService,
         PriocastService,
@@ -200,6 +201,7 @@ def _service_registry():
     return {
         "plain": PlainTraversalService,
         "snapshot": SnapshotService,
+        "snapshot_chunked": ChunkedSnapshotService,
         "anycast": AnycastService,
         "priocast": PriocastService,
         "blackhole": BlackholeService,
@@ -208,24 +210,76 @@ def _service_registry():
     }
 
 
-def cmd_verify(args: argparse.Namespace) -> int:
-    from repro.analysis.verify import verify_engine
-    from repro.core.engine import make_engine
-
+def _build_service(args: argparse.Namespace):
     services = _service_registry()
     if args.service not in services:
         raise SystemExit(f"unknown service; pick from {sorted(services)}")
+    return services[args.service]()
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.verify import verify_engine
+    from repro.core.engine import make_engine
+
     topo = build_topology(args)
-    engine = make_engine(Network(topo), services[args.service](), "compiled")
+    engine = make_engine(Network(topo), _build_service(args), "compiled")
     reports = verify_engine(engine)
     errors = [message for report in reports for message in report.errors]
     warnings = [message for report in reports for message in report.warnings]
-    print(f"verified {args.service} on {topo.name}: "
-          f"{engine.total_rules()} rules, {engine.total_groups()} groups, "
-          f"{len(errors)} errors, {len(warnings)} warnings")
-    for message in errors + warnings:
-        print(f"  {message}")
-    return 1 if errors else 0
+    if getattr(args, "json", False):
+        payload = {
+            "service": args.service,
+            "topology": topo.name,
+            "rules": engine.total_rules(),
+            "groups": engine.total_groups(),
+            "switches": [
+                {
+                    "node": report.node,
+                    "errors": report.errors,
+                    "warnings": report.warnings,
+                }
+                for report in reports
+            ],
+            "summary": {"errors": len(errors), "warnings": len(warnings)},
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"verified {args.service} on {topo.name}: "
+              f"{engine.total_rules()} rules, {engine.total_groups()} groups, "
+              f"{len(errors)} errors, {len(warnings)} warnings")
+        for message in errors + warnings:
+            print(f"  {message}")
+    if errors:
+        return 1
+    return 2 if warnings else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.lint import DEFAULT_WALK_BUDGET, LintConfig, lint_engine
+    from repro.core.engine import make_engine
+
+    topo = build_topology(args)
+    engine = make_engine(Network(topo), _build_service(args), "compiled")
+    config = LintConfig(
+        disable=frozenset(args.disable or []),
+        max_states=args.max_states or DEFAULT_WALK_BUDGET,
+        roots=tuple(int(r) for r in args.roots.split(","))
+        if args.roots
+        else None,
+    )
+    report = lint_engine(engine, config=config)
+    if getattr(args, "json", False):
+        payload = report.to_json()
+        payload["topology"] = topo.name
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"lint {args.service} on {topo.name}:")
+        print(report.format_text())
+    return report.exit_code
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -332,7 +386,31 @@ def make_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="statically verify a compiled service")
     common(p)
     p.add_argument("--service", default="snapshot")
+    p.add_argument("--json", action="store_true",
+                   help="emit per-switch findings as JSON")
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser(
+        "lint",
+        help="symbolic lint: dead/shadow rules, coverage, sweep proof",
+    )
+    common(p)
+    p.add_argument("--service", default="snapshot")
+    p.add_argument("--json", action="store_true",
+                   help="emit findings as JSON")
+    p.add_argument(
+        "--disable", action="append", metavar="RULE",
+        help="disable a lint rule id, e.g. SS001 (repeatable)",
+    )
+    p.add_argument(
+        "--max-states", type=int, default=None, dest="max_states",
+        help="symbolic state budget per network walk",
+    )
+    p.add_argument(
+        "--roots", default=None,
+        help="comma-separated roots to walk from (default: every node)",
+    )
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("trace", help="print a traversal's hop-by-hop trace")
     common(p)

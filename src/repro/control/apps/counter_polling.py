@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.control.controller import Controller, ControllerApp
+from repro.control.controller import ControllerApp
 from repro.core.smart_counter import counter_value
 from repro.openflow.group import GroupType
 from repro.openflow.switch import Switch

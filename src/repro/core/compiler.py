@@ -364,7 +364,11 @@ class ServiceCodegen:
 
         deg = self.deg
         first = max(s, 1)
-        for variant in variants:
+        for index, variant in enumerate(variants):
+            # One entry per finish variant: a variant index in the cookie
+            # keeps per-entry diagnostics (verify / lint) unambiguous when a
+            # service has several variants (e.g. priocast's phase switch).
+            suffix = f":v{index}" if len(variants) > 1 else ""
             if s == deg + 1 or first > deg:
                 # No ports left to try: finish immediately via table actions.
                 cg.install(
@@ -372,7 +376,7 @@ class ServiceCodegen:
                     match_meta_sweep(s, **{cg.par: 0}, **variant.match),
                     actions=list(variant.actions),
                     priority=10 + variant.priority,
-                    cookie=f"sweep:root_finish:s{s}",
+                    cookie=f"sweep:root_finish:s{s}{suffix}",
                 )
                 continue
             buckets = [
@@ -387,7 +391,7 @@ class ServiceCodegen:
                 match_meta_sweep(s, **{cg.par: 0}, **variant.match),
                 actions=[GroupAction(gid)],
                 priority=10 + variant.priority,
-                cookie=f"sweep:root:s{s}",
+                cookie=f"sweep:root:s{s}{suffix}",
             )
 
     def _emit_nonroot_row(self, cg: Codegen, s: int, p: int) -> None:
@@ -580,7 +584,11 @@ class PriocastCodegen(ServiceCodegen):
         for gid in sorted(service.groups_of(self.node)):
             priority_value = service.priority_of(self.node, gid)
             assert priority_value is not None
-            for value, mask in encode_range(0, priority_value - 1, OPT_VAL_BITS):
+            cubes = encode_range(0, priority_value - 1, OPT_VAL_BITS)
+            for index, (value, mask) in enumerate(cubes):
+                # Index the cookie per range cube so diagnostics can point
+                # at the exact entry, not just the (gid) rule family.
+                suffix = f":r{index}" if len(cubes) > 1 else ""
                 cg.install(
                     T_BID,
                     Match(
@@ -593,7 +601,7 @@ class PriocastCodegen(ServiceCodegen):
                     ],
                     goto=T_SWEEP,
                     priority=10,
-                    cookie=f"bid:{gid}",
+                    cookie=f"bid:{gid}{suffix}",
                 )
         cg.install(T_BID, Match(), goto=T_SWEEP, cookie="bid:default")
 

@@ -57,7 +57,6 @@ from repro.openflow.packet import (
     Packet,
     is_physical_port,
 )
-from repro.openflow.switch import PacketOut
 
 #: Report marker: 1 = blackhole/loss found, 2 = phase completed cleanly.
 FIELD_BH = "bh"

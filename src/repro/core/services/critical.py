@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from repro.core.fields import FIELD_FIRST_PORT, FIELD_TO_PARENT
 from repro.core.services.base import HookContext, Service
-from repro.openflow.packet import CONTROLLER_PORT, NO_PORT
+from repro.openflow.packet import NO_PORT
 
 #: Report field: 1 = critical, 2 = not critical (0 = no verdict yet).
 FIELD_CRITICAL = "crit"

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Mapping
 
 from repro.openflow.actions import Instructions
@@ -30,6 +30,17 @@ class FlowEntry:
             f"[prio={self.priority}] {self.match!r} -> "
             f"{self.instructions.describe()}"
             + (f"  # {self.cookie}" if self.cookie else "")
+        )
+
+    def behaviour(self) -> tuple:
+        """Hashable key identifying what this entry *does* (not what it
+        matches).  Two same-priority overlapping entries are only a problem
+        when their behaviours differ; the verifier and the lint overlap rule
+        both compare on this key."""
+        return (
+            self.instructions.apply_actions,
+            self.instructions.goto_table,
+            self.instructions.write_metadata,
         )
 
 
@@ -85,6 +96,17 @@ class FlowTable:
         """Iterate entries in match order (highest priority first)."""
         self._ensure_sorted()
         return iter(self._entries)
+
+    def indexed_entries(self) -> list[tuple[int, FlowEntry]]:
+        """Entries in match order with their stable match-order index.
+
+        The index is the analyzer's per-table entry identity: it is stable
+        across calls as long as the table is not mutated, which lets the
+        symbolic engine key reachability facts without requiring
+        :class:`FlowEntry` to be hashable.
+        """
+        self._ensure_sorted()
+        return list(enumerate(self._entries))
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -18,7 +18,7 @@ compiler uses
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.openflow.errors import MatchError
@@ -50,6 +50,12 @@ class FieldTest:
         if self.mask is None:
             return observed == self.value
         return (observed & self.mask) == self.value
+
+    @property
+    def is_wildcard(self) -> bool:
+        """True if this test constrains nothing (``mask == 0`` matches every
+        value; OXM allows such TLVs and they must not affect semantics)."""
+        return self.mask == 0
 
 
 class Match:
@@ -117,6 +123,80 @@ class Match:
             else:
                 parts.append(f"{test.name}={test.value:#x}/{test.mask:#x}")
         return "Match(" + ", ".join(parts) + ")"
+
+
+# --------------------------------------------------------------------- #
+# (value, mask) cube algebra                                            #
+# --------------------------------------------------------------------- #
+#
+# A masked pair ``(value, mask)`` denotes the set ``{x : x & mask == value}``
+# — a *cube* over one field.  ``mask = None`` denotes an exact match (all
+# bits), ``mask = 0`` denotes the full domain (a wildcard: OXM permits such
+# TLVs and they must constrain nothing).  These primitives back both the
+# pairwise-overlap verifier and the header-space symbolic engine in
+# :mod:`repro.analysis.symbolic`.
+
+
+def pairs_intersect(
+    value_a: int,
+    mask_a: int | None,
+    value_b: int,
+    mask_b: int | None,
+) -> tuple[int, int | None] | None:
+    """Intersection of two single-field cubes, or ``None`` if empty.
+
+    Returns a (value, mask) pair describing exactly the values satisfying
+    both inputs; the result mask is ``None`` when either input was exact.
+    """
+    if mask_a is None and mask_b is None:
+        return (value_a, None) if value_a == value_b else None
+    if mask_a is None:
+        return (value_a, None) if (value_a & mask_b) == value_b else None
+    if mask_b is None:
+        return (value_b, None) if (value_b & mask_a) == value_a else None
+    common = mask_a & mask_b
+    if (value_a & common) != (value_b & common):
+        return None
+    return (value_a | value_b, mask_a | mask_b)
+
+
+def full_mask(width: int, value: int = 0) -> int:
+    """All-ones mask wide enough for *width* bits and for *value*."""
+    return (1 << max(width, value.bit_length())) - 1
+
+
+def pair_subtract(
+    value_a: int,
+    mask_a: int,
+    value_b: int,
+    mask_b: int,
+    width: int,
+) -> list[tuple[int, int]]:
+    """Set difference A \\ B of two single-field cubes, as a list of cubes.
+
+    Both masks must be finite here (callers widen exact tests to
+    ``full_mask(width, value)`` first).  The classic header-space expansion:
+    if A and B disagree on a commonly-constrained bit they are disjoint and
+    the result is A itself; otherwise, for every bit B constrains but A does
+    not, emit a copy of A with that bit flipped relative to B (each such
+    cube misses B, and together they cover A \\ B).  The result cubes are
+    pairwise disjoint.
+    """
+    common = mask_a & mask_b
+    if (value_a & common) != (value_b & common):
+        return [(value_a, mask_a)]
+    result: list[tuple[int, int]] = []
+    accum_value, accum_mask = value_a, mask_a
+    extra = mask_b & ~mask_a & full_mask(width, value_b)
+    while extra:
+        bit = extra & -extra
+        extra ^= bit
+        flipped = (value_b & bit) ^ bit
+        result.append((accum_value | flipped, accum_mask | bit))
+        # Later cubes pin this bit to B's value so the pieces stay disjoint.
+        accum_value |= value_b & bit
+        accum_mask |= bit
+    return result
 
 
 def encode_range(lo: int, hi: int, width: int) -> list[tuple[int, int]]:

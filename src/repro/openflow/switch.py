@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Mapping
+from typing import Iterable, Mapping
 
 from repro.openflow.actions import GroupAction, Instructions
 from repro.openflow.errors import PipelineError, TableError

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -14,7 +13,7 @@ from repro.analysis.graph import (
     spanning_tree,
 )
 from repro.analysis.verify import matches_overlap
-from repro.net.topology import Topology, erdos_renyi, line, ring, star
+from repro.net.topology import Topology, erdos_renyi, line, ring
 from repro.openflow.match import FieldTest, Match
 
 

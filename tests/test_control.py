@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.control.apps.probe_blackhole import ProbeBlackholeDetector
 from repro.control.apps.reactive_routing import ReactiveAnycastRouting

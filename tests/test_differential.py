@@ -8,7 +8,6 @@ externally visible outcomes (deliveries, reports, verdicts).
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -131,8 +130,6 @@ class TestChunkedSnapshot:
     @settings(max_examples=10, deadline=None)
     @given(st.integers(3, 12), st.integers(0, 300), st.integers(3, 30))
     def test_chunk_streams_identical(self, n, seed, budget):
-        from repro.core.services.snapshot import ChunkedSnapshotCollector
-
         topo = erdos_renyi(n, 0.3, seed=seed)
         outcomes = []
         for mode in ("interpreted", "compiled"):

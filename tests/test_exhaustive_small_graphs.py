@@ -21,7 +21,7 @@ from repro.core.fields import FIELD_GID
 from repro.core.runtime import SmartSouthRuntime
 from repro.core.services.anycast import AnycastService
 from repro.net.simulator import Network
-from repro.net.topology import Topology, from_edge_list
+from repro.net.topology import from_edge_list
 
 
 def connected_graphs(n: int):

@@ -9,7 +9,6 @@ instead of the controller.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.engine import make_engine
 from repro.core.fields import FIELD_SNAP_DONE

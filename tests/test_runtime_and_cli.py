@@ -9,7 +9,7 @@ from repro.core.engine import make_engine
 from repro.core.runtime import SmartSouthRuntime
 from repro.core.services.base import PlainTraversalService
 from repro.net.simulator import Network
-from repro.net.topology import abilene, ring
+from repro.net.topology import ring
 
 
 class TestRuntimeFacade:

@@ -7,7 +7,6 @@ the reconstructed Table 1 explicit and reviewable against the paper.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.fields import (
     FIELD_FIRST_PORT,

@@ -1,0 +1,312 @@
+"""Unit tests for the header-space symbolic engine and the cube algebra.
+
+Covers the mask-algebra corner cases (mask=0 wildcards, exact/masked
+mixing, subtraction expansion) plus per-switch propagation and the
+whole-network symbolic walk.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.symbolic import (
+    Cube,
+    FieldWidths,
+    SwitchAnalyzer,
+    cube_from_match,
+    walk_network,
+    zero_state_fields,
+)
+from repro.analysis.verify import matches_overlap
+from repro.core.compiler import compile_service
+from repro.core.services.base import PlainTraversalService
+from repro.net.simulator import Network
+from repro.net.topology import line, ring
+from repro.openflow.match import (
+    FieldTest,
+    Match,
+    full_mask,
+    pair_subtract,
+    pairs_intersect,
+)
+from repro.openflow.packet import LOCAL_PORT
+
+
+class TestPairsIntersect:
+    def test_exact_exact(self):
+        assert pairs_intersect(5, None, 5, None) == (5, None)
+        assert pairs_intersect(5, None, 6, None) is None
+
+    def test_exact_masked(self):
+        # 0b101 is in {x : x & 0b001 == 1}.
+        assert pairs_intersect(5, None, 1, 1) == (5, None)
+        assert pairs_intersect(4, None, 1, 1) is None
+        # Symmetric order.
+        assert pairs_intersect(1, 1, 5, None) == (5, None)
+
+    def test_masked_masked(self):
+        # {x & 0b01 == 1} ∩ {x & 0b10 == 2} = {x & 0b11 == 3}.
+        assert pairs_intersect(1, 0b01, 2, 0b10) == (3, 0b11)
+        # Disagreement on a common bit: empty.
+        assert pairs_intersect(1, 0b01, 0, 0b01) is None
+
+    def test_wildcard_mask_zero(self):
+        # mask=0 constrains nothing: intersection is the other test.
+        assert pairs_intersect(0, 0, 7, 0b111) == (7, 0b111)
+        assert pairs_intersect(7, 0b111, 0, 0) == (7, 0b111)
+        assert pairs_intersect(0, 0, 5, None) == (5, None)
+
+
+class TestFullMask:
+    def test_widths(self):
+        assert full_mask(4) == 0xF
+        assert full_mask(8) == 0xFF
+
+    def test_widens_for_value(self):
+        # A value outside the declared width widens the mask to cover it.
+        assert full_mask(4, value=0x1F) == 0x1F
+        assert full_mask(8, value=3) == 0xFF
+
+
+class TestPairSubtract:
+    def test_disjoint(self):
+        # A and B disagree on a common bit: A \ B = A.
+        assert pair_subtract(1, 1, 0, 1, 4) == [(1, 1)]
+
+    def test_full_cover(self):
+        # B covers A exactly: nothing remains.
+        assert pair_subtract(1, 1, 1, 1, 4) == []
+        # B wildcard (mask 0) covers everything.
+        assert pair_subtract(5, 0xF, 0, 0, 4) == []
+
+    def test_expansion_pieces_partition(self):
+        # Subtract the exact value 5 from the full 3-bit domain: the pieces
+        # must cover exactly {0..7} \ {5} and be pairwise disjoint.
+        width = 3
+        pieces = pair_subtract(0, 0, 5, full_mask(width), width)
+        members: list[int] = []
+        for x in range(8):
+            for value, mask in pieces:
+                if (x & mask) == value:
+                    members.append(x)
+        assert sorted(members) == [0, 1, 2, 3, 4, 6, 7]  # each exactly once
+
+    def test_masked_subtrahend(self):
+        # Remove the odd numbers from the 2-bit domain.
+        pieces = pair_subtract(0, 0, 1, 1, 2)
+        survivors = {
+            x for x in range(4)
+            if any((x & m) == v for v, m in pieces)
+        }
+        assert survivors == {0, 2}
+
+
+class TestMatchesOverlapWildcards:
+    """The verify-level satellite: mask=0 must behave as a wildcard."""
+
+    def test_mask_zero_never_constrains(self):
+        wild = Match([FieldTest("start", 0, 0)])
+        exact = Match([FieldTest("start", 2, None)])
+        assert matches_overlap(wild, exact)
+        assert matches_overlap(exact, wild)
+
+    def test_mask_zero_vs_masked(self):
+        wild = Match([FieldTest("gid", 0, 0)])
+        masked = Match([FieldTest("gid", 4, 0b100)])
+        assert matches_overlap(wild, masked)
+
+    def test_disjoint_exacts_still_disjoint(self):
+        a = Match(start=1)
+        b = Match(start=2)
+        assert not matches_overlap(a, b)
+
+    def test_mixed_fields(self):
+        a = Match([FieldTest("gid", 0, 0)], start=1)
+        b = Match(start=1, gid=9)
+        assert matches_overlap(a, b)
+
+
+class TestCube:
+    def setup_method(self):
+        self.widths = FieldWidths()
+
+    def test_constrain_and_empty(self):
+        cube = Cube(1)
+        got = cube.constrain("start", 1, 0b11)
+        assert got is not None
+        assert got.constraints["start"] == (1, 0b11)
+        assert got.constrain("start", 2, 0b11) is None
+
+    def test_constrain_wildcard_is_noop(self):
+        cube = Cube(1, {"start": (1, 0b11)})
+        assert cube.constrain("start", 0, 0) is cube
+
+    def test_set_field_overwrites(self):
+        cube = Cube(1, {"start": (1, 0b11)})
+        got = cube.set_field("start", 2, self.widths)
+        value, mask = got.constraints["start"]
+        assert value == 2 and mask == full_mask(self.widths.width("start"))
+
+    def test_havoc_frees(self):
+        cube = Cube(1, {"ttl": (7, 0xFF)})
+        assert "ttl" not in cube.havoc("ttl").constraints
+
+    def test_write_metadata_masked_update(self):
+        cube = Cube(1, {"metadata": (0, 0xFFFFFFFF)})
+        got = cube.write_metadata(0x5, 0xFF, self.widths)
+        assert got.constraints["metadata"] == (0x5, 0xFFFFFFFF)
+        # Partial write on unknown metadata only pins the written bits.
+        got2 = Cube(1).write_metadata(0x5, 0xFF, self.widths)
+        assert got2.constraints["metadata"] == (0x5, 0xFF)
+
+    def test_dec_field(self):
+        cube = Cube(1).set_field("ttl", 3, self.widths)
+        assert cube.dec_field("ttl", self.widths).exact_value(
+            "ttl", self.widths
+        ) == 2
+        # Floor at zero.
+        zero = Cube(1).set_field("ttl", 0, self.widths)
+        assert zero.dec_field("ttl", self.widths).exact_value(
+            "ttl", self.widths
+        ) == 0
+        # Non-exact: havoc.
+        free = Cube(1, {"ttl": (1, 1)})
+        assert "ttl" not in free.dec_field("ttl", self.widths).constraints
+
+    def test_intersect_match_in_port(self):
+        match = Match(**{"in_port": 2, "start": 1})
+        widths = FieldWidths()
+        assert cube_from_match(match, 2, widths) is not None
+        assert cube_from_match(match, 3, widths) is None
+
+    def test_subtract_match_disjoint_returns_self(self):
+        cube = Cube(1, {"start": (1, 0b11)})
+        pieces = cube.subtract_match(Match(start=2), self.widths)
+        assert pieces == [cube]
+
+    def test_subtract_match_covered_returns_empty(self):
+        cube = Cube(1, {"start": (1, 0b11)})
+        assert cube.subtract_match(Match(), self.widths) == []
+
+    def test_project_drops_only_unlisted(self):
+        cube = Cube(1, {"start": (1, 0b11), "gid": (4, 0xF)})
+        got = cube.project({"start"})
+        assert set(got.constraints) == {"start"}
+        assert cube.project({"start", "gid"}) is cube
+
+
+class TestSwitchAnalyzer:
+    def _switch(self, n=4, node=0):
+        topo = ring(n)
+        return compile_service(Network(topo), node, PlainTraversalService())
+
+    def test_free_analysis_hits_most_entries(self):
+        switch = self._switch()
+        analyzer = SwitchAnalyzer(switch)
+        result = analyzer.analyze()
+        total = sum(len(v) for v in analyzer.entries.values())
+        # Everything except the structurally-dead root s=1 row is reachable.
+        assert len(result.hits) == total - 1
+
+    def test_projection_preserves_hit_set(self):
+        switch = self._switch()
+        plain = SwitchAnalyzer(switch).analyze()
+        projected = SwitchAnalyzer(switch, project_unmatched=True).analyze()
+        assert set(plain.hits) == set(projected.hits)
+        assert set(plain.misses) == set(projected.misses)
+
+    def test_no_shadowed_entries_in_compiled_output(self):
+        assert SwitchAnalyzer(self._switch()).shadowed_entries() == []
+
+    def test_seed_pins_metadata(self):
+        analyzer = SwitchAnalyzer(self._switch())
+        seed = analyzer.seed(1)
+        value, mask = seed.constraints["metadata"]
+        assert value == 0 and mask == full_mask(32)
+
+    def test_dangling_goto_recorded(self):
+        switch = self._switch()
+        from repro.openflow.actions import Instructions
+
+        switch.tables[0].install(
+            Match(start=3), Instructions(goto_table=99), priority=200,
+            cookie="bad:goto",
+        )
+        result = SwitchAnalyzer(switch).analyze()
+        assert any(goto == 99 for _t, _i, goto in result.dangling)
+
+
+class TestWalkNetwork:
+    def test_plain_ring_sweeps_every_port(self):
+        topo = ring(4)
+        net = Network(topo)
+        switches = {
+            node: compile_service(net, node, PlainTraversalService())
+            for node in topo.nodes()
+        }
+        walk = walk_network(switches, topo, root=0)
+        assert not walk.exhausted
+        assert walk.unswept_ports(topo) == []
+        # The traversal ends with exactly one controller report class.
+        assert len(walk.reports) == 1
+        assert walk.reports[0][0] == 0
+        assert walk.misses == []
+
+    def test_line_walk_from_each_root(self):
+        topo = line(3)
+        net = Network(topo)
+        switches = {
+            node: compile_service(net, node, PlainTraversalService())
+            for node in topo.nodes()
+        }
+        for root in topo.nodes():
+            walk = walk_network(switches, topo, root=root)
+            assert walk.unswept_ports(topo) == [], f"root {root}"
+
+    def test_budget_exhaustion_flagged(self):
+        topo = ring(4)
+        net = Network(topo)
+        switches = {
+            node: compile_service(net, node, PlainTraversalService())
+            for node in topo.nodes()
+        }
+        walk = walk_network(switches, topo, root=0, max_states=2)
+        assert walk.exhausted
+
+    def test_zero_state_covers_all_matched_fields(self):
+        topo = ring(3)
+        net = Network(topo)
+        switches = {
+            node: compile_service(net, node, PlainTraversalService())
+            for node in topo.nodes()
+        }
+        widths = FieldWidths.for_switches(switches.values())
+        state = zero_state_fields(switches, topo, widths)
+        assert "start" in state
+        assert "v0.par" in state and "v2.cur" in state
+        for name, (value, _mask) in state.items():
+            assert value == 0, name
+
+    def test_trigger_field_override_and_free(self):
+        topo = ring(3)
+        net = Network(topo)
+        switches = {
+            node: compile_service(net, node, PlainTraversalService())
+            for node in topo.nodes()
+        }
+        walk = walk_network(
+            switches, topo, root=0, trigger_fields={"ttl": None, "gid": 7}
+        )
+        # Freed/overridden fields must not break the plain traversal.
+        assert walk.unswept_ports(topo) == []
+
+
+class TestLocalPortSeeding:
+    def test_local_seed_reaches_trigger(self):
+        topo = ring(4)
+        switch = compile_service(Network(topo), 0, PlainTraversalService())
+        analyzer = SwitchAnalyzer(switch)
+        seed = analyzer.seed(LOCAL_PORT, {"start": (0, 0b11)})
+        result = analyzer.propagate(seed)
+        cookies = {
+            analyzer.entries[t][i][1].cookie for (t, i) in result.hits
+        }
+        assert "classify:trigger" in cookies

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis.verify import verify_switch
 from repro.core.compiler import compile_service, compile_services
