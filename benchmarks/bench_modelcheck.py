@@ -1,0 +1,124 @@
+"""Benchmark: model-checker throughput and wall-time vs failure budget.
+
+The checker's cost is dominated by failure interleavings: with budget *f*
+every live edge is a branch point at every step, so the frontier grows
+roughly with `E^f` before dedup collapses it.  Two tables make that
+concrete: states/second of raw exploration (the stepper + BFS hot path)
+and wall-time as the failure budget sweeps 0 → 2 on the paper's example
+topologies.  The gate is the PR's acceptance bar — every paper service on
+Abilene with a 1-failure budget must check in well under 60 s (we gate an
+order of magnitude tighter on the slowest single service).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.modelcheck import CheckConfig, check_engine
+from repro.core.engine import make_engine
+from repro.core.services.anycast import PriocastService
+from repro.core.services.blackhole import BlackholeService
+from repro.core.services.snapshot import SnapshotService
+from repro.net.simulator import Network
+from repro.net.topology import abilene, grid, ring
+
+from conftest import fmt_row
+
+FAILURE_BUDGETS = [0, 1, 2]
+WIDTHS = (10, 10, 8, 10, 12, 12)
+GATE_SECONDS = 6.0
+
+
+def _check(topology, service, budget: int):
+    engine = make_engine(Network(topology), service, "compiled")
+    started = time.perf_counter()
+    report = check_engine(engine, CheckConfig(max_failures=budget))
+    elapsed = time.perf_counter() - started
+    assert report.exit_code == 0, report.format_text(topology)
+    return report, elapsed
+
+
+@pytest.mark.parametrize("budget", FAILURE_BUDGETS)
+def test_walltime_vs_failure_budget(benchmark, emit, budget):
+    """Snapshot on Abilene: the full-DFS worst case of the sweep."""
+    topology = abilene()
+
+    def run():
+        engine = make_engine(Network(topology), SnapshotService(), "compiled")
+        return check_engine(engine, CheckConfig(max_failures=budget))
+
+    report = benchmark(run)
+    assert report.exit_code == 0
+    elapsed = (
+        benchmark.stats.stats.mean if benchmark.stats is not None else 0.0
+    )
+    rate = report.states / elapsed if elapsed else float("nan")
+    if budget == FAILURE_BUDGETS[0]:
+        emit("\n=== bench_modelcheck: snapshot/abilene vs failure budget ===")
+        emit(fmt_row(
+            ["budget", "states", "scen", "mean s", "states/s", "result"],
+            WIDTHS,
+        ))
+    emit(fmt_row(
+        [
+            budget,
+            report.states,
+            report.scenarios,
+            f"{elapsed:.3f}",
+            f"{rate:,.0f}",
+            "clean",
+        ],
+        WIDTHS,
+    ))
+
+
+def test_states_per_second_table(emit):
+    """Exploration throughput across the example topologies (budget 1)."""
+    cases = [
+        ("snapshot", ring(4), SnapshotService()),
+        ("snapshot", grid(3, 3), SnapshotService()),
+        ("snapshot", abilene(), SnapshotService()),
+        ("priocast", abilene(), PriocastService({1: {3: 10, 7: 20}})),
+        ("blackhole", abilene(), BlackholeService()),
+    ]
+    emit("\n=== bench_modelcheck: states/second (1-failure budget) ===")
+    emit(fmt_row(
+        ["service", "topology", "scen", "states", "wall s", "states/s"],
+        WIDTHS,
+    ))
+    for name, topology, service in cases:
+        report, elapsed = _check(topology, service, 1)
+        rate = report.states / elapsed if elapsed else float("nan")
+        emit(fmt_row(
+            [
+                name,
+                topology.name,
+                report.scenarios,
+                report.states,
+                f"{elapsed:.3f}",
+                f"{rate:,.0f}",
+            ],
+            WIDTHS,
+        ))
+        assert report.states > 0
+
+
+def test_gate_paper_services_on_abilene(emit):
+    """The acceptance gate: each paper service on Abilene, 1-failure
+    budget, far under the 60 s bar."""
+    topology = abilene()
+    services = [
+        SnapshotService(),
+        PriocastService({1: {3: 10, 7: 20}}),
+        BlackholeService(),
+    ]
+    worst = 0.0
+    for service in services:
+        _report, elapsed = _check(topology, service, 1)
+        worst = max(worst, elapsed)
+        emit(f"check {service.name} on abilene (budget 1): {elapsed:.3f}s")
+    assert worst < GATE_SECONDS, (
+        f"slowest service took {worst:.3f}s (gate {GATE_SECONDS}s)"
+    )

@@ -1,5 +1,6 @@
 """Analysis tools: graph algorithms, Table 2 closed forms, symbolic
-header-space analysis, lint rules, and rule-set verification."""
+header-space analysis, lint rules, rule-set verification, and stateful
+model checking with replayable counterexamples."""
 
 from repro.analysis.complexity import (
     dfs_message_count,
@@ -21,6 +22,23 @@ from repro.analysis.lint import (
     lint_rule,
     run_lint,
 )
+from repro.analysis.modelcheck import (
+    INVARIANTS,
+    CheckConfig,
+    CheckReport,
+    Counterexample,
+    Scenario,
+    Violation,
+    check_engine,
+    invariant,
+    run_check,
+    scenarios_for,
+)
+from repro.analysis.replay import (
+    ReplayResult,
+    confirms_violation,
+    replay_counterexample,
+)
 from repro.analysis.symbolic import (
     Cube,
     SwitchAnalyzer,
@@ -34,21 +52,34 @@ from repro.analysis.verify import (
 )
 
 __all__ = [
+    "CheckConfig",
+    "CheckReport",
+    "Counterexample",
     "Cube",
+    "INVARIANTS",
     "LINT_RULES",
     "LintConfig",
     "LintFinding",
     "LintReport",
+    "ReplayResult",
+    "Scenario",
     "SwitchAnalyzer",
     "VerificationReport",
+    "Violation",
     "WalkResult",
     "articulation_points",
+    "check_engine",
+    "confirms_violation",
     "connected_components",
     "dfs_edge_order",
     "dfs_message_count",
+    "invariant",
     "lint_engine",
     "lint_rule",
+    "replay_counterexample",
+    "run_check",
     "run_lint",
+    "scenarios_for",
     "spanning_tree",
     "table2",
     "table2_row",

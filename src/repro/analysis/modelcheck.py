@@ -1,0 +1,1822 @@
+"""Bounded explicit-state model checking of compiled SmartSouth deployments.
+
+PR 1's symbolic engine (:mod:`repro.analysis.symbolic`) proves *per-packet*
+properties of a rule set.  SmartSouth's headline claims, however, are
+*temporal* properties of the distributed traversal — the DFS visits every
+live edge, the trigger returns to the root within 2·|E| hops, smart counters
+localize a blackhole — and they must hold under link failures interleaved
+with packet motion, exactly where OpenFlow fast-failover semantics get
+subtle.  This module explores that state space mechanically.
+
+Global state
+------------
+
+A :class:`GlobalState` is the tuple the paper's §2 state-machine argument
+quantifies over, made explicit:
+
+* **in-flight packets** — SmartSouth keeps all per-node tag registers
+  (``v{n}.par`` / ``v{n}.cur``) *in the packet*, so a packet's exact header
+  cube + label stack + location is the whole traversal state;
+* **the live-link set** — which edges are up (fast-failover consults it);
+* **smart-counter cursors** — the only per-switch mutable state the
+  compiled pipelines have (round-robin ``SELECT`` groups);
+* **trigger/failure budgets** and the accumulated observables (controller
+  reports, local deliveries, packet losses).
+
+Transitions are *driven by the PR 1 symbolic engine*: a packet step runs the
+packet's exact cube through the node's compiled tables with
+:meth:`Cube.intersect_match` per entry in priority order — the checker
+verifies the compiled rules, not a re-implementation of the algorithm.
+Because every field any rule matches is pinned exact at injection
+(:func:`zero_state_fields`) and stays exact under ``set_field`` /
+``dec_ttl`` / concrete counter fetches, the first matching entry is *the*
+matching entry and the step is deterministic given the nondeterministic
+environment choices (which packet moves, which link fails, when a trigger
+is injected).
+
+Invariants
+----------
+
+Temporal properties are pluggable via the :func:`invariant` registry —
+the exact analogue of ``@lint_rule``:
+
+========  ========================  ========  =================================
+id        name                      scope     catches
+========  ========================  ========  =================================
+MC001     no-forwarding-loop        step      hop budget exceeded; rule loops
+MC002     snapshot-record-sanity    both      duplicate edge records, bad pops
+MC003     counter-coherence         step      counter bucket j must write j
+MC004     traversal-completes       terminal  trigger never produces its report
+MC005     blackhole-localized       terminal  verdict names a healthy link
+MC006     failover-masks-failures   step      FF emits on a dead watched port
+MC007     delivery-correctness      terminal  anycast/priocast wrong receiver
+MC008     pipeline-integrity        step      missing table/group, bad goto
+========  ========================  ========  =================================
+
+On violation the checker emits a **counterexample**: the shortest (BFS)
+action trace reaching the violation, greedily minimized by deleting failure
+/ extra-trigger actions that are not needed to reproduce it.  Traces are
+replayable: :mod:`repro.analysis.replay` converts one into a deterministic
+:mod:`repro.net.simulator` run (failures scheduled by *packet step count*,
+not wall time), giving a differential cross-check between this checker and
+the simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from collections import deque
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.analysis.symbolic import (
+    METADATA_WIDTH,
+    Cube,
+    FieldWidths,
+    zero_state_fields,
+)
+from repro.core.fields import (
+    FIELD_GID,
+    FIELD_OPT_VAL,
+    FIELD_RECCAP,
+    FIELD_REPEAT,
+    FIELD_SNAP_DONE,
+    FIELD_SVC,
+    FIELD_TTL,
+)
+from repro.core.services.blackhole import (
+    BH_DONE,
+    BH_FOUND,
+    FIELD_BH,
+    FIELD_REPORT_IN,
+    FIELD_REPORT_PORT,
+    REPEAT_PROBE,
+    REPEAT_VERIFY,
+)
+from repro.core.smart_counter import counter_bucket_value
+from repro.net.topology import Topology
+from repro.openflow.actions import (
+    DecTtl,
+    GroupAction,
+    Output,
+    PopLabel,
+    PushLabel,
+    SetField,
+)
+from repro.openflow.group import Group, GroupType
+from repro.openflow.match import full_mask
+from repro.openflow.packet import (
+    CONTROLLER_PORT,
+    IN_PORT,
+    LOCAL_PORT,
+    is_physical_port,
+    port_name,
+)
+from repro.openflow.switch import Switch
+
+#: Default bound on explored states per scenario.
+DEFAULT_STATE_BUDGET = 200_000
+#: Default number of distinct violations collected before stopping.
+DEFAULT_MAX_VIOLATIONS = 20
+
+#: Loss kinds that the *environment* (not the program) caused; they excuse
+#: the bounded-liveness invariant MC004.
+ENVIRONMENT_LOSSES = frozenset({"dead_port", "swallowed"})
+
+
+# --------------------------------------------------------------------- #
+# Scenarios                                                             #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class TriggerSpec:
+    """One trigger injection: header overrides applied to the zero state."""
+
+    root: int
+    fields: tuple[tuple[str, int], ...] = ()
+    #: Only injectable once no packet is in flight (phase ordering — e.g.
+    #: the blackhole verify trigger must not overtake the probe phase).
+    at_quiescence: bool = False
+    label: str = "trigger"
+
+    def field_dict(self) -> dict[str, int]:
+        return dict(self.fields)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One exploration setup: triggers + environment configuration."""
+
+    name: str
+    service_name: str
+    root: int
+    triggers: tuple[TriggerSpec, ...]
+    #: Edges that silently swallow crossing packets but look *up* to
+    #: fast-failover (``link.set_blackhole()`` in the simulator).
+    blackholes: frozenset[int] = frozenset()
+    #: Whether in-run visible link failures are explored (disabled for
+    #: blackhole scenarios: the paper's detection algorithms assume no
+    #: concurrent failures, and blackhole placement is enumerated instead).
+    allow_failures: bool = True
+    #: The anycast/priocast group id this scenario requests (None others).
+    gid: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "service": self.service_name,
+            "root": self.root,
+            "triggers": [
+                {
+                    "root": t.root,
+                    "fields": dict(t.fields),
+                    "at_quiescence": t.at_quiescence,
+                    "label": t.label,
+                }
+                for t in self.triggers
+            ],
+            "blackholes": sorted(self.blackholes),
+            "allow_failures": self.allow_failures,
+            "gid": self.gid,
+        }
+
+
+def _blackhole_placements(
+    topology: Topology, budget: int
+) -> list[frozenset[int]]:
+    """The clean placement plus every failure-budget-sized combination."""
+    placements: list[frozenset[int]] = [frozenset()]
+    edge_ids = list(range(topology.num_edges))
+    for size in range(1, max(0, budget) + 1):
+        placements.extend(
+            frozenset(combo) for combo in itertools.combinations(edge_ids, size)
+        )
+    return placements
+
+
+def scenarios_for(
+    service, topology: Topology, root: int, max_failures: int = 1
+) -> list[Scenario]:
+    """Build the scenario list the checker explores for *service*.
+
+    For most services this is a single scenario whose in-run failure budget
+    is *max_failures*.  Blackhole services instead enumerate blackhole
+    placements up to *max_failures* simultaneous silent-drop links (plus the
+    clean run) with visible failures disabled — the paper's algorithms
+    assume a stable topology during one detection run.
+    """
+    name = service.name
+    if name in ("plain", "snapshot", "critical"):
+        return [
+            Scenario(name, name, root, (TriggerSpec(root, label=name),))
+        ]
+    if name == "snapshot_chunked":
+        cap = int(getattr(service, "max_records", 16))
+        return [
+            Scenario(
+                name,
+                name,
+                root,
+                (TriggerSpec(root, ((FIELD_RECCAP, cap),), label=name),),
+            )
+        ]
+    if name == "anycast":
+        groups = getattr(service, "groups", {}) or {}
+        gids = sorted(groups)
+        unserved = (max(gids) if gids else 0) + 1
+        out = []
+        for gid in gids + [unserved]:
+            out.append(
+                Scenario(
+                    f"anycast:gid{gid}",
+                    name,
+                    root,
+                    (TriggerSpec(root, ((FIELD_GID, gid),), label=f"gid{gid}"),),
+                    gid=gid,
+                )
+            )
+        return out
+    if name == "priocast":
+        priorities = getattr(service, "priorities", {}) or {}
+        out = []
+        for gid in sorted(priorities):
+            out.append(
+                Scenario(
+                    f"priocast:gid{gid}",
+                    name,
+                    root,
+                    (TriggerSpec(root, ((FIELD_GID, gid),), label=f"gid{gid}"),),
+                    gid=gid,
+                )
+            )
+        return out or [
+            Scenario(name, name, root, (TriggerSpec(root, label=name),))
+        ]
+    if name == "blackhole":
+        probe = TriggerSpec(root, ((FIELD_REPEAT, REPEAT_PROBE),), label="probe")
+        verify = TriggerSpec(
+            root,
+            ((FIELD_REPEAT, REPEAT_VERIFY),),
+            at_quiescence=True,
+            label="verify",
+        )
+        return [
+            Scenario(
+                f"blackhole:{'+'.join(map(str, sorted(bh))) or 'clean'}",
+                name,
+                root,
+                (probe, verify),
+                blackholes=bh,
+                allow_failures=False,
+            )
+            for bh in _blackhole_placements(topology, max_failures)
+        ]
+    if name == "blackhole_ttl":
+        ttl = 4 * topology.num_edges + 4
+        return [
+            Scenario(
+                f"blackhole_ttl:{'+'.join(map(str, sorted(bh))) or 'clean'}",
+                name,
+                root,
+                (TriggerSpec(root, ((FIELD_TTL, ttl),), label="probe"),),
+                blackholes=bh,
+                allow_failures=False,
+            )
+            for bh in _blackhole_placements(topology, max_failures)
+        ]
+    # Unknown service: explore the bare trigger so the loop/integrity
+    # invariants still apply.
+    return [Scenario(name, name, root, (TriggerSpec(root, label=name),))]
+
+
+def hop_bound(service_name: str, topology: Topology) -> int:
+    """Per-packet hop budget (MC001), from the Table 2 closed forms.
+
+    One full DFS is exactly ``4E - 2n + 2`` crossings
+    (:func:`~repro.analysis.complexity.dfs_message_count`): tree edges are
+    crossed twice, non-tree edges probed-and-bounced from both sides.  The
+    blackhole echo handshake raises every edge to four crossings (``4E``),
+    priocast runs two traversals, and the TTL probe carries a ``4E + 4``
+    hop budget by construction.  A small slack absorbs the extra
+    parent-return crossings failure rerouting can add.
+    """
+    from repro.analysis.complexity import dfs_message_count
+
+    n, e = topology.num_nodes, topology.num_edges
+    dfs = dfs_message_count(n, e)
+    if service_name == "priocast":
+        return 2 * dfs + 6
+    if service_name == "blackhole":
+        return 4 * e + 6
+    if service_name == "blackhole_ttl":
+        return 4 * e + 10
+    return dfs + 6
+
+
+# --------------------------------------------------------------------- #
+# The stateful stepper (one packet through one compiled pipeline)       #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Emission:
+    """One output of a pipeline step, with FF-selection provenance."""
+
+    port: int  # resolved (IN_PORT replaced by the arrival port)
+    cube: Cube
+    stack: tuple
+    source: str
+    #: For emissions from a fast-failover bucket: did the group have
+    #: another live bucket when this one was selected?  (MC006 evidence.)
+    ff_alternative: bool | None = None
+
+
+@dataclass
+class StepOutcome:
+    """Everything one packet step produced."""
+
+    emissions: list[Emission] = dataclass_field(default_factory=list)
+    #: (group_id, bucket index used, value that bucket writes).
+    fetches: list[tuple[int, int, int | None]] = dataclass_field(
+        default_factory=list
+    )
+    pops_on_empty: int = 0
+    miss_table: int | None = None
+    error: str | None = None
+
+
+class StatefulStepper:
+    """Deterministic executor for exact cubes on one compiled switch.
+
+    Mirrors :meth:`Switch.process` exactly (emission snapshots, metadata
+    masking, forward-only goto, group semantics) but runs on the symbolic
+    layer's :class:`Cube` primitives and externalizes the two pieces of
+    mutable environment: port liveness (the model's live-edge set) and the
+    smart-counter cursors (fetch-and-increment through a callback, so the
+    global state owns them).
+    """
+
+    MAX_PIPELINE_STEPS = Switch.MAX_PIPELINE_STEPS
+
+    def __init__(self, switch: Switch, widths: FieldWidths) -> None:
+        self.switch = switch
+        self.widths = widths
+        self.entries = {
+            table_id: switch.tables[table_id].indexed_entries()
+            for table_id in sorted(switch.tables)
+        }
+
+    def entry_cube(self, in_port: int, cube: Cube) -> Cube:
+        """Rebase *cube* for pipeline entry: arrival port + metadata = 0."""
+        constraints = dict(cube.constraints)
+        constraints["metadata"] = (0, full_mask(METADATA_WIDTH))
+        return Cube(in_port, constraints)
+
+    def step(
+        self,
+        in_port: int,
+        cube: Cube,
+        stack: Sequence[tuple],
+        port_live: Callable[[int], bool],
+        fetch: Callable[[Group], int],
+    ) -> StepOutcome:
+        out = StepOutcome()
+        cur = self.entry_cube(in_port, cube)
+        cur_stack = list(stack)
+        table_id = 0
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.MAX_PIPELINE_STEPS:
+                out.error = "pipeline-limit"
+                return out
+            entries = self.entries.get(table_id)
+            if entries is None:
+                out.error = f"missing-table:{table_id}"
+                return out
+            hit = None
+            for _index, entry in entries:
+                matched = cur.intersect_match(entry.match, self.widths)
+                if matched is not None:
+                    hit = (entry, matched)
+                    break
+            if hit is None:
+                out.miss_table = table_id
+                return out
+            entry, matched = hit
+            if matched.constraints != cur.constraints:
+                # The cube was not exact on a matched field — the checker's
+                # determinism assumption broke (never for compiled SmartSouth,
+                # whose trigger classes pin every matched field).
+                out.error = f"nonexact-match:{table_id}"
+                return out
+            cur = matched
+            instructions = entry.instructions
+            if instructions.write_metadata is not None:
+                value, mask = instructions.write_metadata
+                cur = cur.write_metadata(value, mask, self.widths)
+            source = entry.cookie or f"table{table_id}"
+            cur, cur_stack = self._apply_actions(
+                instructions.apply_actions,
+                cur,
+                cur_stack,
+                in_port,
+                port_live,
+                fetch,
+                out,
+                source,
+                frozenset(),
+                None,
+            )
+            if out.error is not None:
+                return out
+            goto = instructions.goto_table
+            if goto is None:
+                return out
+            if goto <= table_id:
+                out.error = f"goto-backward:{table_id}->{goto}"
+                return out
+            table_id = goto
+
+    def _apply_actions(
+        self,
+        actions,
+        cube: Cube,
+        stack: list,
+        in_port: int,
+        port_live,
+        fetch,
+        out: StepOutcome,
+        source: str,
+        active_groups: frozenset[int],
+        ff_alternative: bool | None,
+    ) -> tuple[Cube, list]:
+        for action in actions:
+            if out.error is not None:
+                return cube, stack
+            if isinstance(action, SetField):
+                cube = cube.set_field(action.name, action.value, self.widths)
+            elif isinstance(action, Output):
+                port = in_port if action.port == IN_PORT else action.port
+                out.emissions.append(
+                    Emission(port, cube, tuple(stack), source, ff_alternative)
+                )
+            elif isinstance(action, DecTtl):
+                cube = cube.dec_field(action.field_name, self.widths)
+            elif isinstance(action, PushLabel):
+                stack.append(action.record)
+            elif isinstance(action, PopLabel):
+                for _ in range(action.count):
+                    if stack:
+                        stack.pop()
+                    else:
+                        out.pops_on_empty += 1
+            elif isinstance(action, GroupAction):
+                cube, stack = self._exec_group(
+                    action.group_id,
+                    cube,
+                    stack,
+                    in_port,
+                    port_live,
+                    fetch,
+                    out,
+                    source,
+                    active_groups,
+                )
+            # Unknown actions: none exist in this codebase.
+        return cube, stack
+
+    def _exec_group(
+        self,
+        group_id: int,
+        cube: Cube,
+        stack: list,
+        in_port: int,
+        port_live,
+        fetch,
+        out: StepOutcome,
+        source: str,
+        active_groups: frozenset[int],
+    ) -> tuple[Cube, list]:
+        if group_id in active_groups:
+            out.error = f"group-loop:{group_id}"
+            return cube, stack
+        if group_id not in self.switch.groups:
+            out.error = f"unknown-group:{group_id}"
+            return cube, stack
+        group = self.switch.groups.get(group_id)
+        active = active_groups | {group_id}
+        tag = f"{source}|group:{group_id}"
+
+        def run_bucket(bucket, start_cube, start_stack, ff_alt):
+            return self._apply_actions(
+                bucket.actions,
+                start_cube,
+                start_stack,
+                in_port,
+                port_live,
+                fetch,
+                out,
+                tag,
+                active,
+                ff_alt,
+            )
+
+        if group.group_type is GroupType.ALL:
+            for bucket in group.buckets:
+                run_bucket(bucket, cube, list(stack), None)  # clones
+            return cube, stack
+        if group.group_type is GroupType.INDIRECT:
+            if group.buckets:
+                return run_bucket(group.buckets[0], cube, stack, None)
+            return cube, stack
+        if group.group_type is GroupType.FF:
+            live = [
+                bucket.watch_port is None or port_live(bucket.watch_port)
+                for bucket in group.buckets
+            ]
+            for index, bucket in enumerate(group.buckets):
+                if live[index]:
+                    alternative = any(
+                        live[j] for j in range(len(live)) if j != index
+                    )
+                    return run_bucket(bucket, cube, stack, alternative)
+            return cube, stack  # no live bucket: OpenFlow drops silently
+        # SELECT (round robin): the cursor lives in the *global state*.
+        if not group.buckets:
+            out.error = f"empty-select:{group_id}"
+            return cube, stack
+        index = fetch(group)
+        if not 0 <= index < len(group.buckets):
+            out.error = f"select-cursor:{group_id}:{index}"
+            return cube, stack
+        out.fetches.append(
+            (group_id, index, counter_bucket_value(group, index))
+        )
+        return run_bucket(group.buckets[index], cube, stack, None)
+
+
+# --------------------------------------------------------------------- #
+# Global state                                                          #
+# --------------------------------------------------------------------- #
+
+
+class PacketState:
+    """One in-flight packet: location + exact header cube + label stack."""
+
+    __slots__ = ("pid", "node", "in_port", "cube", "stack", "hops", "_key")
+
+    def __init__(
+        self,
+        pid: int,
+        node: int,
+        in_port: int,
+        cube: Cube,
+        stack: tuple,
+        hops: int,
+    ) -> None:
+        self.pid = pid
+        self.node = node
+        self.in_port = in_port
+        self.cube = cube
+        self.stack = stack
+        self.hops = hops
+        self._key: tuple | None = None
+
+    def key(self) -> tuple:
+        if self._key is None:
+            self._key = (
+                self.pid,
+                self.node,
+                self.in_port,
+                self.cube.key(),
+                self.stack,
+                self.hops,
+            )
+        return self._key
+
+    def describe(self) -> str:
+        return (
+            f"p{self.pid}@{self.node}"
+            f"<-{port_name(self.in_port)} hops={self.hops}"
+        )
+
+
+class GlobalState:
+    """One node of the explored transition system (immutable)."""
+
+    __slots__ = (
+        "packets",
+        "live",
+        "cursors",
+        "failures_left",
+        "next_trigger",
+        "extra_left",
+        "next_pid",
+        "reports",
+        "deliveries",
+        "losses",
+        "_key",
+    )
+
+    def __init__(
+        self,
+        packets: tuple[PacketState, ...],
+        live: frozenset[int],
+        cursors: tuple[tuple[tuple[int, int], int], ...],
+        failures_left: int,
+        next_trigger: int,
+        extra_left: int,
+        next_pid: int,
+        reports: tuple,
+        deliveries: tuple,
+        losses: tuple,
+    ) -> None:
+        self.packets = packets
+        self.live = live
+        self.cursors = cursors
+        self.failures_left = failures_left
+        self.next_trigger = next_trigger
+        self.extra_left = extra_left
+        self.next_pid = next_pid
+        self.reports = reports
+        self.deliveries = deliveries
+        self.losses = losses
+        self._key: tuple | None = None
+
+    def key(self) -> tuple:
+        if self._key is None:
+            self._key = (
+                tuple(p.key() for p in self.packets),
+                self.live,
+                self.cursors,
+                self.failures_left,
+                self.next_trigger,
+                self.extra_left,
+                self.next_pid,
+                self.reports,
+                self.deliveries,
+                self.losses,
+            )
+        return self._key
+
+
+#: Observables: (node, ((field, value), ...), stack) for reports,
+#: (node, ((field, value), ...)) for deliveries,
+#: (kind, node, port, edge_id) for losses.
+
+
+def _observe(cube: Cube) -> tuple:
+    """Nonzero exact header fields of an emitted packet (stable order)."""
+    return tuple(
+        sorted((name, value) for name, value in cube.witness().items() if value)
+    )
+
+
+def obs_fields(observation: tuple) -> dict[str, int]:
+    """The field dict of a report/delivery observable."""
+    return dict(observation[1])
+
+
+# --------------------------------------------------------------------- #
+# Violations and the @invariant registry                                #
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation (the payload of a counterexample)."""
+
+    invariant: str
+    name: str
+    message: str
+    node: int | None = None
+    details: tuple[tuple[str, object], ...] = ()
+
+    def to_dict(self) -> dict:
+        out = {
+            "invariant": self.invariant,
+            "name": self.name,
+            "message": self.message,
+        }
+        if self.node is not None:
+            out["node"] = self.node
+        if self.details:
+            out["details"] = {k: v for k, v in self.details}
+        return out
+
+    def format(self) -> str:
+        where = f" [node {self.node}]" if self.node is not None else ""
+        return f"{self.invariant} {self.name}{where}: {self.message}"
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A registered temporal invariant (mirror of ``LintRule``)."""
+
+    invariant_id: str
+    name: str
+    scope: str  # "step" or "terminal"
+    doc: str
+    check: Callable
+
+    def violation(
+        self, message: str, node: int | None = None, **details
+    ) -> Violation:
+        return Violation(
+            self.invariant_id,
+            self.name,
+            message,
+            node,
+            tuple(sorted(details.items())),
+        )
+
+
+#: invariant id -> Invariant, in registration order.
+INVARIANTS: dict[str, Invariant] = {}
+
+
+def invariant(invariant_id: str, name: str, scope: str):
+    """Register a model-checking invariant (the ``@lint_rule`` analogue).
+
+    ``scope`` is ``"step"`` (checked after every packet step, receiving the
+    :class:`StepInfo`) or ``"terminal"`` (checked on quiescent states with
+    all triggers injected).  The decorated function receives
+    ``(ctx, state, info)`` / ``(ctx, state)`` and yields
+    :class:`Violation` objects built via ``inv.violation(...)``.
+    """
+    if scope not in ("step", "terminal"):
+        raise ValueError(f"unknown invariant scope {scope!r}")
+
+    def register(func: Callable) -> Callable:
+        if invariant_id in INVARIANTS:
+            raise ValueError(f"duplicate invariant id {invariant_id}")
+        INVARIANTS[invariant_id] = Invariant(
+            invariant_id, name, scope, (func.__doc__ or "").strip(), func
+        )
+        return func
+
+    return register
+
+
+@dataclass
+class StepInfo:
+    """What one ``("step", pid)`` transition did (step-invariant input)."""
+
+    pid: int
+    node: int
+    in_port: int
+    outcome: StepOutcome
+    new_packets: list[PacketState]
+    losses_added: list[tuple]
+
+
+class ModelContext:
+    """Shared read-only context handed to invariants (lazy oracles)."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        service,
+        scenario: Scenario,
+        widths: FieldWidths,
+    ) -> None:
+        self.topology = topology
+        self.service = service
+        self.scenario = scenario
+        self.widths = widths
+        self.all_edges = frozenset(range(topology.num_edges))
+        self.hop_bound = hop_bound(service.name, topology)
+        self._components: dict[frozenset[int], set[int]] = {}
+
+    def full_environment(self, state: GlobalState) -> bool:
+        """No link ever failed and no blackhole configured in this branch."""
+        return state.live == self.all_edges and not self.scenario.blackholes
+
+    def live_component(self, state: GlobalState) -> set[int]:
+        """Nodes reachable from the root over the state's live edges."""
+        cached = self._components.get(state.live)
+        if cached is not None:
+            return cached
+        adjacency: dict[int, list[int]] = {
+            u: [] for u in self.topology.nodes()
+        }
+        for edge_id in state.live:
+            edge = self.topology.edge(edge_id)
+            adjacency[edge.a.node].append(edge.b.node)
+            adjacency[edge.b.node].append(edge.a.node)
+        seen = {self.scenario.root}
+        frontier = [self.scenario.root]
+        while frontier:
+            u = frontier.pop()
+            for v in adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        self._components[state.live] = seen
+        return seen
+
+    def members(self, gid: int | None) -> frozenset[int]:
+        """Configured receivers of *gid* (anycast groups / priocast bids)."""
+        if gid is None:
+            return frozenset()
+        groups = getattr(self.service, "groups", None)
+        if groups is not None:
+            return frozenset(groups.get(gid, ()))
+        priorities = getattr(self.service, "priorities", None)
+        if priorities is not None:
+            return frozenset(priorities.get(gid, {}))
+        return frozenset()
+
+    def environment_loss(self, state: GlobalState) -> bool:
+        return any(loss[0] in ENVIRONMENT_LOSSES for loss in state.losses)
+
+
+# --------------------------------------------------------------------- #
+# Invariant implementations                                             #
+# --------------------------------------------------------------------- #
+
+
+@invariant("MC001", "no-forwarding-loop", "step")
+def _check_loop(ctx: ModelContext, state: GlobalState, info: StepInfo):
+    """A packet must not exceed the per-service hop budget (the paper's
+    2·|E| traversal bound, doubled for echo/two-phase protocols), and no
+    single pipeline may loop internally."""
+    inv = INVARIANTS["MC001"]
+    if info.outcome.error == "pipeline-limit":
+        yield inv.violation(
+            f"pipeline exceeded {StatefulStepper.MAX_PIPELINE_STEPS} steps "
+            f"(rule loop inside the switch)",
+            node=info.node,
+        )
+    for packet in info.new_packets:
+        if packet.hops > ctx.hop_bound:
+            yield inv.violation(
+                f"packet p{packet.pid} exceeded the {ctx.hop_bound}-hop "
+                f"budget (at node {packet.node}); the traversal is cycling",
+                node=info.node,
+                hops=packet.hops,
+                bound=ctx.hop_bound,
+            )
+
+
+@invariant("MC002", "snapshot-record-sanity", "step")
+def _check_record_pops(ctx: ModelContext, state: GlobalState, info: StepInfo):
+    """A compiled pop must always find the record it deletes; popping an
+    empty label stack means a topology record was lost."""
+    if info.outcome.pops_on_empty:
+        yield INVARIANTS["MC002"].violation(
+            f"{info.outcome.pops_on_empty} pop(s) on an empty label stack",
+            node=info.node,
+        )
+
+
+def _duplicate_link_records(records: Sequence[tuple]) -> list[tuple]:
+    """Replay the snapshot decode and collect re-discovered links.
+
+    Mirrors :func:`decode_snapshot` but *reports* duplicates (the decoder's
+    set-union silently absorbs them) and swallows structural errors — those
+    are reported separately via the real decoder.
+    """
+    links: set[frozenset] = set()
+    duplicates: list[tuple] = []
+    path: list[int] = []
+    nodes: set[int] = set()
+    current: int | None = None
+    pending_out: int | None = None
+    for record in records:
+        kind = record[0]
+        if kind == "visit":
+            _, node, port = record
+            if current is None:
+                current = node
+                nodes.add(node)
+                continue
+            if pending_out is None:
+                return duplicates  # malformed: decode_snapshot reports it
+            link = frozenset(((current, pending_out), (node, port)))
+            if link in links:
+                duplicates.append(record)
+            links.add(link)
+            pending_out = None
+            if node not in nodes:
+                nodes.add(node)
+                path.append(current)
+                current = node
+        elif kind == "out":
+            pending_out = record[1]
+        elif kind == "ret":
+            if not path:
+                return duplicates
+            current = path.pop()
+            pending_out = None
+        else:
+            return duplicates
+    return duplicates
+
+
+@invariant("MC002T", "snapshot-record-stream", "terminal")
+def _check_record_stream(ctx: ModelContext, state: GlobalState):
+    """The final snapshot record stream must decode cleanly and must not
+    record the same edge twice."""
+    if ctx.service.name not in ("snapshot", "snapshot_chunked"):
+        return
+    from repro.core.services.snapshot import (
+        SnapshotDecodeError,
+        decode_snapshot,
+    )
+
+    inv = INVARIANTS["MC002T"]
+    for node, fields, stack in state.reports:
+        field_map = dict(fields)
+        duplicates = _duplicate_link_records(stack)
+        if duplicates:
+            yield inv.violation(
+                f"duplicate snapshot edge record(s) {duplicates[:3]} in the "
+                f"report from node {node}",
+                node=node,
+            )
+        if field_map.get(FIELD_SNAP_DONE):
+            try:
+                decode_snapshot(list(stack))
+            except SnapshotDecodeError as exc:
+                yield inv.violation(
+                    f"final snapshot stream is malformed: {exc}", node=node
+                )
+
+
+@invariant("MC003", "counter-coherence", "step")
+def _check_counters(ctx: ModelContext, state: GlobalState, info: StepInfo):
+    """A smart counter's bucket j must write j: the fetched value must
+    equal the round-robin cursor, or fetch-and-increment is broken and the
+    verify phase reads garbage."""
+    inv = INVARIANTS["MC003"]
+    for group_id, index, value in info.outcome.fetches:
+        if value is None:
+            yield inv.violation(
+                f"counter group {group_id} bucket {index} writes no field",
+                node=info.node,
+                group=group_id,
+            )
+        elif value != index:
+            yield inv.violation(
+                f"counter group {group_id} bucket {index} writes {value} "
+                f"(fetch-and-increment must return the cursor)",
+                node=info.node,
+                group=group_id,
+            )
+
+
+@invariant("MC004", "traversal-completes", "terminal")
+def _check_completion(ctx: ModelContext, state: GlobalState):
+    """Bounded liveness: every quiescent run must have produced its
+    service's completion observable (final report / delivery), unless the
+    environment destroyed the packet (failed link, blackhole)."""
+    inv = INVARIANTS["MC004"]
+    name = ctx.service.name
+    reports = [(n, dict(f), s) for n, f, s in state.reports]
+    deliveries = [(n, dict(f)) for n, f in state.deliveries]
+
+    if name == "blackhole":
+        # The verify phase reports *before* crossing the suspect link, so a
+        # verdict is due even when the probe phase was swallowed.
+        if not any(f.get(FIELD_BH) for _n, f, _s in reports):
+            yield inv.violation(
+                "blackhole verify phase produced no verdict report"
+            )
+        return
+    if name == "blackhole_ttl":
+        if ctx.scenario.blackholes:
+            return  # the swallow *is* the signal; MC005 checks its location
+        if not any(f.get(FIELD_BH) == BH_DONE for _n, f, _s in reports):
+            yield inv.violation(
+                "TTL probe with a full budget never reported completion"
+            )
+        return
+
+    if ctx.environment_loss(state):
+        return  # a failed link / blackhole legitimately killed the run
+
+    if name in ("plain", "critical"):
+        if not reports:
+            yield inv.violation("traversal never reported back to the root")
+        return
+    if name in ("snapshot", "snapshot_chunked"):
+        done = [
+            (n, f, s)
+            for n, f, s in reports
+            if f.get(FIELD_SNAP_DONE)
+            or (name == "snapshot_chunked" and f.get(FIELD_REPORT_IN))
+        ]
+        done += [
+            (n, f, ())
+            for n, f in deliveries
+            if f.get(FIELD_SNAP_DONE)  # in-band report variant
+        ]
+        if not done:
+            yield inv.violation("snapshot never produced its final report")
+            return
+        if ctx.full_environment(state) and name == "snapshot":
+            from repro.core.services.snapshot import (
+                SnapshotDecodeError,
+                decode_snapshot,
+            )
+
+            expected = ctx.topology.port_pair_set()
+            for node, fields, stack in done:
+                if not fields.get(FIELD_SNAP_DONE):
+                    continue
+                try:
+                    _nodes, links = decode_snapshot(list(stack))
+                except SnapshotDecodeError:
+                    continue  # MC002T reports the malformed stream
+                missing = expected - links
+                if missing:
+                    sample = sorted(tuple(sorted(pair)) for pair in missing)
+                    yield inv.violation(
+                        f"failure-free snapshot missed {len(missing)} "
+                        f"link(s), e.g. {sample[0]}",
+                        node=node,
+                    )
+        return
+    if name in ("anycast", "priocast"):
+        if name == "priocast" and not ctx.full_environment(state):
+            # Priocast's phase-2 walk follows parent pointers recorded
+            # during phase 1; a failure *between* the phases can route the
+            # delivery packet to the winner on a non-parent port, which the
+            # algorithm (correctly) refuses to treat as a delivery.  Only
+            # the failure-free branch promises delivery.
+            return
+        members = ctx.members(ctx.scenario.gid) & ctx.live_component(state)
+        if members and not deliveries:
+            yield inv.violation(
+                f"no delivery although member(s) {sorted(members)} of "
+                f"gid {ctx.scenario.gid} are reachable from the root"
+            )
+        return
+    # Unknown service: nothing to require.
+
+
+@invariant("MC005", "blackhole-localized", "terminal")
+def _check_blackhole_location(ctx: ModelContext, state: GlobalState):
+    """A blackhole verdict must name one of the actually-blackholed links
+    (smart counters: the FOUND report's port; TTL: the probe must die
+    exactly on a blackholed link, never report 'clean')."""
+    if not ctx.scenario.blackholes:
+        return
+    inv = INVARIANTS["MC005"]
+    bh_edges = ctx.scenario.blackholes
+    name = ctx.service.name
+    if name == "blackhole":
+        found = [
+            (n, dict(f))
+            for n, f, _s in state.reports
+            if dict(f).get(FIELD_BH) == BH_FOUND
+        ]
+        if not found:
+            yield inv.violation(
+                f"blackholed link(s) {sorted(bh_edges)} never reported FOUND"
+            )
+            return
+        node, fields = found[0]
+        port = fields.get(FIELD_REPORT_PORT, 0)
+        edge = ctx.topology.port_edge(node, port)
+        if edge is None or edge.edge_id not in bh_edges:
+            yield inv.violation(
+                f"first FOUND report names ({node}, port {port}) which is "
+                f"not a blackholed link {sorted(bh_edges)}",
+                node=node,
+            )
+        return
+    if name == "blackhole_ttl":
+        if any(
+            dict(f).get(FIELD_BH) == BH_DONE for _n, f, _s in state.reports
+        ):
+            yield inv.violation(
+                f"TTL probe reported 'no blackhole' although link(s) "
+                f"{sorted(bh_edges)} are blackholed"
+            )
+        swallowed = [
+            loss for loss in state.losses if loss[0] == "swallowed"
+        ]
+        if not swallowed:
+            yield inv.violation(
+                f"TTL probe was never swallowed by blackholed link(s) "
+                f"{sorted(bh_edges)}"
+            )
+
+
+@invariant("MC006", "failover-masks-failures", "step")
+def _check_failover(ctx: ModelContext, state: GlobalState, info: StepInfo):
+    """Fast-failover must never emit onto a dead port while the group
+    still had a live bucket — that is the one job FF groups exist for."""
+    inv = INVARIANTS["MC006"]
+    for loss in info.losses_added:
+        kind, node, port, _edge_id, ff_alternative = loss
+        if kind == "dead_port" and ff_alternative:
+            yield inv.violation(
+                f"FF group at node {node} emitted on dead port {port} "
+                f"although another live bucket existed",
+                node=node,
+                port=port,
+            )
+
+
+@invariant("MC007", "delivery-correctness", "terminal")
+def _check_delivery(ctx: ModelContext, state: GlobalState):
+    """Anycast must deliver only to members of the requested group;
+    priocast must deliver to the highest-priority member (checked on
+    failure-free branches, where the winner is well defined)."""
+    name = ctx.service.name
+    if name not in ("anycast", "priocast"):
+        return
+    inv = INVARIANTS["MC007"]
+    gid = ctx.scenario.gid
+    members = ctx.members(gid)
+    for node, fields in state.deliveries:
+        if node not in members:
+            yield inv.violation(
+                f"delivery at node {node} which is not a member of "
+                f"gid {gid} (members: {sorted(members)})",
+                node=node,
+            )
+    if name == "priocast" and ctx.full_environment(state):
+        priorities = getattr(ctx.service, "priorities", {}).get(gid, {})
+        if priorities:
+            best = max(priorities.values())
+            for node, fields in state.deliveries:
+                got = priorities.get(node)
+                if got is not None and got != best:
+                    yield inv.violation(
+                        f"priocast delivered to node {node} "
+                        f"(priority {got}) but the best member has "
+                        f"priority {best}",
+                        node=node,
+                    )
+
+
+@invariant("MC008", "pipeline-integrity", "step")
+def _check_integrity(ctx: ModelContext, state: GlobalState, info: StepInfo):
+    """Structural execution errors — goto to a missing/earlier table,
+    unknown or empty groups, group chains — must be unreachable."""
+    error = info.outcome.error
+    if error is not None and error != "pipeline-limit":
+        yield INVARIANTS["MC008"].violation(
+            f"pipeline execution error at node {info.node}: {error}",
+            node=info.node,
+        )
+
+
+# --------------------------------------------------------------------- #
+# The explorer                                                          #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class CheckConfig:
+    """Knobs for :func:`run_check` (CLI flags map 1:1)."""
+
+    max_failures: int = 1
+    max_triggers: int = 1
+    depth: int | None = None
+    max_states: int = DEFAULT_STATE_BUDGET
+    max_violations: int = DEFAULT_MAX_VIOLATIONS
+    disable: set[str] = dataclass_field(default_factory=set)
+    roots: Sequence[int] | None = None
+
+
+@dataclass
+class Counterexample:
+    """A violation plus the minimized action trace that reaches it."""
+
+    scenario: Scenario
+    violation: Violation
+    trace: tuple[tuple, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "violation": self.violation.to_dict(),
+            "trace": [list(action) for action in self.trace],
+        }
+
+    def format(self, topology: Topology | None = None) -> str:
+        lines = [self.violation.format(), f"  scenario: {self.scenario.name}"]
+        for action in self.trace:
+            lines.append(f"  - {format_action(action, topology)}")
+        return "\n".join(lines)
+
+
+def format_action(action: tuple, topology: Topology | None = None) -> str:
+    kind = action[0]
+    if kind == "inject":
+        return f"inject trigger #{action[1]}"
+    if kind == "inject-extra":
+        return "inject extra (concurrent) trigger"
+    if kind == "fail":
+        edge_id = action[1]
+        if topology is not None:
+            edge = topology.edge(edge_id)
+            return f"fail link {edge_id} ({edge.a.node}-{edge.b.node})"
+        return f"fail link {edge_id}"
+    if kind == "step":
+        return f"step packet p{action[1]}"
+    return repr(action)
+
+
+class Explorer:
+    """BFS over :class:`GlobalState` for one scenario.
+
+    BFS (plus visited-state dedup) means the first trace reaching any
+    violation is a *shortest* one — counterexamples come out minimal in
+    length before the deletion-based minimizer even runs.
+    """
+
+    def __init__(
+        self,
+        steppers: Mapping[int, StatefulStepper],
+        topology: Topology,
+        scenario: Scenario,
+        ctx: ModelContext,
+        config: CheckConfig,
+        invariants: Mapping[str, Invariant],
+    ) -> None:
+        self.steppers = steppers
+        self.topology = topology
+        self.scenario = scenario
+        self.ctx = ctx
+        self.config = config
+        self.step_invariants = [
+            inv for inv in invariants.values() if inv.scope == "step"
+        ]
+        self.terminal_invariants = [
+            inv for inv in invariants.values() if inv.scope == "terminal"
+        ]
+        self.widths = ctx.widths
+        self._trigger_cubes = [
+            self._build_trigger_cube(spec) for spec in scenario.triggers
+        ]
+
+    # -- state construction ---------------------------------------------- #
+
+    def _build_trigger_cube(self, spec: TriggerSpec) -> Cube:
+        switches = {
+            node: stepper.switch for node, stepper in self.steppers.items()
+        }
+        constraints = dict(
+            zero_state_fields(switches, self.topology, self.widths)
+        )
+        service_id = getattr(self.ctx.service, "service_id", 0)
+        overrides = dict(spec.fields)
+        overrides.setdefault(FIELD_SVC, service_id)
+        for name, value in overrides.items():
+            self.widths.observe(name, value)
+            constraints[name] = (
+                value,
+                full_mask(self.widths.width(name), value),
+            )
+        constraints.pop("metadata", None)
+        return Cube(LOCAL_PORT, constraints)
+
+    def initial_state(self) -> GlobalState:
+        budget = (
+            self.config.max_failures if self.scenario.allow_failures else 0
+        )
+        return GlobalState(
+            packets=(),
+            live=self.ctx.all_edges,
+            cursors=(),
+            failures_left=budget,
+            next_trigger=0,
+            extra_left=max(0, self.config.max_triggers - 1),
+            next_pid=0,
+            reports=(),
+            deliveries=(),
+            losses=(),
+        )
+
+    def is_terminal(self, state: GlobalState) -> bool:
+        return not state.packets and state.next_trigger >= len(
+            self.scenario.triggers
+        )
+
+    # -- transitions ------------------------------------------------------ #
+
+    def transitions(self, state: GlobalState) -> list[tuple]:
+        actions: list[tuple] = [("step", p.pid) for p in state.packets]
+        if state.next_trigger < len(self.scenario.triggers):
+            spec = self.scenario.triggers[state.next_trigger]
+            if not spec.at_quiescence or not state.packets:
+                actions.append(("inject", state.next_trigger))
+        if (
+            state.extra_left > 0
+            and self.scenario.triggers
+            and state.next_trigger > 0
+        ):
+            actions.append(("inject-extra",))
+        if (
+            self.scenario.allow_failures
+            and state.failures_left > 0
+            and (
+                state.packets
+                or state.next_trigger < len(self.scenario.triggers)
+            )
+        ):
+            actions.extend(("fail", edge_id) for edge_id in sorted(state.live))
+        return actions
+
+    def apply(
+        self, state: GlobalState, action: tuple
+    ) -> tuple[GlobalState, StepInfo | None] | None:
+        """Apply *action*; None when it is not applicable in *state*."""
+        kind = action[0]
+        if kind == "inject":
+            index = action[1]
+            if index != state.next_trigger or index >= len(
+                self.scenario.triggers
+            ):
+                return None
+            spec = self.scenario.triggers[index]
+            if spec.at_quiescence and state.packets:
+                return None
+            packet = PacketState(
+                state.next_pid,
+                spec.root,
+                LOCAL_PORT,
+                self._trigger_cubes[index],
+                (),
+                0,
+            )
+            return (
+                GlobalState(
+                    packets=state.packets + (packet,),
+                    live=state.live,
+                    cursors=state.cursors,
+                    failures_left=state.failures_left,
+                    next_trigger=state.next_trigger + 1,
+                    extra_left=state.extra_left,
+                    next_pid=state.next_pid + 1,
+                    reports=state.reports,
+                    deliveries=state.deliveries,
+                    losses=state.losses,
+                ),
+                None,
+            )
+        if kind == "inject-extra":
+            if state.extra_left <= 0 or not self.scenario.triggers:
+                return None
+            packet = PacketState(
+                state.next_pid,
+                self.scenario.triggers[0].root,
+                LOCAL_PORT,
+                self._trigger_cubes[0],
+                (),
+                0,
+            )
+            return (
+                GlobalState(
+                    packets=state.packets + (packet,),
+                    live=state.live,
+                    cursors=state.cursors,
+                    failures_left=state.failures_left,
+                    next_trigger=state.next_trigger,
+                    extra_left=state.extra_left - 1,
+                    next_pid=state.next_pid + 1,
+                    reports=state.reports,
+                    deliveries=state.deliveries,
+                    losses=state.losses,
+                ),
+                None,
+            )
+        if kind == "fail":
+            edge_id = action[1]
+            if (
+                state.failures_left <= 0
+                or edge_id not in state.live
+                or not self.scenario.allow_failures
+            ):
+                return None
+            return (
+                GlobalState(
+                    packets=state.packets,
+                    live=state.live - {edge_id},
+                    cursors=state.cursors,
+                    failures_left=state.failures_left - 1,
+                    next_trigger=state.next_trigger,
+                    extra_left=state.extra_left,
+                    next_pid=state.next_pid,
+                    reports=state.reports,
+                    deliveries=state.deliveries,
+                    losses=state.losses,
+                ),
+                None,
+            )
+        if kind == "step":
+            pid = action[1]
+            packet = next((p for p in state.packets if p.pid == pid), None)
+            if packet is None:
+                return None
+            return self._apply_step(state, packet)
+        return None
+
+    def _apply_step(
+        self, state: GlobalState, packet: PacketState
+    ) -> tuple[GlobalState, StepInfo]:
+        node = packet.node
+        stepper = self.steppers[node]
+        live = state.live
+
+        def port_live(port: int) -> bool:
+            edge = self.topology.port_edge(node, port)
+            return edge is not None and edge.edge_id in live
+
+        cursors = dict(state.cursors)
+
+        def fetch(group: Group) -> int:
+            key = (node, group.group_id)
+            cursor = cursors.get(key, group.rr_next)
+            cursors[key] = (cursor + 1) % len(group.buckets)
+            return cursor
+
+        outcome = stepper.step(
+            packet.in_port, packet.cube, packet.stack, port_live, fetch
+        )
+
+        new_packets: list[PacketState] = []
+        losses: list[tuple] = []
+        reports: list[tuple] = []
+        deliveries: list[tuple] = []
+        next_pid = state.next_pid
+        for emission in outcome.emissions:
+            if emission.port == CONTROLLER_PORT:
+                reports.append(
+                    (node, _observe(emission.cube), emission.stack)
+                )
+                continue
+            if emission.port == LOCAL_PORT:
+                deliveries.append((node, _observe(emission.cube)))
+                continue
+            if not is_physical_port(emission.port):
+                losses.append(
+                    ("dead_port", node, emission.port, -1,
+                     emission.ff_alternative)
+                )
+                continue
+            edge = self.topology.port_edge(node, emission.port)
+            if edge is None or edge.edge_id not in live:
+                losses.append(
+                    (
+                        "dead_port",
+                        node,
+                        emission.port,
+                        -1 if edge is None else edge.edge_id,
+                        emission.ff_alternative,
+                    )
+                )
+                continue
+            if edge.edge_id in self.scenario.blackholes:
+                losses.append(
+                    ("swallowed", node, emission.port, edge.edge_id, None)
+                )
+                continue
+            peer = self.topology.neighbor(node, emission.port)
+            arrival = Cube(
+                peer.port, dict(emission.cube.havoc("metadata").constraints)
+            )
+            new_packets.append(
+                PacketState(
+                    next_pid,
+                    peer.node,
+                    peer.port,
+                    arrival,
+                    emission.stack,
+                    packet.hops + 1,
+                )
+            )
+            next_pid += 1
+        if outcome.miss_table is not None:
+            losses.append(
+                ("pipeline_miss", node, outcome.miss_table, -1, None)
+            )
+
+        remaining = tuple(p for p in state.packets if p.pid != packet.pid)
+        new_state = GlobalState(
+            packets=remaining + tuple(new_packets),
+            live=state.live,
+            cursors=tuple(sorted(cursors.items())),
+            failures_left=state.failures_left,
+            next_trigger=state.next_trigger,
+            extra_left=state.extra_left,
+            next_pid=next_pid,
+            reports=state.reports + tuple(reports),
+            deliveries=state.deliveries + tuple(deliveries),
+            losses=state.losses
+            + tuple((k, n, p, e) for k, n, p, e, _ in losses),
+        )
+        info = StepInfo(
+            pid=packet.pid,
+            node=node,
+            in_port=packet.in_port,
+            outcome=outcome,
+            new_packets=new_packets,
+            losses_added=losses,
+        )
+        return new_state, info
+
+    # -- invariant evaluation --------------------------------------------- #
+
+    def step_violations(
+        self, state: GlobalState, info: StepInfo
+    ) -> list[Violation]:
+        out: list[Violation] = []
+        for inv in self.step_invariants:
+            out.extend(inv.check(self.ctx, state, info))
+        return out
+
+    def terminal_violations(self, state: GlobalState) -> list[Violation]:
+        out: list[Violation] = []
+        for inv in self.terminal_invariants:
+            out.extend(inv.check(self.ctx, state))
+        return out
+
+    # -- deterministic re-execution (minimizer / validation) -------------- #
+
+    def execute(
+        self, actions: Iterable[tuple], close: bool = True
+    ) -> list[Violation] | None:
+        """Re-run *actions* from the initial state; None if inapplicable.
+
+        With ``close=True`` the run is deterministically completed after
+        the scripted actions (step the lowest-pid packet, inject pending
+        triggers) so terminal invariants apply; this is exactly what the
+        simulator replay does on its own.
+        """
+        state = self.initial_state()
+        violations: list[Violation] = []
+        for action in actions:
+            applied = self.apply(state, action)
+            if applied is None:
+                return None
+            state, info = applied
+            if info is not None:
+                violations.extend(self.step_violations(state, info))
+        if close:
+            guard = 0
+            limit = 64 * (self.topology.num_edges + 2) * max(
+                1, len(self.scenario.triggers) + self.config.max_triggers
+            )
+            while not self.is_terminal(state):
+                guard += 1
+                if guard > limit:
+                    break
+                if state.packets:
+                    action = ("step", state.packets[0].pid)
+                else:
+                    action = ("inject", state.next_trigger)
+                applied = self.apply(state, action)
+                if applied is None:
+                    break
+                state, info = applied
+                if info is not None:
+                    violations.extend(self.step_violations(state, info))
+            if self.is_terminal(state):
+                violations.extend(self.terminal_violations(state))
+        return violations
+
+    def minimize(
+        self, trace: tuple[tuple, ...], violation: Violation
+    ) -> tuple[tuple, ...]:
+        """Greedily delete environment actions the violation survives
+        without (the trace is already shortest-by-BFS)."""
+
+        def reproduces(candidate) -> bool:
+            violations = self.execute(candidate, close=True)
+            return violations is not None and any(
+                v.invariant == violation.invariant and v.node == violation.node
+                for v in violations
+            )
+
+        current = list(trace)
+        for index in reversed(range(len(current))):
+            if current[index][0] not in ("fail", "inject-extra"):
+                continue
+            candidate = current[:index] + current[index + 1 :]
+            if reproduces(candidate):
+                current = candidate
+        return tuple(current)
+
+    # -- the search -------------------------------------------------------- #
+
+    def explore(self) -> tuple[list[Counterexample], int, bool]:
+        initial = self.initial_state()
+        init_key = initial.key()
+        states: dict[tuple, GlobalState] = {init_key: initial}
+        parent: dict[tuple, tuple | None] = {init_key: None}
+        depth: dict[tuple, int] = {init_key: 0}
+        queue: deque[tuple] = deque([init_key])
+        found: list[Counterexample] = []
+        seen_violations: set[tuple] = set()
+        explored = 0
+        exhausted = False
+
+        def trace_to(key: tuple) -> tuple[tuple, ...]:
+            actions: list[tuple] = []
+            while parent[key] is not None:
+                prev_key, action = parent[key]
+                actions.append(action)
+                key = prev_key
+            return tuple(reversed(actions))
+
+        def record(violation: Violation, key: tuple) -> None:
+            dedup = (violation.invariant, violation.node, violation.message)
+            if dedup in seen_violations:
+                return
+            seen_violations.add(dedup)
+            trace = self.minimize(trace_to(key), violation)
+            found.append(Counterexample(self.scenario, violation, trace))
+
+        while queue:
+            if explored >= self.config.max_states:
+                exhausted = True
+                break
+            if len(found) >= self.config.max_violations:
+                break
+            key = queue.popleft()
+            state = states[key]
+            explored += 1
+            if self.is_terminal(state):
+                for violation in self.terminal_violations(state):
+                    record(violation, key)
+                continue
+            if (
+                self.config.depth is not None
+                and depth[key] >= self.config.depth
+            ):
+                exhausted = True
+                continue
+            for action in self.transitions(state):
+                applied = self.apply(state, action)
+                if applied is None:
+                    continue
+                new_state, info = applied
+                new_key = new_state.key()
+                fresh = new_key not in parent
+                if fresh:
+                    parent[new_key] = (key, action)
+                    states[new_key] = new_state
+                    depth[new_key] = depth[key] + 1
+                violations = (
+                    self.step_violations(new_state, info)
+                    if info is not None
+                    else []
+                )
+                if violations:
+                    for violation in violations:
+                        record(violation, new_key)
+                    continue  # prune the violating branch
+                if fresh:
+                    queue.append(new_key)
+        return found, explored, exhausted
+
+
+# --------------------------------------------------------------------- #
+# Reports and entry points                                              #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class CheckReport:
+    """Aggregate result of :func:`run_check` (the lint-report analogue)."""
+
+    counterexamples: list[Counterexample]
+    states: int = 0
+    scenarios: int = 0
+    exhausted: bool = False
+    topology_name: str = ""
+    service_name: str = ""
+
+    @property
+    def exit_code(self) -> int:
+        """1 = violations found, 2 = state budget exhausted, 0 = clean."""
+        if self.counterexamples:
+            return 1
+        if self.exhausted:
+            return 2
+        return 0
+
+    def summary(self) -> str:
+        status = (
+            f"{len(self.counterexamples)} violation(s)"
+            if self.counterexamples
+            else ("exhausted" if self.exhausted else "clean")
+        )
+        return (
+            f"check: {status}, {self.states} state(s) across "
+            f"{self.scenarios} scenario(s)"
+        )
+
+    def format_text(self, topology: Topology | None = None) -> str:
+        lines = [self.summary()]
+        for cex in self.counterexamples:
+            lines.append("")
+            lines.append(cex.format(topology))
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "summary": self.summary(),
+                "service": self.service_name,
+                "states": self.states,
+                "scenarios": self.scenarios,
+                "exhausted": self.exhausted,
+                "exit_code": self.exit_code,
+                "counterexamples": [
+                    cex.to_dict() for cex in self.counterexamples
+                ],
+            },
+            indent=2,
+            default=str,
+        )
+
+
+def active_invariants(
+    disable: set[str] | None = None,
+    invariants: Mapping[str, Invariant] | None = None,
+) -> dict[str, Invariant]:
+    source = INVARIANTS if invariants is None else dict(invariants)
+    disabled = disable or set()
+    return {
+        inv_id: inv
+        for inv_id, inv in source.items()
+        if inv_id not in disabled
+    }
+
+
+def run_check(
+    switches: Mapping[int, Switch],
+    topology: Topology,
+    service,
+    config: CheckConfig | None = None,
+    invariants: Mapping[str, Invariant] | None = None,
+) -> CheckReport:
+    """Model-check compiled *switches* for *service* on *topology*."""
+    config = config or CheckConfig()
+    chosen = active_invariants(config.disable, invariants)
+    widths = FieldWidths.for_switches(switches.values())
+    steppers = {
+        node: StatefulStepper(switch, widths)
+        for node, switch in switches.items()
+    }
+    roots = list(config.roots) if config.roots else [0]
+    counterexamples: list[Counterexample] = []
+    states = 0
+    scenario_count = 0
+    exhausted = False
+    for root in roots:
+        for scenario in scenarios_for(
+            service, topology, root, config.max_failures
+        ):
+            scenario_count += 1
+            ctx = ModelContext(topology, service, scenario, widths)
+            explorer = Explorer(
+                steppers, topology, scenario, ctx, config, chosen
+            )
+            found, explored, ran_out = explorer.explore()
+            counterexamples.extend(found)
+            states += explored
+            exhausted = exhausted or ran_out
+            if len(counterexamples) >= config.max_violations:
+                break
+        else:
+            continue
+        break
+    counterexamples.sort(key=lambda c: (c.violation.invariant, c.scenario.name))
+    return CheckReport(
+        counterexamples=counterexamples,
+        states=states,
+        scenarios=scenario_count,
+        exhausted=exhausted,
+        topology_name=topology.name,
+        service_name=service.name,
+    )
+
+
+def check_engine(engine, config: CheckConfig | None = None) -> CheckReport:
+    """Install *engine* (compiled mode) and model-check its switches."""
+    engine.install()
+    switches = getattr(engine, "switches", None)
+    if not switches:
+        raise TypeError(
+            "check_engine needs a compiled engine with per-node switches"
+        )
+    return run_check(
+        switches, engine.network.topology, engine.service, config
+    )
+
+
+def iter_invariants() -> Iterator[Invariant]:
+    """Registered invariants in registration order (docs / CLI listing)."""
+    return iter(INVARIANTS.values())

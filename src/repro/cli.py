@@ -282,6 +282,53 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _build_check_service(args: argparse.Namespace, topo: Topology):
+    """Like :func:`_build_service`, but give the delivery services a
+    non-vacuous default configuration: checking an anycast with no members
+    proves nothing, so unless the registry default already has members the
+    far end of the topology is enrolled (root 0's worst case)."""
+    service = _build_service(args)
+    last = max(topo.num_nodes - 1, 0)
+    mid = topo.num_nodes // 2
+    if service.name == "anycast" and not getattr(service, "groups", None):
+        service.groups = {1: {last}}
+    if service.name == "priocast" and not getattr(service, "priorities", None):
+        service.priorities = {1: {mid: 10, last: 20}} if mid != last else {
+            1: {last: 20}
+        }
+    return service
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.modelcheck import CheckConfig, check_engine
+    from repro.core.engine import make_engine
+
+    topo = build_topology(args)
+    service = _build_check_service(args, topo)
+    engine = make_engine(Network(topo), service, "compiled")
+    config = CheckConfig(
+        max_failures=args.max_failures,
+        max_triggers=args.max_triggers,
+        depth=args.depth_limit,
+        max_states=args.max_states or CheckConfig.max_states,
+        disable=set(args.disable or []),
+        roots=tuple(int(r) for r in args.roots.split(","))
+        if args.roots
+        else None,
+    )
+    report = check_engine(engine, config)
+    if getattr(args, "json", False):
+        payload = json.loads(report.to_json())
+        payload["topology"] = topo.name
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"check {args.service} on {topo.name}:")
+        print(report.format_text(topo))
+    return report.exit_code
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     runtime, network = _runtime(args)
     outcome = runtime.snapshot(args.root)
@@ -411,6 +458,41 @@ def make_parser() -> argparse.ArgumentParser:
         help="comma-separated roots to walk from (default: every node)",
     )
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "check",
+        help="stateful model check: failure interleavings, counterexamples",
+    )
+    common(p)
+    p.add_argument("--service", default="snapshot")
+    p.add_argument("--json", action="store_true",
+                   help="emit counterexamples as JSON")
+    p.add_argument(
+        "--max-failures", type=int, default=1, dest="max_failures",
+        help="link-failure budget per run (blackhole services: number of "
+        "simultaneous blackholed links to enumerate)",
+    )
+    p.add_argument(
+        "--max-triggers", type=int, default=1, dest="max_triggers",
+        help="concurrent copies of the first trigger to interleave",
+    )
+    p.add_argument(
+        "--max-depth", type=int, default=None, dest="depth_limit",
+        help="bound the exploration depth (default: run to quiescence)",
+    )
+    p.add_argument(
+        "--max-states", type=int, default=None, dest="max_states",
+        help="global-state budget per scenario",
+    )
+    p.add_argument(
+        "--disable", action="append", metavar="INV",
+        help="disable an invariant id, e.g. MC004 (repeatable)",
+    )
+    p.add_argument(
+        "--roots", default=None,
+        help="comma-separated roots to check from (default: 0)",
+    )
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("trace", help="print a traversal's hop-by-hop trace")
     common(p)

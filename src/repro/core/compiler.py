@@ -773,10 +773,15 @@ class BlackholeCodegen(ServiceCodegen):
         deg = self.deg
         service: BlackholeService = self.service  # type: ignore[assignment]
         modulus = service.counter_modulus
-        # Smart counters: one per port, shared by both phases.
+        # Smart counters: one per port, shared by both phases.  The cursor
+        # seed makes compiled installs replay-deterministic (satellite of
+        # the model-checker PR): the checker assumes the same start value.
+        start = getattr(service, "counter_start", 0)
         for p in range(1, deg + 1):
             cg.switch.add_group(
-                build_counter_group(self.counter_gid(p), modulus, FIELD_SCRATCH)
+                build_counter_group(
+                    self.counter_gid(p), modulus, FIELD_SCRATCH, start=start
+                )
             )
 
         # Triggers.

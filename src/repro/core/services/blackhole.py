@@ -87,6 +87,18 @@ class BlackholeService(Service):
     #: (fresh install), as it would on a real switch.
     counter_modulus = 16
 
+    def __init__(self, counter_start: int = 0) -> None:
+        """``counter_start`` seeds every per-port counter cursor at install
+        time, so checker and simulator replays are bit-identical.  The
+        detection algorithm assumes fresh counters, so anything but 0 is
+        only useful for replay/differential experiments."""
+        if not 0 <= counter_start < self.counter_modulus:
+            raise ValueError(
+                f"counter_start {counter_start} not in "
+                f"[0, {self.counter_modulus})"
+            )
+        self.counter_start = counter_start
+
     def _count_send(self, ctx: HookContext, port: int) -> None:
         """Count an outgoing traversal of *port*; in the verify phase a
         fetch returning exactly 1 identifies the blackhole."""

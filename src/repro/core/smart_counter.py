@@ -16,17 +16,31 @@ from repro.openflow.group import Bucket, Group, GroupType
 
 
 def build_counter_group(
-    group_id: int, modulus: int, field_name: str = FIELD_SCRATCH
+    group_id: int,
+    modulus: int,
+    field_name: str = FIELD_SCRATCH,
+    start: int = 0,
 ) -> Group:
     """Build a k-valued smart counter as a round-robin SELECT group.
 
     ``modulus`` is k (the number of buckets); each application writes the
-    pre-increment value into ``field_name``.
+    pre-increment value into ``field_name``.  Bucket order is canonical —
+    bucket j writes value j — so a counter's behaviour is fully determined
+    by its cursor, never by construction order.  ``start`` seeds the cursor
+    (the first fetch returns ``start``), which lets the model checker and
+    the simulator replay counter-dependent traversals bit-identically.
     """
     if modulus < 2:
         raise ValueError("a smart counter needs at least 2 values")
+    if not 0 <= start < modulus:
+        raise ValueError(f"counter start {start} not in [0, {modulus})")
     buckets = [Bucket(actions=(SetField(field_name, j),)) for j in range(modulus)]
-    return Group(group_id=group_id, group_type=GroupType.SELECT, buckets=buckets)
+    return Group(
+        group_id=group_id,
+        group_type=GroupType.SELECT,
+        buckets=buckets,
+        rr_next=start,
+    )
 
 
 def counter_value(group: Group) -> int:
@@ -36,3 +50,24 @@ def counter_value(group: Group) -> int:
     plane must fetch-and-increment.
     """
     return group.rr_next
+
+
+def seed_counter(group: Group, start: int) -> None:
+    """Reset a counter group's cursor so the next fetch returns *start*.
+
+    Control-plane only (a group-mod in real OpenFlow); used to restore a
+    deterministic counter state before a replay.
+    """
+    if not 0 <= start < len(group.buckets):
+        raise ValueError(
+            f"counter start {start} not in [0, {len(group.buckets)})"
+        )
+    group.rr_next = start
+
+
+def counter_bucket_value(group: Group, index: int) -> int | None:
+    """The value bucket *index* writes, or None if it is not a pure
+    set-field bucket (a malformed counter; the model checker flags it)."""
+    bucket = group.buckets[index]
+    values = [a.value for a in bucket.actions if isinstance(a, SetField)]
+    return values[-1] if values else None

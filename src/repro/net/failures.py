@@ -65,6 +65,32 @@ def _connected_without(topology: Topology, dead: Iterable[int]) -> bool:
     return len(seen) == topology.num_nodes
 
 
+def fail_edge_after_steps(network: Network, edge_id: int, steps: int) -> None:
+    """Kill link *edge_id* once *steps* packet arrivals have been processed.
+
+    This is the mid-traversal failure primitive: unlike wall-clock
+    scheduling it is deterministic under any link-delay assignment, which
+    is what lets a model-checker counterexample (whose transitions are
+    packet steps, not times) replay exactly in the simulator.  ``steps=0``
+    fails the link before any packet moves (a pre-traversal failure).
+    """
+    if not 0 <= edge_id < len(network.links):
+        raise ValueError(f"no edge {edge_id} in {network.topology.name}")
+
+    def _kill() -> None:
+        network.links[edge_id].up = False
+
+    network.at_packet_step(steps, _kill)
+
+
+def fail_link_after_steps(network: Network, u: int, v: int, steps: int) -> None:
+    """Kill the (first) link between *u* and *v* after *steps* packet steps."""
+    edge = network.topology.find_edge(u, v)
+    if edge is None:
+        raise ValueError(f"no link between {u} and {v}")
+    fail_edge_after_steps(network, edge.edge_id, steps)
+
+
 def isolate_node(network: Network, node: int) -> list[int]:
     """Fail every link of *node* (maintenance / crash); returns edge ids."""
     failed = []

@@ -92,6 +92,12 @@ class Network:
         self._handlers: dict[int, Handler] = {}
         self._controller_sink: ControllerSink | None = None
         self._delivery_sink: DeliverySink | None = None
+        #: Number of pipeline executions so far (one per packet arrival).
+        #: This is the model checker's logical clock: scheduling state
+        #: changes "after N packet steps" makes replays deterministic in a
+        #: way wall-clock scheduling is not.
+        self.packet_steps = 0
+        self._step_hooks: dict[int, list[Callable[[], None]]] = {}
 
     # ------------------------------------------------------------------ #
     # Wiring                                                             #
@@ -192,6 +198,21 @@ class Network:
             )
         self.sim.schedule(0.0, lambda: self._emit(node, port, packet, LOCAL_PORT))
 
+    def at_packet_step(self, step: int, fn: Callable[[], None]) -> None:
+        """Run *fn* once the *step*-th packet arrival has been processed.
+
+        Steps count processed arrivals (pipeline executions), so "fail this
+        link after 3 steps" means the same thing in the simulator and in the
+        model checker regardless of link delays.  A hook registered for a
+        step that has already passed fires immediately.
+        """
+        if step < 0:
+            raise ValueError("negative packet step")
+        if step <= self.packet_steps:
+            fn()
+            return
+        self._step_hooks.setdefault(step, []).append(fn)
+
     def _arrive(self, node: int, packet: Packet, in_port: int) -> None:
         handler = self._handlers.get(node)
         if handler is None:
@@ -203,9 +224,15 @@ class Network:
                     self.sim.now, EventKind.PIPELINE_DROP, node, packet.packet_id
                 )
             )
-            return
-        for out in outputs:
-            self._emit(node, out.port, out.packet, in_port)
+        else:
+            for out in outputs:
+                self._emit(node, out.port, out.packet, in_port)
+        # The step hooks fire *after* this arrival's outputs were emitted:
+        # a packet already on the wire has crossed its link, matching the
+        # checker's atomic-step semantics.
+        self.packet_steps += 1
+        for fn in self._step_hooks.pop(self.packet_steps, ()):
+            fn()
 
     def _emit(self, node: int, port: int, packet: Packet, in_port: int) -> None:
         if port == CONTROLLER_PORT:

@@ -1,0 +1,520 @@
+"""Stateful model checker: clean services stay clean, seeded faults are
+caught by the right invariant, and every counterexample replays in the
+simulator.
+
+The seeded-violation matrix is the checker's own regression oracle: each
+mutator injects one realistic compilation bug (a dropped parent-return
+rule, swapped tag writes, a stale fast-failover watch port, a rotated
+smart-counter group) and the test pins down *which* invariant must fire
+and that the minimized counterexample reproduces the violation when its
+trace is replayed as a deterministic simulator run.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.modelcheck import (
+    INVARIANTS,
+    CheckConfig,
+    check_engine,
+    hop_bound,
+    invariant,
+    run_check,
+    scenarios_for,
+)
+from repro.analysis.replay import confirms_violation, replay_counterexample
+from repro.core.engine import make_engine
+from repro.core.fields import (
+    FIELD_GID,
+    FIELD_RECCAP,
+    FIELD_REPEAT,
+    FIELD_TTL,
+    cur_field,
+    par_field,
+)
+from repro.core.services.anycast import AnycastService, PriocastService
+from repro.core.services.base import PlainTraversalService
+from repro.core.services.blackhole import BlackholeService, BlackholeTtlService
+from repro.core.services.snapshot import ChunkedSnapshotService, SnapshotService
+from repro.core.smart_counter import (
+    build_counter_group,
+    counter_bucket_value,
+    counter_value,
+    seed_counter,
+)
+from repro.net.failures import fail_edge_after_steps, fail_link_after_steps
+from repro.net.simulator import Network
+from repro.net.topology import abilene, grid, ring, star
+from repro.openflow.actions import SetField
+from repro.openflow.group import GroupType
+
+
+def compiled(topology, service):
+    engine = make_engine(Network(topology), service, "compiled")
+    engine.install()
+    return engine
+
+
+# --------------------------------------------------------------------- #
+# Seeded-fault mutators (shared with the property tests)                #
+# --------------------------------------------------------------------- #
+
+
+def drop_parent_rules(engine):
+    """Delete every Send_parent degenerate-table rule: the traversal can
+    descend but never climb back, so it must fail to complete."""
+    for switch in engine.switches.values():
+        for table in switch.tables.values():
+            kept = [
+                e
+                for e in table._entries
+                if not e.cookie.startswith("sweep:parent:")
+            ]
+            if len(kept) != len(table._entries):
+                table._entries = kept
+                table._sorted = False
+
+
+def swap_par_cur(engine):
+    """First_visit writes the parent port into *cur* instead of *par*:
+    the classic transposed-tag compiler bug."""
+    for node, switch in engine.switches.items():
+        for table in switch.tables.values():
+            for entry in table._entries:
+                if not entry.cookie.startswith("classify:first_visit:"):
+                    continue
+                actions = list(entry.instructions.apply_actions)
+                for i, action in enumerate(actions):
+                    if (
+                        isinstance(action, SetField)
+                        and action.name == par_field(node)
+                    ):
+                        actions[i] = SetField(cur_field(node), action.value)
+                object.__setattr__(
+                    entry.instructions, "apply_actions", tuple(actions)
+                )
+
+
+def stale_ff_bucket(engine):
+    """Clear one FF probe bucket's watch port: the group keeps emitting
+    into a dead link instead of failing over (stale liveness)."""
+    for switch in engine.switches.values():
+        for group in switch.groups.groups():
+            if group.group_type is not GroupType.FF:
+                continue
+            for bucket in group.buckets:
+                if bucket.watch_port is not None:
+                    object.__setattr__(bucket, "watch_port", None)
+                    return
+
+
+def rotate_counter(engine):
+    """Rotate one SELECT group's buckets so bucket j writes j+1: the
+    fetch-and-increment contract (bucket j writes j) is broken."""
+    for switch in engine.switches.values():
+        for group in switch.groups.groups():
+            if group.group_type is GroupType.SELECT:
+                object.__setattr__(
+                    group,
+                    "buckets",
+                    tuple(group.buckets[1:]) + (group.buckets[0],),
+                )
+                return
+
+
+def drop_found_report(engine):
+    """Delete the verify-phase FOUND-report rules: a blackhole is walked
+    right past without ever being named."""
+    for switch in engine.switches.values():
+        for table in switch.tables.values():
+            kept = [
+                e
+                for e in table._entries
+                if not e.cookie.startswith("vcheck:probe_report")
+            ]
+            if len(kept) != len(table._entries):
+                table._entries = kept
+                table._sorted = False
+
+
+#: (mutator, service factory, checker config, expected invariant id).
+SEEDED_FAULTS = [
+    (drop_parent_rules, SnapshotService, dict(max_failures=0), "MC004"),
+    (swap_par_cur, SnapshotService, dict(max_failures=0), "MC004"),
+    (stale_ff_bucket, SnapshotService, dict(max_failures=1), "MC006"),
+    (rotate_counter, BlackholeService, dict(max_failures=0), "MC003"),
+    (drop_found_report, BlackholeService, dict(max_failures=1), "MC005"),
+]
+
+
+# --------------------------------------------------------------------- #
+# Satellite 1: seedable smart-counter cursors                           #
+# --------------------------------------------------------------------- #
+
+
+class TestCounterSeeding:
+    def test_build_with_start(self):
+        group = build_counter_group(7, 8, start=5)
+        assert counter_value(group) == 5
+        assert [counter_bucket_value(group, j) for j in range(8)] == list(
+            range(8)
+        )
+
+    def test_seed_counter(self):
+        group = build_counter_group(7, 4)
+        seed_counter(group, 3)
+        assert counter_value(group) == 3
+        with pytest.raises(ValueError):
+            seed_counter(group, 4)
+        with pytest.raises(ValueError):
+            build_counter_group(7, 4, start=-1)
+
+    def test_blackhole_counter_start_compiles(self):
+        service = BlackholeService(counter_start=5)
+        engine = compiled(ring(4), service)
+        cursors = {
+            g.rr_next
+            for switch in engine.switches.values()
+            for g in switch.groups.groups()
+            if g.group_type is GroupType.SELECT
+        }
+        assert cursors == {5}
+        with pytest.raises(ValueError):
+            BlackholeService(counter_start=16)
+
+    def test_seeded_cursor_is_deterministic(self):
+        """Two networks with the same counter_start report identically."""
+        outs = []
+        for _ in range(2):
+            engine = compiled(ring(4), BlackholeService(counter_start=3))
+            engine.trigger(0, {FIELD_REPEAT: 3})
+            engine.trigger(0, {FIELD_REPEAT: 0})
+            outs.append(
+                [(n, sorted(p.fields.items())) for n, p in engine.reports]
+            )
+        assert outs[0] == outs[1]
+
+
+# --------------------------------------------------------------------- #
+# Satellite 2: scheduled mid-traversal failures                         #
+# --------------------------------------------------------------------- #
+
+
+class TestStepScheduledFailures:
+    def test_hook_for_past_step_fires_immediately(self):
+        network = Network(ring(4))
+        fired = []
+        network.at_packet_step(0, lambda: fired.append("now"))
+        assert fired == ["now"]
+        with pytest.raises(ValueError):
+            network.at_packet_step(-1, lambda: None)
+
+    def test_fail_edge_mid_traversal(self):
+        from repro.core.services.snapshot import decode_snapshot
+
+        topology = ring(4)
+        network = Network(topology)
+        engine = make_engine(network, SnapshotService(), "compiled")
+        observed = []
+        fail_edge_after_steps(network, 2, 2)
+        network.at_packet_step(
+            2, lambda: observed.append(network.links[2].up)
+        )
+        engine.trigger(0)
+        assert observed == [False]  # killed exactly at step 2
+        assert not network.links[2].up
+        # The sweep reroutes around the failure and still reports; the dead
+        # link is (correctly) absent from the collected snapshot.
+        assert engine.reports
+        _nodes, links = decode_snapshot(engine.reports[0][1])
+        assert len(links) == topology.num_edges - 1
+
+    def test_fail_after_parent_link_loses_packet(self):
+        """Failing the DFS tree edge *behind* the packet (step 3: the
+        packet has already descended across it) kills the parent return —
+        the paper-documented loss mode the completion invariant excuses."""
+        topology = ring(4)
+        network = Network(topology)
+        engine = make_engine(network, SnapshotService(), "compiled")
+        fail_edge_after_steps(network, 2, 3)
+        engine.trigger(0)
+        assert not engine.reports
+
+    def test_fail_link_after_steps_validates(self):
+        network = Network(ring(4))
+        with pytest.raises(ValueError):
+            fail_edge_after_steps(network, 99, 1)
+        with pytest.raises(ValueError):
+            fail_link_after_steps(network, 0, 2, 1)  # no chord in a ring
+
+
+# --------------------------------------------------------------------- #
+# Scenario construction                                                 #
+# --------------------------------------------------------------------- #
+
+
+class TestScenarios:
+    def test_blackhole_placements(self):
+        topo = ring(4)
+        scenarios = scenarios_for(BlackholeService(), topo, 0, 1)
+        assert len(scenarios) == 1 + topo.num_edges  # clean + each edge
+        assert all(not s.allow_failures for s in scenarios)
+        probe, verify = scenarios[0].triggers
+        assert dict(probe.fields)[FIELD_REPEAT] == 3
+        assert verify.at_quiescence
+
+    def test_anycast_includes_unserved_gid(self):
+        scenarios = scenarios_for(
+            AnycastService({1: {2}, 5: {3}}), ring(4), 0, 1
+        )
+        gids = [s.gid for s in scenarios]
+        assert gids == [1, 5, 6]  # configured groups + one unserved
+
+    def test_chunked_carries_reccap(self):
+        (scenario,) = scenarios_for(
+            ChunkedSnapshotService(max_records=4), ring(4), 0, 1
+        )
+        assert dict(scenario.triggers[0].fields)[FIELD_RECCAP] == 4
+
+    def test_ttl_budget_matches_topology(self):
+        topo = grid(3, 3)
+        scenarios = scenarios_for(BlackholeTtlService(), topo, 0, 1)
+        assert (
+            dict(scenarios[0].triggers[0].fields)[FIELD_TTL]
+            == 4 * topo.num_edges + 4
+        )
+
+    def test_hop_bound_covers_real_traversal(self):
+        """The MC001 budget must admit the exact Table 2 message count."""
+        from repro.analysis.complexity import dfs_message_count
+
+        for topo in (ring(4), star(5), abilene(), grid(3, 3)):
+            assert hop_bound("snapshot", topo) >= dfs_message_count(
+                topo.num_nodes, topo.num_edges
+            )
+
+
+# --------------------------------------------------------------------- #
+# The invariant registry                                                #
+# --------------------------------------------------------------------- #
+
+
+class TestInvariantRegistry:
+    def test_known_ids_registered(self):
+        for inv_id in (
+            "MC001",
+            "MC002",
+            "MC003",
+            "MC004",
+            "MC005",
+            "MC006",
+            "MC007",
+            "MC008",
+        ):
+            assert inv_id in INVARIANTS
+            assert INVARIANTS[inv_id].doc
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(ValueError):
+
+            @invariant("MC001", "dup", "step")
+            def _dup(ctx, state, info):  # pragma: no cover
+                return []
+
+    def test_bad_scope_rejected(self):
+        with pytest.raises(ValueError):
+            invariant("MC999", "bad", "sometimes")
+
+    def test_disable_suppresses(self):
+        engine = compiled(ring(4), SnapshotService())
+        drop_parent_rules(engine)
+        report = run_check(
+            engine.switches,
+            ring(4),
+            engine.service,
+            CheckConfig(max_failures=0, disable={"MC004"}),
+        )
+        assert not any(
+            c.violation.invariant == "MC004" for c in report.counterexamples
+        )
+
+
+# --------------------------------------------------------------------- #
+# Clean services stay clean                                             #
+# --------------------------------------------------------------------- #
+
+
+def _service_matrix():
+    return [
+        pytest.param(PlainTraversalService, id="plain"),
+        pytest.param(SnapshotService, id="snapshot"),
+        pytest.param(
+            lambda: ChunkedSnapshotService(max_records=4), id="chunked"
+        ),
+        pytest.param(lambda: AnycastService({1: {2}}), id="anycast"),
+        pytest.param(
+            lambda: PriocastService({1: {1: 10, 2: 20}}), id="priocast"
+        ),
+        pytest.param(BlackholeService, id="blackhole"),
+        pytest.param(BlackholeTtlService, id="blackhole_ttl"),
+    ]
+
+
+@pytest.mark.parametrize("factory", _service_matrix())
+@pytest.mark.parametrize(
+    "topology", [ring(4), star(5)], ids=lambda t: t.name
+)
+def test_clean_service_checks_clean(topology, factory):
+    report = check_engine(
+        make_engine(Network(topology), factory(), "compiled"),
+        CheckConfig(max_failures=1),
+    )
+    assert report.exit_code == 0, report.format_text(topology)
+    assert report.states > 0
+
+
+def test_abilene_snapshot_under_failures_clean():
+    report = check_engine(
+        make_engine(Network(abilene()), SnapshotService(), "compiled"),
+        CheckConfig(max_failures=1),
+    )
+    assert report.exit_code == 0, report.format_text(abilene())
+
+
+# --------------------------------------------------------------------- #
+# Satellite 3: the seeded-violation matrix                              #
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize(
+    "mutate,factory,config,expected",
+    SEEDED_FAULTS,
+    ids=[m.__name__ for m, _f, _c, _e in SEEDED_FAULTS],
+)
+def test_seeded_fault_caught_and_replays(mutate, factory, config, expected):
+    topology = ring(4)
+    engine = compiled(topology, factory())
+    mutate(engine)
+    report = run_check(
+        engine.switches, topology, engine.service, CheckConfig(**config)
+    )
+    ids = {c.violation.invariant for c in report.counterexamples}
+    assert expected in ids, f"{mutate.__name__}: got {ids or 'no violations'}"
+
+    cex = next(
+        c
+        for c in report.counterexamples
+        if c.violation.invariant == expected
+    )
+    service = factory()
+    result = replay_counterexample(cex, topology, service, mutate=mutate)
+    confirmed, evidence = confirms_violation(result, cex, topology, service)
+    assert confirmed, f"{mutate.__name__}: replay did not confirm: {evidence}"
+
+
+def test_counterexample_traces_are_minimal():
+    """The minimizer must strip failure actions a violation doesn't need."""
+    topology = ring(4)
+    engine = compiled(topology, SnapshotService())
+    drop_parent_rules(engine)  # violates with zero failures
+    report = run_check(
+        engine.switches, topology, engine.service, CheckConfig(max_failures=1)
+    )
+    cex = next(
+        c
+        for c in report.counterexamples
+        if c.violation.invariant == "MC004"
+    )
+    assert not any(a[0] == "fail" for a in cex.trace)
+
+
+# --------------------------------------------------------------------- #
+# Report plumbing                                                       #
+# --------------------------------------------------------------------- #
+
+
+class TestReport:
+    def test_exit_codes(self):
+        topology = ring(4)
+        clean = check_engine(
+            make_engine(Network(topology), SnapshotService(), "compiled"),
+            CheckConfig(max_failures=0),
+        )
+        assert clean.exit_code == 0
+
+        engine = compiled(topology, SnapshotService())
+        drop_parent_rules(engine)
+        bad = run_check(
+            engine.switches,
+            topology,
+            engine.service,
+            CheckConfig(max_failures=0),
+        )
+        assert bad.exit_code == 1
+
+        tiny = check_engine(
+            make_engine(Network(topology), SnapshotService(), "compiled"),
+            CheckConfig(max_failures=1, max_states=3),
+        )
+        assert tiny.exit_code == 2 and tiny.exhausted
+
+    def test_json_round_trip(self):
+        engine = compiled(ring(4), SnapshotService())
+        swap_par_cur(engine)
+        report = run_check(
+            engine.switches,
+            ring(4),
+            engine.service,
+            CheckConfig(max_failures=0),
+        )
+        payload = json.loads(report.to_json())
+        assert payload["exit_code"] == 1
+        (cex,) = payload["counterexamples"][:1]
+        assert cex["violation"]["invariant"].startswith("MC")
+        assert cex["trace"][0][0] == "inject"
+
+    def test_cli_check(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "check",
+                    "--topology",
+                    "ring",
+                    "--nodes",
+                    "4",
+                    "--service",
+                    "snapshot",
+                    "--max-failures",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "clean" in capsys.readouterr().out
+
+    def test_cli_check_json(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "check",
+                    "--topology",
+                    "star",
+                    "--nodes",
+                    "5",
+                    "--service",
+                    "anycast",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["topology"] == "star-5"
+        assert payload["counterexamples"] == []

@@ -1,0 +1,120 @@
+"""Property tests for the stateful model checker.
+
+Two claims, over random connected topologies (≤ 8 nodes):
+
+1. **Compiled services are temporally correct**: every paper service —
+   snapshot, anycast, priocast and both blackhole-detection algorithms —
+   model-checks clean with a one-link-failure budget.  This is the
+   stateful complement of the lint property tests: those prove per-packet
+   rule facts, this explores failure interleavings end to end.
+
+2. **Counterexamples are real**: for every seeded compiler fault, every
+   counterexample the checker emits replays in the discrete-event
+   simulator to the *same* violation (confirmed by the shared invariant
+   oracle) — the checker never reports a trace the concrete pipeline
+   implementation does not exhibit.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.modelcheck import CheckConfig, check_engine, run_check
+from repro.analysis.replay import confirms_violation, replay_counterexample
+from repro.core.engine import make_engine
+from repro.core.services.anycast import AnycastService, PriocastService
+from repro.core.services.blackhole import BlackholeService, BlackholeTtlService
+from repro.core.services.snapshot import SnapshotService
+from repro.net.simulator import Network
+from repro.net.topology import erdos_renyi
+from tests.test_modelcheck import (
+    SEEDED_FAULTS,
+    compiled,
+)
+
+SERVICE_NAMES = (
+    "snapshot",
+    "anycast",
+    "priocast",
+    "blackhole",
+    "blackhole_ttl",
+)
+
+
+def build_service(name: str, nodes) -> object:
+    nodes = list(nodes)
+    if name == "snapshot":
+        return SnapshotService()
+    if name == "anycast":
+        return AnycastService(groups={1: {nodes[-1]}})
+    if name == "priocast":
+        return PriocastService(
+            priorities={1: {node: (i % 6) + 1 for i, node in enumerate(nodes)}}
+        )
+    if name == "blackhole":
+        return BlackholeService()
+    if name == "blackhole_ttl":
+        return BlackholeTtlService()
+    raise AssertionError(name)
+
+
+class TestServicesCheckCleanUnderFailures:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        st.integers(3, 8),
+        st.integers(0, 500),
+        st.sampled_from(SERVICE_NAMES),
+    )
+    def test_one_failure_budget_is_clean(self, n, seed, name):
+        topo = erdos_renyi(n, 0.4, seed=seed, connect=True)
+        service = build_service(name, topo.nodes())
+        report = check_engine(
+            make_engine(Network(topo), service, "compiled"),
+            CheckConfig(max_failures=1),
+        )
+        assert report.exit_code == 0, report.format_text(topo)
+
+    def test_all_services_on_one_dense_topology(self):
+        # Deterministic coverage of the whole matrix (sampling above may
+        # not hit every service every run).
+        topo = erdos_renyi(7, 0.5, seed=11, connect=True)
+        for name in SERVICE_NAMES:
+            service = build_service(name, topo.nodes())
+            report = check_engine(
+                make_engine(Network(topo), service, "compiled"),
+                CheckConfig(max_failures=1),
+            )
+            assert report.exit_code == 0, (name, report.format_text(topo))
+
+
+class TestCounterexamplesReplay:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(3, 6),
+        st.integers(0, 500),
+        st.sampled_from(range(len(SEEDED_FAULTS))),
+    )
+    def test_every_counterexample_confirms_in_simulator(
+        self, n, seed, fault_index
+    ):
+        mutate, factory, config, expected = SEEDED_FAULTS[fault_index]
+        topo = erdos_renyi(n, 0.4, seed=seed, connect=True)
+        engine = compiled(topo, factory())
+        mutate(engine)
+        report = run_check(
+            engine.switches, topo, engine.service, CheckConfig(**config)
+        )
+        assert report.counterexamples, (
+            f"{mutate.__name__} on {topo.name}: fault not caught"
+        )
+        for cex in report.counterexamples:
+            service = factory()
+            result = replay_counterexample(cex, topo, service, mutate=mutate)
+            confirmed, evidence = confirms_violation(
+                result, cex, topo, service
+            )
+            assert confirmed, (
+                f"{mutate.__name__} on {topo.name}: "
+                f"{cex.violation.format()} did not replay: {evidence}"
+            )
