@@ -39,6 +39,26 @@ def priocast_message_count(num_nodes: int, num_edges: int) -> int:
     return 2 * dfs_message_count(num_nodes, num_edges)
 
 
+def traversal_hop_bound(
+    service_name: str, num_nodes: int, num_edges: int
+) -> int:
+    """Worst-case in-band crossings of one traversal of *service_name*.
+
+    The per-service closed forms above plus a small additive slack for the
+    extra parent-return crossings failure rerouting can add.  This is the
+    single source of truth for both the model checker's per-packet hop
+    budget (MC001) and the supervisor's watchdog deadline.
+    """
+    dfs = dfs_message_count(num_nodes, num_edges)
+    if service_name == "priocast":
+        return 2 * dfs + 6
+    if service_name == "blackhole":
+        return 4 * num_edges + 6
+    if service_name == "blackhole_ttl":
+        return 4 * num_edges + 10
+    return dfs + 6
+
+
 def ttl_search_probes(num_edges: int) -> int:
     """Probe count of the TTL binary search: 1 sanity probe + 1 floor probe
     + ⌈log₂(4E + 4)⌉ bisection steps (upper bound)."""

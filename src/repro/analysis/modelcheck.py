@@ -77,6 +77,7 @@ from repro.analysis.symbolic import (
     zero_state_fields,
 )
 from repro.core.fields import (
+    FIELD_EPOCH,
     FIELD_GID,
     FIELD_OPT_VAL,
     FIELD_RECCAP,
@@ -300,19 +301,16 @@ def hop_bound(service_name: str, topology: Topology) -> int:
     blackhole echo handshake raises every edge to four crossings (``4E``),
     priocast runs two traversals, and the TTL probe carries a ``4E + 4``
     hop budget by construction.  A small slack absorbs the extra
-    parent-return crossings failure rerouting can add.
+    parent-return crossings failure rerouting can add.  Delegates to
+    :func:`~repro.analysis.complexity.traversal_hop_bound` so the checker's
+    hop budget and the supervisor's watchdog deadline share one source of
+    truth.
     """
-    from repro.analysis.complexity import dfs_message_count
+    from repro.analysis.complexity import traversal_hop_bound
 
-    n, e = topology.num_nodes, topology.num_edges
-    dfs = dfs_message_count(n, e)
-    if service_name == "priocast":
-        return 2 * dfs + 6
-    if service_name == "blackhole":
-        return 4 * e + 6
-    if service_name == "blackhole_ttl":
-        return 4 * e + 10
-    return dfs + 6
+    return traversal_hop_bound(
+        service_name, topology.num_nodes, topology.num_edges
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -1167,6 +1165,53 @@ def _check_integrity(ctx: ModelContext, state: GlobalState, info: StepInfo):
             f"pipeline execution error at node {info.node}: {error}",
             node=info.node,
         )
+
+
+@invariant("MC009", "epoch-at-most-once", "terminal")
+def _check_epoch_at_most_once(ctx: ModelContext, state: GlobalState):
+    """Every supervised epoch yields at most one accepted observable.
+
+    Supervised triggers carry a nonzero epoch tag; the origin-side gate
+    squashes stale epochs, so by the end of an interleaving each nonzero
+    epoch must have produced at most one *completion* observable — one
+    terminal report, or one delivery for delivery-style services.  Epoch 0
+    marks unsupervised traffic and is exempt (all pre-supervision scenarios
+    stay green).  The complementary liveness half of the contract — "every
+    epoch eventually yields exactly one result *or* an explicit degraded
+    report" — lives where degraded reports exist, in the supervisor's
+    ledger (:func:`repro.control.supervisor.check_epoch_ledger`), which
+    ``tests/test_modelcheck.py`` checks against real supervised runs.
+
+    The smart-counter blackhole verify sweep may emit several FOUND copies
+    per walk (the documented spurious reports of its phase B, deduplicated
+    at the origin by earliest-report-wins); for it, completion means the
+    BH_DONE report, and FOUND multiplicity is not a violation.
+    """
+    inv = INVARIANTS["MC009"]
+    service_name = ctx.service.name
+
+    completions: dict[int, int] = {}
+
+    def bump(epoch: int) -> None:
+        if epoch:
+            completions[epoch] = completions.get(epoch, 0) + 1
+
+    for _node, fields, _stack in state.reports:
+        obs = dict(fields)
+        if service_name in ("blackhole", "blackhole_ttl"):
+            if obs.get(FIELD_BH) != BH_DONE:
+                continue
+        bump(obs.get(FIELD_EPOCH, 0))
+    if service_name in ("anycast", "priocast"):
+        for _node, fields in state.deliveries:
+            bump(dict(fields).get(FIELD_EPOCH, 0))
+
+    for epoch, count in sorted(completions.items()):
+        if count > 1:
+            yield inv.violation(
+                f"epoch {epoch} produced {count} completion observables; "
+                f"at-most-once delivery violated"
+            )
 
 
 # --------------------------------------------------------------------- #

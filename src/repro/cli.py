@@ -329,6 +329,34 @@ def cmd_check(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.net.chaos import ChaosConfig, run_campaign
+
+    config = ChaosConfig(
+        runs=args.runs,
+        seed=args.seed,
+        services=tuple(args.services.split(",")),
+        topologies=tuple(args.topologies.split(",")),
+        profiles=tuple(args.profiles.split(",")),
+        max_attempts=args.max_attempts,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    report = run_campaign(config)
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+    if getattr(args, "json", False):
+        print(report.to_json())
+    else:
+        print(report.format_summary())
+        if args.json_out:
+            print(f"report written to {args.json_out}")
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     runtime, network = _runtime(args)
     outcome = runtime.snapshot(args.root)
@@ -493,6 +521,38 @@ def make_parser() -> argparse.ArgumentParser:
         help="comma-separated roots to check from (default: 0)",
     )
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "chaos",
+        help="seeded fault campaign over the supervised runtime",
+    )
+    p.add_argument("--runs", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--services", default=",".join(
+            ("snapshot", "anycast", "blackhole", "critical")
+        ),
+        help="comma-separated services to exercise",
+    )
+    p.add_argument(
+        "--topologies", default="torus3x3,complete5",
+        help="comma-separated topology names",
+    )
+    p.add_argument(
+        "--profiles", default="lossy,partition,blackhole",
+        help="comma-separated fault profiles",
+    )
+    p.add_argument(
+        "--max-attempts", type=int, default=6, dest="max_attempts",
+        help="supervisor retry budget per call",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="print the full campaign report as JSON")
+    p.add_argument(
+        "--json-out", default=None, dest="json_out",
+        help="also write the campaign report JSON to this file",
+    )
+    p.set_defaults(fn=cmd_chaos)
 
     p = sub.add_parser("trace", help="print a traversal's hop-by-hop trace")
     common(p)

@@ -1,6 +1,23 @@
-"""Control-plane substrate: controller, control channel, baseline apps."""
+"""Control-plane substrate: controller, control channel, baseline apps,
+and the in-band traversal supervisor."""
 
 from repro.control.channel import ControlChannel
 from repro.control.controller import Controller, ControllerApp
+from repro.control.supervisor import (
+    SupervisedOutcome,
+    SupervisedRuntime,
+    SupervisorConfig,
+    TraversalSupervisor,
+    check_epoch_ledger,
+)
 
-__all__ = ["ControlChannel", "Controller", "ControllerApp"]
+__all__ = [
+    "ControlChannel",
+    "Controller",
+    "ControllerApp",
+    "SupervisedOutcome",
+    "SupervisedRuntime",
+    "SupervisorConfig",
+    "TraversalSupervisor",
+    "check_epoch_ledger",
+]

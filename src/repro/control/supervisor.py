@@ -1,0 +1,818 @@
+"""In-band traversal supervision: watchdogs, epoch retries, degradation.
+
+The paper's fast-failover groups only mask links that fail *before* a
+traversal starts (§3.5); a mid-traversal failure, a lossy link, or a silent
+blackhole swallows the trigger packet and the service simply never answers.
+PR 2's model checker can *find* those interleavings — this module makes the
+runtime *survive* them, keeping all reaction state at the traversal origin
+(the direction argued by the stateful-data-plane line of work) instead of
+round-tripping through a possibly-disconnected controller:
+
+1. **Epoch tags.**  Every supervised trigger carries the current epoch in
+   reserved header bits (:data:`~repro.core.fields.FIELD_EPOCH`).  The
+   origin squashes any packet whose epoch is stale — one match rule in a
+   real switch, the :class:`~repro.core.epoch.EpochGate` in the template
+   interpreter — so an abandoned attempt can neither report a duplicate
+   result nor keep traversing through the origin (at-most-once delivery).
+2. **Watchdog deadlines.**  The Table 2 closed forms bound every
+   traversal's in-band crossings, so ``hop bound × max link delay × safety
+   factor`` (:func:`~repro.core.epoch.watchdog_deadline`) bounds its
+   duration.  A traversal silent past the deadline has lost its packet.
+3. **Retries with backoff + jitter.**  On expiry the supervisor advances
+   the epoch and re-triggers, after an exponential backoff with seeded
+   jitter (drawn from ``network.rng``, so campaigns replay bit-identically).
+4. **Graceful degradation.**  When retries exhaust (persistent partition),
+   each service degrades to an explicit, honest partial answer instead of
+   hanging or raising — see :class:`SupervisedRuntime`.
+
+``tests/test_supervisor.py`` exercises every path; the chaos harness
+(:mod:`repro.net.chaos`) drives all four services through randomized fault
+campaigns on top of this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.engine import TraversalResult, make_engine
+from repro.core.epoch import EpochClock, EpochGate, watchdog_deadline
+from repro.core.fields import FIELD_EPOCH, FIELD_GID, FIELD_REPEAT, FIELD_SVC
+from repro.core.services.anycast import AnycastService
+from repro.core.services.base import Service
+from repro.core.services.blackhole import (
+    BH_DONE,
+    BH_FOUND,
+    BH_INCOMPLETE,
+    FIELD_BH,
+    FIELD_REPORT_PORT,
+    REPEAT_PROBE,
+    REPEAT_VERIFY,
+    BlackholeService,
+    BlackholeVerdict,
+)
+from repro.core.services.critical import CRITICAL, FIELD_CRITICAL, CriticalNodeService
+from repro.core.services.snapshot import SnapshotService, decode_snapshot
+from repro.net.simulator import Network
+from repro.net.trace import EventKind
+from repro.openflow.packet import LOCAL_PORT, Packet
+
+#: Attempt outcomes recorded in the epoch ledger.
+ACCEPTED = "accepted"
+EXPIRED = "expired"
+PACKET_OUT_LOST = "packet-out-lost"
+DEGRADED_REPORT = "degraded-report"
+#: The attempt produced a verdict that still needs cross-epoch confirmation
+#: (blackhole FOUND reports; see SupervisedRuntime.detect_blackhole).
+UNCONFIRMED = "unconfirmed"
+#: The verify walk proved the probe died mid-run (an in-band BH_INCOMPLETE
+#: report), so the attempt failed fast instead of waiting out the watchdog.
+PROBE_INCOMPLETE = "probe-incomplete"
+
+
+@dataclass
+class SupervisorConfig:
+    """Retry/deadline policy of one supervisor."""
+
+    #: Total trigger attempts (first try + retries).
+    max_attempts: int = 4
+    #: Deadline head-room over the closed-form worst case.
+    safety_factor: float = 4.0
+    #: First backoff (simulated time units).
+    base_backoff: float = 8.0
+    #: Backoff growth per retry.
+    backoff_factor: float = 2.0
+    #: Backoff ceiling.
+    max_backoff: float = 512.0
+    #: Max jitter, as a fraction of the backoff (uniform, seeded).
+    jitter: float = 0.5
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.safety_factor < 1.0:
+            raise ValueError("safety_factor must be >= 1")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoffs must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+
+@dataclass
+class EpochAttempt:
+    """Ledger entry: what one epoch of a supervised call did."""
+
+    epoch: int
+    injected_at: float
+    deadline: float
+    outcome: str = EXPIRED
+    #: Stale packets squashed at the origin gate while this epoch ran.
+    squashed: int = 0
+    #: Packet ids injected under this epoch (trace cross-reference).
+    packet_ids: tuple[int, ...] = ()
+
+
+@dataclass
+class SupervisedOutcome:
+    """Generic result of one supervised call (the MC009 evidence)."""
+
+    service: str
+    root: int
+    ok: bool
+    degraded: bool
+    #: "completed" | "retries-exhausted" | "controller-disconnected"
+    reason: str
+    attempts: list[EpochAttempt] = field(default_factory=list)
+    #: The accepted traversal result (ok runs only).
+    result: TraversalResult | None = None
+
+    @property
+    def attempts_used(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def epochs(self) -> list[int]:
+        return [a.epoch for a in self.attempts]
+
+    @property
+    def stale_squashed(self) -> int:
+        return sum(a.squashed for a in self.attempts)
+
+
+def check_epoch_ledger(outcome: SupervisedOutcome) -> list[str]:
+    """The MC009 contract, checked on a supervised call's ledger: every
+    epoch ends in exactly one terminal outcome, at most one epoch is
+    accepted, and the call as a whole yields exactly one result *or* an
+    explicit degraded report.  Returns human-readable violations (empty =
+    contract holds)."""
+    problems: list[str] = []
+    valid = {
+        ACCEPTED,
+        EXPIRED,
+        PACKET_OUT_LOST,
+        DEGRADED_REPORT,
+        UNCONFIRMED,
+        PROBE_INCOMPLETE,
+    }
+    accepted = [a for a in outcome.attempts if a.outcome == ACCEPTED]
+    for attempt in outcome.attempts:
+        if attempt.outcome not in valid:
+            problems.append(
+                f"epoch {attempt.epoch}: unknown outcome {attempt.outcome!r}"
+            )
+    if len(accepted) > 1:
+        problems.append(
+            f"{len(accepted)} epochs accepted a result; at-most-once violated"
+        )
+    if outcome.ok and outcome.degraded:
+        problems.append("outcome is both ok and degraded")
+    if outcome.ok and not accepted:
+        problems.append("ok outcome without an accepted epoch")
+    if not outcome.ok and accepted:
+        problems.append("accepted epoch but outcome not ok")
+    if not outcome.ok and not outcome.degraded:
+        problems.append("call yielded neither a result nor a degraded report")
+    if outcome.degraded and outcome.attempts:
+        last = outcome.attempts[-1]
+        if last.outcome not in (DEGRADED_REPORT, EXPIRED, PACKET_OUT_LOST):
+            problems.append(
+                f"degraded call ends with epoch outcome {last.outcome!r}"
+            )
+    return problems
+
+
+def _result_watcher(
+    engine, mark_reports: int, mark_deliveries: int, epoch: int,
+    accept_deliveries: bool,
+):
+    """Early-exit predicate: a current-epoch observable arrived."""
+
+    def done() -> bool:
+        for _node, pkt in engine.reports[mark_reports:]:
+            if pkt.get(FIELD_EPOCH) == epoch:
+                return True
+        if accept_deliveries:
+            for _node, pkt in engine.deliveries[mark_deliveries:]:
+                if pkt.get(FIELD_EPOCH) == epoch:
+                    return True
+        return False
+
+    return done
+
+
+def _verdict_watcher(engine, mark_reports: int, epoch: int):
+    """Early-exit predicate: a current-epoch blackhole verdict arrived."""
+
+    def done() -> bool:
+        for _node, pkt in engine.reports[mark_reports:]:
+            if (
+                pkt.get(FIELD_EPOCH) == epoch
+                and pkt.get(FIELD_BH) in (BH_FOUND, BH_DONE, BH_INCOMPLETE)
+            ):
+                return True
+        return False
+
+    return done
+
+
+class TraversalSupervisor:
+    """Supervises single-trigger traversal services on one network.
+
+    One supervisor owns one engine (and its service instance, whose
+    ``epoch_gate`` it drives).  Multi-phase services (the smart-counter
+    blackhole detection, whose counters must start fresh each attempt) are
+    handled by :class:`SupervisedRuntime` on top of the same window/backoff
+    machinery.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        service: Service,
+        mode: str = "interpreted",
+        config: SupervisorConfig | None = None,
+        channel=None,
+        clock: EpochClock | None = None,
+    ) -> None:
+        self.network = network
+        self.service = service
+        self.mode = mode
+        self.config = config or SupervisorConfig()
+        self.config.validate()
+        self.channel = channel
+        self.clock = clock or EpochClock()
+        self.engine = make_engine(network, service, mode)
+
+    # ------------------------------------------------------------------ #
+    # Event-loop windows                                                 #
+    # ------------------------------------------------------------------ #
+
+    def _run_window(self, duration: float, done=None) -> bool:
+        """Drive the event loop for at most *duration* time units, early
+        exiting when *done()* turns true or nothing is in flight."""
+        sim = self.network.sim
+        deadline = sim.now + duration
+        step = max(self.network.max_link_delay(), 1e-9)
+        while True:
+            if done is not None and done():
+                return True
+            if sim.now >= deadline or not sim.pending:
+                break
+            # Anchor each slice with a no-op: ``sim.run(until=...)`` never
+            # advances the clock past the queue, so a lone far-future event
+            # (e.g. a scheduled management reconnect) would otherwise leave
+            # ``now`` — and this loop — stuck before the deadline forever.
+            target = min(deadline, sim.now + step)
+            sim.at(target, lambda: None)
+            sim.run(until=target)
+        return done() if done is not None else False
+
+    def _sleep(self, duration: float) -> None:
+        """Advance simulated time (stragglers keep moving and get squashed
+        at the origin gate as they return)."""
+        sim = self.network.sim
+        target = sim.now + duration
+        sim.at(target, lambda: None)
+        sim.run(until=target)
+
+    def _backoff(self, retry_index: int) -> float:
+        cfg = self.config
+        delay = min(
+            cfg.max_backoff, cfg.base_backoff * cfg.backoff_factor**retry_index
+        )
+        return delay * (1.0 + cfg.jitter * self.network.rng.random())
+
+    def _deadline(self) -> float:
+        return watchdog_deadline(
+            self.service.name,
+            self.network.topology,
+            self.network.max_link_delay(),
+            self.config.safety_factor,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Injection                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _inject(
+        self, root: int, fields: dict[str, int], from_controller: bool
+    ) -> Packet | None:
+        """Build and inject one trigger; None if the packet-out was lost
+        (origin disconnected from the controller)."""
+        packet_fields = {FIELD_SVC: self.service.service_id}
+        packet_fields.update(fields)
+        packet = Packet(fields=packet_fields)
+        if from_controller and self.channel is not None:
+            if not self.channel.packet_out(root, packet, in_port=LOCAL_PORT):
+                return None
+            return packet
+        self.network.inject(
+            root, packet, in_port=LOCAL_PORT, from_controller=from_controller
+        )
+        return packet
+
+    def _bind(self) -> None:
+        """(Re)install the engine; route packet-ins through the control
+        channel when one is supervising the call, so management-plane
+        disconnection is honoured (and counted) on the report path too."""
+        self.engine.install()
+        if self.channel is not None:
+            self.channel.set_packet_in_handler(self.engine._on_report)
+
+    # ------------------------------------------------------------------ #
+    # The supervision loop                                               #
+    # ------------------------------------------------------------------ #
+
+    def supervise(
+        self,
+        root: int,
+        fields: dict[str, int] | None = None,
+        from_controller: bool = True,
+        accept_deliveries: bool = False,
+    ) -> SupervisedOutcome:
+        """Run one supervised trigger of the service at *root*.
+
+        A result is *accepted* when a report (or, with
+        ``accept_deliveries``, a local delivery) tagged with the current
+        epoch arrives; stale and duplicate observables are squashed and
+        counted.  Exhausted retries produce ``degraded=True`` — the caller
+        (or :class:`SupervisedRuntime`) turns the ledger into a
+        service-specific partial answer.
+        """
+        outcome = SupervisedOutcome(
+            service=self.service.name,
+            root=root,
+            ok=False,
+            degraded=False,
+            reason="retries-exhausted",
+        )
+        deadline = self._deadline()
+        lost_outs = 0
+
+        for attempt_index in range(self.config.max_attempts):
+            epoch = self.clock.advance()
+            gate = EpochGate(origin=root, epoch=epoch)
+            self.service.epoch_gate = gate
+            self._bind()
+
+            mark_reports = len(self.engine.reports)
+            mark_deliveries = len(self.engine.deliveries)
+            attempt = EpochAttempt(
+                epoch=epoch,
+                injected_at=self.network.sim.now,
+                deadline=deadline,
+            )
+            outcome.attempts.append(attempt)
+
+            trigger_fields = dict(fields or {})
+            trigger_fields[FIELD_EPOCH] = epoch
+            packet = self._inject(root, trigger_fields, from_controller)
+            if packet is None:
+                attempt.outcome = PACKET_OUT_LOST
+                lost_outs += 1
+                if attempt_index < self.config.max_attempts - 1:
+                    self._sleep(self._backoff(attempt_index))
+                continue
+            attempt.packet_ids = (packet.packet_id,)
+
+            fresh_result = _result_watcher(
+                self.engine, mark_reports, mark_deliveries, epoch,
+                accept_deliveries,
+            )
+            got = self._run_window(deadline, done=fresh_result)
+            attempt.squashed = gate.squashed
+
+            if got:
+                attempt.outcome = ACCEPTED
+                reports = [
+                    (node, pkt)
+                    for node, pkt in self.engine.reports[mark_reports:]
+                    if pkt.get(FIELD_EPOCH) == epoch
+                ]
+                deliveries = [
+                    (node, pkt)
+                    for node, pkt in self.engine.deliveries[mark_deliveries:]
+                    if pkt.get(FIELD_EPOCH) == epoch
+                ]
+                outcome.ok = True
+                outcome.reason = "completed"
+                outcome.result = TraversalResult(
+                    root=root,
+                    packet=packet,
+                    reports=reports,
+                    deliveries=deliveries,
+                )
+                return outcome
+
+            attempt.outcome = EXPIRED
+            if attempt_index < self.config.max_attempts - 1:
+                self._sleep(self._backoff(attempt_index))
+
+        outcome.degraded = True
+        if outcome.attempts:
+            outcome.attempts[-1].outcome = DEGRADED_REPORT
+        if lost_outs == len(outcome.attempts):
+            outcome.reason = "controller-disconnected"
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # Origin-side evidence                                               #
+    # ------------------------------------------------------------------ #
+
+    def reached_nodes(self, outcome: SupervisedOutcome) -> set[int]:
+        """Nodes the supervised packets provably visited, from the hop log
+        restricted to this call's packet ids.  (The origin can reconstruct
+        the same set in-band: it installed the rules, knows the DFS port
+        order, and sees how far each returning packet's tags progressed.)"""
+        ids = {pid for a in outcome.attempts for pid in a.packet_ids}
+        reached = {outcome.root}
+        for event in self.network.trace.events(EventKind.HOP):
+            if event.packet_id in ids and event.detail:
+                reached.add(event.detail[0])
+                reached.add(event.detail[2])
+        return reached
+
+    def terminal_nodes(self, outcome: SupervisedOutcome) -> set[int]:
+        """Last node each supervised packet was seen at (suspect anchors)."""
+        ids = {pid for a in outcome.attempts for pid in a.packet_ids}
+        last: dict[int, int] = {pid: outcome.root for pid in ids}
+        for event in self.network.trace.events(EventKind.HOP):
+            if event.packet_id in last and event.detail:
+                last[event.packet_id] = event.detail[2]
+        return set(last.values())
+
+
+# --------------------------------------------------------------------- #
+# Per-service degradation contracts                                     #
+# --------------------------------------------------------------------- #
+
+
+@dataclass
+class SupervisedSnapshot:
+    """Snapshot under supervision.
+
+    Degraded contract: ``degraded=True``, ``links`` empty, and ``nodes`` is
+    the provably-reached subset of the root's component — never a lie, only
+    an under-approximation, and explicitly marked as such.
+    """
+
+    nodes: set[int]
+    links: set[frozenset[tuple[int, int]]]
+    degraded: bool
+    supervision: SupervisedOutcome
+
+    @property
+    def ok(self) -> bool:
+        return not self.degraded
+
+
+@dataclass
+class SupervisedDelivery:
+    """Anycast under supervision.
+
+    Degraded contract: fall back to an already-confirmed member of the
+    group (a delivery observed under any epoch of this or an earlier call);
+    ``delivered_at=None`` when no member was ever confirmed.
+    """
+
+    gid: int
+    delivered_at: int | None
+    degraded: bool
+    #: True when ``delivered_at`` comes from the confirmed-member cache
+    #: rather than a fresh delivery.
+    fallback: bool
+    supervision: SupervisedOutcome
+
+
+@dataclass
+class SupervisedBlackhole:
+    """Blackhole detection under supervision.
+
+    Degraded contract: instead of raising/hanging, report the narrowed
+    suspect interval — the ports of the nodes where the supervised packets
+    were last seen (a silent drop always happens on an edge incident to the
+    dying packet's last confirmed position).
+    """
+
+    verdict: BlackholeVerdict | None
+    degraded: bool
+    #: Sender-side (node, port) suspects; empty when a verdict exists.
+    suspects: list[tuple[int, int]]
+    supervision: SupervisedOutcome
+
+
+@dataclass
+class SupervisedCritical:
+    """Critical-node check under supervision.
+
+    Degraded contract: ``critical=None`` (explicitly unknown) — the check
+    claims nothing it cannot prove.
+    """
+
+    node: int
+    critical: bool | None
+    degraded: bool
+    supervision: SupervisedOutcome
+
+
+class SupervisedRuntime:
+    """All four case studies, supervised: the resilient runtime facade.
+
+    Mirrors :class:`~repro.core.runtime.SmartSouthRuntime` but every call
+    returns instead of hanging: epoch-tagged retries under watchdog
+    deadlines, then an explicit degraded answer.  One epoch clock is shared
+    across services so squashed stragglers of one call can never alias a
+    later call's epoch within the wrap window.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        mode: str = "interpreted",
+        config: SupervisorConfig | None = None,
+        channel=None,
+    ) -> None:
+        self.network = network
+        self.mode = mode
+        self.config = config or SupervisorConfig()
+        self.channel = channel
+        self.clock = EpochClock()
+        self._supervisors: dict[str, TraversalSupervisor] = {}
+        #: gid -> confirmed members (delivery evidence), most recent last.
+        self._confirmed: dict[int, list[int]] = {}
+
+    def _supervisor(self, service: Service, key: str) -> TraversalSupervisor:
+        supervisor = self._supervisors.get(key)
+        if supervisor is None:
+            supervisor = TraversalSupervisor(
+                self.network,
+                service,
+                mode=self.mode,
+                config=self.config,
+                channel=self.channel,
+                clock=self.clock,
+            )
+            self._supervisors[key] = supervisor
+        return supervisor
+
+    # -- snapshot -------------------------------------------------------- #
+
+    def snapshot(self, root: int) -> SupervisedSnapshot:
+        supervisor = self._supervisor(SnapshotService(), "snapshot")
+        outcome = supervisor.supervise(root)
+        if outcome.ok and outcome.result and outcome.result.reports:
+            reporter, packet = outcome.result.reports[-1]
+            nodes, links = decode_snapshot(packet)
+            nodes.add(reporter)
+            return SupervisedSnapshot(
+                nodes=nodes, links=links, degraded=False, supervision=outcome
+            )
+        return SupervisedSnapshot(
+            nodes=supervisor.reached_nodes(outcome),
+            links=set(),
+            degraded=True,
+            supervision=outcome,
+        )
+
+    # -- anycast --------------------------------------------------------- #
+
+    def anycast(
+        self, root: int, gid: int, groups: Mapping[int, set[int]]
+    ) -> SupervisedDelivery:
+        key = f"anycast:{sorted((g, tuple(sorted(m))) for g, m in groups.items())}"
+        supervisor = self._supervisor(AnycastService(groups), key)
+        mark = len(supervisor.engine.deliveries)
+        outcome = supervisor.supervise(
+            root,
+            fields={FIELD_GID: gid},
+            from_controller=False,
+            accept_deliveries=True,
+        )
+        # Every delivery observed during the call — fresh or stale — is
+        # confirmed-member evidence for future fallbacks.
+        for node, _pkt in supervisor.engine.deliveries[mark:]:
+            bucket = self._confirmed.setdefault(gid, [])
+            if node in bucket:
+                bucket.remove(node)
+            bucket.append(node)
+        if outcome.ok and outcome.result and outcome.result.deliveries:
+            return SupervisedDelivery(
+                gid=gid,
+                delivered_at=outcome.result.deliveries[0][0],
+                degraded=False,
+                fallback=False,
+                supervision=outcome,
+            )
+        confirmed = self._confirmed.get(gid, [])
+        return SupervisedDelivery(
+            gid=gid,
+            delivered_at=confirmed[-1] if confirmed else None,
+            degraded=True,
+            fallback=bool(confirmed),
+            supervision=outcome,
+        )
+
+    # -- blackhole ------------------------------------------------------- #
+
+    def detect_blackhole(self, root: int) -> SupervisedBlackhole:
+        """Supervised two-phase smart-counter detection.
+
+        Each attempt gets a fresh engine (smart counters are stateful and
+        the "fetch = 1" test assumes they start from zero); the verify
+        trigger only launches once the probe phase has drained or its
+        deadline passed, honouring the paper's phase-gap requirement.
+
+        Two defenses keep FOUND verdicts honest under probabilistic loss.
+        The paper's count-is-1 signature is sound for drop-all blackholes —
+        the first crossing of the bad link dies, stranding the sender port
+        at 1 — but loss can kill the probe on a port already counted >= 2,
+        leaving no signature anywhere; an unsuspecting verify walk would
+        then stray into probe-untouched territory where its own arrival
+        counting manufactures spurious count-1 reports on healthy links.
+
+        1. **In-band incompleteness proof.**  The verify halts the moment a
+           send-side fetch returns 0 (a port a completed probe could never
+           have left untouched) and reports ``BH_INCOMPLETE``; the attempt
+           fails fast and retries under a fresh epoch.  The *earliest*
+           terminal report of the epoch decides, which also disarms
+           duplicated verify copies trailing a halted twin.
+        2. **Cross-epoch confirmation.**  A FOUND location must repeat in a
+           second epoch before it is accepted.  A real blackhole kills the
+           deterministic DFS at the same point every epoch, so its verdict
+           is stable; residual loss artifacts depend on where the random
+           drop landed and do not reliably repeat.
+
+        A clean BH_DONE needs no confirmation: a completed verify means
+        every crossing survived twice, so no drop-all blackhole is
+        reachable.
+        """
+        cfg = self.config
+        network = self.network
+        outcome = SupervisedOutcome(
+            service="blackhole", root=root, ok=False, degraded=False,
+            reason="retries-exhausted",
+        )
+        lost_outs = 0
+        verdict: BlackholeVerdict | None = None
+        last_supervisor: TraversalSupervisor | None = None
+        #: FOUND location -> (sightings, representative verdict).
+        candidates: dict[tuple[int, int], tuple[int, BlackholeVerdict]] = {}
+
+        for attempt_index in range(cfg.max_attempts):
+            service = BlackholeService()
+            supervisor = TraversalSupervisor(
+                network, service, mode=self.mode, config=cfg,
+                channel=self.channel, clock=self.clock,
+            )
+            last_supervisor = supervisor
+            epoch = self.clock.advance()
+            gate = EpochGate(origin=root, epoch=epoch)
+            service.epoch_gate = gate
+            supervisor._bind()
+            deadline = supervisor._deadline()
+
+            engine = supervisor.engine
+            mark_reports = len(engine.reports)
+            attempt = EpochAttempt(
+                epoch=epoch, injected_at=network.sim.now, deadline=deadline
+            )
+            outcome.attempts.append(attempt)
+
+            # Drain stragglers of the previous attempt first: the verify
+            # test reads fresh counters and a stale roaming packet would
+            # pollute them (stale packets die at the origin gate).
+            if attempt_index:
+                supervisor._run_window(deadline)
+
+            probe = supervisor._inject(
+                root, {FIELD_REPEAT: REPEAT_PROBE, FIELD_EPOCH: epoch}, True
+            )
+            if probe is None:
+                attempt.outcome = PACKET_OUT_LOST
+                lost_outs += 1
+                if attempt_index < cfg.max_attempts - 1:
+                    supervisor._sleep(supervisor._backoff(attempt_index))
+                continue
+            # Phase A has no completion observable: run to quiescence or
+            # the probe deadline (the phase gap of the paper's detector).
+            supervisor._run_window(deadline)
+
+            verify = supervisor._inject(
+                root, {FIELD_REPEAT: REPEAT_VERIFY, FIELD_EPOCH: epoch}, True
+            )
+            if verify is None:
+                attempt.outcome = PACKET_OUT_LOST
+                lost_outs += 1
+                attempt.packet_ids = (probe.packet_id,)
+                attempt.squashed = gate.squashed
+                if attempt_index < cfg.max_attempts - 1:
+                    supervisor._sleep(supervisor._backoff(attempt_index))
+                continue
+            attempt.packet_ids = (probe.packet_id, verify.packet_id)
+
+            fresh_verdict = _verdict_watcher(engine, mark_reports, epoch)
+            got = supervisor._run_window(deadline, done=fresh_verdict)
+            attempt.squashed = gate.squashed
+
+            if got:
+                # The *earliest* terminal report of this epoch decides the
+                # attempt (reports append in emission order).  Ordering
+                # matters under duplication: a trailing verify copy can
+                # fetch the count its halted twin left behind and emit a
+                # spurious FOUND — always *after* the twin's INCOMPLETE.
+                kind = 0
+                report_node, report_pkt = -1, None
+                for node, pkt in engine.reports[mark_reports:]:
+                    if pkt.get(FIELD_EPOCH) != epoch:
+                        continue
+                    if pkt.get(FIELD_BH) in (BH_FOUND, BH_DONE, BH_INCOMPLETE):
+                        kind = pkt.get(FIELD_BH)
+                        report_node, report_pkt = node, pkt
+                        break
+                epoch_reports = [
+                    (n, p)
+                    for n, p in engine.reports[mark_reports:]
+                    if p.get(FIELD_EPOCH) == epoch
+                ]
+                if kind == BH_INCOMPLETE:
+                    # In-band proof the probe died without a count-1
+                    # signature: no verdict is derivable this epoch.  Fail
+                    # the attempt immediately (faster than the watchdog).
+                    attempt.outcome = PROBE_INCOMPLETE
+                elif kind == BH_DONE:
+                    # Clean completion: accept immediately.
+                    attempt.outcome = ACCEPTED
+                    outcome.ok = True
+                    outcome.reason = "completed"
+                    verdict = BlackholeVerdict(found=False)
+                    outcome.result = TraversalResult(
+                        root=root, packet=verify, reports=epoch_reports
+                    )
+                    break
+                else:
+                    port = report_pkt.get(FIELD_REPORT_PORT)
+                    fresh = BlackholeVerdict(
+                        found=True, location=(report_node, port)
+                    )
+                    far = network.topology.neighbor(report_node, port)
+                    if far is not None:
+                        fresh.far_end = (far.node, far.port)
+                    seen, _rep = candidates.get(fresh.location, (0, fresh))
+                    candidates[fresh.location] = (seen + 1, fresh)
+                    if seen + 1 >= 2:
+                        # Two epochs agree: the verdict is stable, accept.
+                        attempt.outcome = ACCEPTED
+                        outcome.ok = True
+                        outcome.reason = "completed"
+                        verdict = fresh
+                        outcome.result = TraversalResult(
+                            root=root, packet=verify, reports=epoch_reports
+                        )
+                        break
+                    attempt.outcome = UNCONFIRMED
+            else:
+                attempt.outcome = EXPIRED
+            if attempt_index < cfg.max_attempts - 1:
+                supervisor._sleep(supervisor._backoff(attempt_index))
+
+        if outcome.ok:
+            return SupervisedBlackhole(
+                verdict=verdict, degraded=False, suspects=[], supervision=outcome
+            )
+
+        outcome.degraded = True
+        if outcome.attempts:
+            outcome.attempts[-1].outcome = DEGRADED_REPORT
+        if outcome.attempts and lost_outs == len(outcome.attempts):
+            outcome.reason = "controller-disconnected"
+        elif candidates:
+            outcome.reason = "unconfirmed-verdict"
+        suspects: list[tuple[int, int]] = sorted(candidates)
+        if last_supervisor is not None:
+            topology = network.topology
+            for node in sorted(last_supervisor.terminal_nodes(outcome)):
+                for port in range(1, topology.degree(node) + 1):
+                    if (node, port) not in candidates:
+                        suspects.append((node, port))
+        return SupervisedBlackhole(
+            verdict=None, degraded=True, suspects=suspects, supervision=outcome
+        )
+
+    # -- critical node --------------------------------------------------- #
+
+    def critical(self, node: int) -> SupervisedCritical:
+        supervisor = self._supervisor(CriticalNodeService(), "critical")
+        outcome = supervisor.supervise(node)
+        if outcome.ok and outcome.result:
+            verdict = any(
+                pkt.get(FIELD_CRITICAL) == CRITICAL
+                for _reporter, pkt in outcome.result.reports
+            )
+            return SupervisedCritical(
+                node=node, critical=verdict, degraded=False, supervision=outcome
+            )
+        return SupervisedCritical(
+            node=node, critical=None, degraded=True, supervision=outcome
+        )

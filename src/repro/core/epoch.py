@@ -1,0 +1,104 @@
+"""Supervision epochs: tagged retries with origin-side stale squashing.
+
+The fast-failover groups of the paper only mask links that fail *before* a
+traversal starts; a mid-traversal failure, a lossy link, or a silent
+blackhole swallows the trigger packet and leaves the service hung.  The
+supervisor (:mod:`repro.control.supervisor`) recovers by retrying under a
+fresh **epoch**: a small tag carried in reserved header bits
+(:data:`~repro.core.fields.FIELD_EPOCH`).  Any packet of an abandoned
+attempt that eventually wanders back to the origin is *squashed* there — a
+single high-priority match rule on ``epoch != current`` in a real
+deployment, the :class:`EpochGate` check in the interpreted template — which
+gives at-most-once result delivery without any per-packet controller round
+trip.
+
+Epoch 0 means "unsupervised" and is never squashed, so all pre-existing
+services and tests are unaffected.  Live epochs take values ``1..2^bits-1``
+and wrap around; since only one epoch per origin is active at a time, the
+gate's staleness test is plain inequality and the wrap hazard is bounded by
+the 63-epoch window (a packet must survive 62 consecutive retries of the
+same call to alias — far beyond any configured retry budget).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.fields import EPOCH_BITS
+from repro.net.topology import Topology
+
+#: Number of usable (nonzero) epoch values before wrap-around.
+EPOCH_SPACE = (1 << EPOCH_BITS) - 1
+
+
+class EpochClock:
+    """Allocates supervision epochs ``1..2^bits-1``, wrapping past zero."""
+
+    def __init__(self, start: int = 0) -> None:
+        if not 0 <= start <= EPOCH_SPACE:
+            raise ValueError(f"epoch start {start} out of range")
+        self._current = start
+
+    @property
+    def current(self) -> int:
+        """The most recently allocated epoch (0 if none yet)."""
+        return self._current
+
+    def advance(self) -> int:
+        """Allocate and return a fresh epoch (never 0)."""
+        nxt = self._current + 1
+        if nxt > EPOCH_SPACE:
+            nxt = 1
+        self._current = nxt
+        return nxt
+
+
+@dataclass
+class EpochGate:
+    """Origin-side squash filter for stale-epoch packets.
+
+    Installed on a service (``service.epoch_gate``), checked by the template
+    interpreter before any hook runs: a packet arriving at *origin* whose
+    epoch tag is nonzero and differs from *epoch* is dropped on the floor.
+    This is the interpreted-engine analogue of the table-0 rule
+    ``match(epoch != current) -> drop`` the compiler would install at the
+    origin on every retry.
+    """
+
+    origin: int
+    epoch: int
+    #: Stale packets squashed so far (supervisor telemetry).
+    squashed: int = 0
+    #: Packet ids squashed, for trace cross-referencing.
+    squashed_packets: list[int] = field(default_factory=list)
+
+    def admits(self, tag: int) -> bool:
+        """Should a packet tagged *tag* be processed at the origin?"""
+        return tag == 0 or tag == self.epoch
+
+
+def watchdog_deadline(
+    service_name: str,
+    topology: Topology,
+    max_link_delay: float,
+    safety_factor: float = 4.0,
+) -> float:
+    """Origin watchdog deadline for one supervised attempt (time units).
+
+    ``deadline = hop bound × max link delay × safety factor``: the Table 2
+    closed forms bound the number of in-band crossings of a complete
+    traversal, each crossing takes at most the slowest link's delay, and the
+    safety factor absorbs failover reroutes, duplication and reorder jitter.
+    A traversal silent past this deadline has provably lost its packet (or
+    is so delayed that retrying is cheaper than waiting).
+    """
+    if max_link_delay <= 0:
+        raise ValueError("max link delay must be positive")
+    if safety_factor < 1.0:
+        raise ValueError("safety factor must be >= 1")
+    from repro.analysis.complexity import traversal_hop_bound
+
+    bound = traversal_hop_bound(
+        service_name, topology.num_nodes, topology.num_edges
+    )
+    return bound * max_link_delay * safety_factor

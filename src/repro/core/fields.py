@@ -51,6 +51,10 @@ FIELD_CHAIN_IDX = "chain_idx"
 FIELD_RECCAP = "reccap"
 #: Set on the final snapshot report (vs. an intermediate chunk).
 FIELD_SNAP_DONE = "snapdone"
+#: Supervision epoch tag (0 = unsupervised).  The traversal supervisor
+#: stamps each trigger with the current epoch so the origin can squash
+#: stale packets from abandoned attempts (see ``repro.core.epoch``).
+FIELD_EPOCH = "epoch"
 
 #: Field bit-widths for the packed layout (per-node tags are sized from the
 #: topology; these are the global fields).
@@ -69,7 +73,12 @@ GLOBAL_FIELD_BITS: dict[str, int] = {
     FIELD_CHAIN_IDX: 4,
     FIELD_RECCAP: 8,
     FIELD_SNAP_DONE: 1,
+    FIELD_EPOCH: 6,
 }
+
+#: Width (bits) of the supervision epoch tag: epochs live in 1..2^bits - 1
+#: and wrap around, giving a 63-epoch staleness window.
+EPOCH_BITS = GLOBAL_FIELD_BITS[FIELD_EPOCH]
 
 #: Width (bits) of the priocast priority / opt_val domain.
 OPT_VAL_BITS = GLOBAL_FIELD_BITS[FIELD_OPT_VAL]

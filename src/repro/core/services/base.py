@@ -118,6 +118,10 @@ class Service:
     #: their ``inband_report`` constructor flag), making monitoring fully
     #: in-band.
     report_destination = CONTROLLER_PORT
+    #: Origin-side stale-epoch squash filter, set by the traversal
+    #: supervisor (:class:`repro.core.epoch.EpochGate`); None = no
+    #: supervision, all packets admitted.
+    epoch_gate = None
 
     # -- extension points (paper's Table 1 + the three arrival hooks) ----
 

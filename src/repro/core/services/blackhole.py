@@ -27,9 +27,11 @@ plus one verdict.
 
 The default blackhole model drops both directions of a link (the paper's
 "edge ... that loses all packets").  For single-direction blackholes phase B
-survives past the bad link and may emit additional spurious counter-1
-reports from the never-visited region; the detector therefore takes the
-*earliest* report as its verdict, which is correct in both models.
+survives past the bad link; rather than wander into the never-visited region
+(where its own arrival counting would fabricate counter-1 reports on healthy
+links) it halts at the first virgin port — a fetch returning 0, impossible
+after a completed probe — and reports ``BH_INCOMPLETE``.  The detectors take
+the *earliest* report as the verdict, which is correct in both models.
 
 **Packet-loss monitoring** (:class:`LossCheckService` +
 :class:`PacketLossMonitor`).  Two extra counter families per port count data
@@ -58,10 +60,14 @@ from repro.openflow.packet import (
     is_physical_port,
 )
 
-#: Report marker: 1 = blackhole/loss found, 2 = phase completed cleanly.
+#: Report marker: 1 = blackhole/loss found, 2 = phase completed cleanly,
+#: 3 = the verify walk reached a port the probe provably never touched
+#: (the probe died mid-run without leaving a count-1 signature — e.g. on a
+#: lossy link that swallowed a crossing of an already-counted port).
 FIELD_BH = "bh"
 BH_FOUND = 1
 BH_DONE = 2
+BH_INCOMPLETE = 3
 #: The suspicious out-port (smart-counter reports).
 FIELD_REPORT_PORT = "report_port"
 #: The in-port of the reporting arrival (TTL and loss reports).
@@ -101,14 +107,36 @@ class BlackholeService(Service):
 
     def _count_send(self, ctx: HookContext, port: int) -> None:
         """Count an outgoing traversal of *port*; in the verify phase a
-        fetch returning exactly 1 identifies the blackhole."""
+        fetch returning exactly 1 identifies the blackhole, and a fetch
+        returning 0 proves the probe died before reaching this port.
+
+        The 0 case halts the verify walk with an ``BH_INCOMPLETE`` report:
+        a completed probe leaves every port it can reach at >= 2, so a
+        virgin port means the probe was swallowed *without* stranding a
+        count at 1 (probabilistic loss can kill a crossing of an
+        already-counted port — unlike a drop-all blackhole, whose first
+        crossing always dies).  Pressing on would be worse than useless:
+        the verify's own arrival counting would manufacture count-1 ports
+        in the never-visited region and report healthy links as blackholes.
+        With the halt, a FOUND report implies its port's link really
+        swallowed a packet (every arrival pairs with a same-port send count
+        inside one handler, so no healthy port can rest at exactly 1 —
+        degree-1 nodes excepted, where the parent port can hold a lone
+        verify-arrival count)."""
         if not is_physical_port(port):
             return
         value = ctx.counters.fetch_inc(f"C{port}", self.counter_modulus)
-        if ctx.packet.get(FIELD_REPEAT) == REPEAT_VERIFY and value == 1:
+        if ctx.packet.get(FIELD_REPEAT) != REPEAT_VERIFY:
+            return
+        if value == 1:
             ctx.packet.set(FIELD_BH, BH_FOUND)
             ctx.packet.set(FIELD_REPORT_PORT, port)
             ctx.emit_copy(CONTROLLER_PORT)
+        elif value == 0:
+            ctx.packet.set(FIELD_BH, BH_INCOMPLETE)
+            ctx.packet.set(FIELD_REPORT_PORT, port)
+            ctx.emit_copy(CONTROLLER_PORT)
+            ctx.out = NO_PORT  # halt: consume the verify packet here
 
     # -- template hooks ---------------------------------------------------
 

@@ -9,7 +9,7 @@ differential tests in ``tests/test_differential.py`` enforce that.
 
 from __future__ import annotations
 
-from repro.core.fields import FIELD_START
+from repro.core.fields import FIELD_EPOCH, FIELD_START
 from repro.core.services.base import HookContext, Service, SmartCounterBank
 from repro.net.simulator import Network
 from repro.openflow.packet import NO_PORT, Packet
@@ -43,6 +43,16 @@ class TemplateInterpreter:
 
     def process(self, node: int, packet: Packet, in_port: int) -> list[PacketOut]:
         """Process one packet arrival at *node*; returns the emissions."""
+        # Epoch gate: the supervisor's origin-side squash of stale-epoch
+        # packets (the analogue of a high-priority ``epoch != current ->
+        # drop`` rule in table 0).  Runs before any hook so an abandoned
+        # attempt can neither report nor keep traversing through the origin.
+        gate = self.service.epoch_gate
+        if gate is not None and node == gate.origin:
+            if not gate.admits(packet.get(FIELD_EPOCH)):
+                gate.squashed += 1
+                gate.squashed_packets.append(packet.packet_id)
+                return []
         topo = self.network.topology
         ctx = HookContext(
             node=node,

@@ -8,40 +8,69 @@ scripts build scenarios the same way (and stay seed-reproducible).
 
 from __future__ import annotations
 
+import math
 import random
+from itertools import combinations
 from typing import Iterable
 
 from repro.net.simulator import Network
 from repro.net.topology import Topology
 
+#: Largest C(E, count) the keep-connected fallback will enumerate.
+_ENUMERATION_LIMIT = 250_000
+
 
 def fail_random_links(
     network: Network,
     count: int,
-    seed: int = 0,
+    seed: int | None = None,
     keep_connected: bool = False,
+    attempts: int = 200,
 ) -> list[int]:
     """Visibly fail *count* distinct random links; returns their edge ids.
 
     With ``keep_connected=True``, candidate sets that would disconnect the
-    live graph are rejected (up to a bounded number of retries) — useful
-    for experiments that need the component structure fixed.
+    live graph are rejected; after *attempts* rejections on a small
+    topology, the valid sets are enumerated exhaustively and one is sampled
+    uniformly — so the call succeeds whenever a valid set exists (and the
+    RuntimeError it raises otherwise is a proof that none does).
+
+    With ``seed=None`` (the default) draws come from ``network.rng``, the
+    per-network seeded stream shared with lossy-link drops and the chaos
+    harness; pass an explicit seed to get a detached, call-local stream.
     """
     topology = network.topology
     if count > topology.num_edges:
         raise ValueError(
             f"cannot fail {count} of {topology.num_edges} links"
         )
-    rng = random.Random(seed)
-    for _attempt in range(200):
+    rng = network.rng if seed is None else random.Random(seed)
+    for _attempt in range(attempts):
         chosen = rng.sample(range(topology.num_edges), count)
         if not keep_connected or _connected_without(topology, chosen):
             for edge_id in chosen:
                 network.links[edge_id].up = False
             return chosen
-    raise RuntimeError(
-        f"no {count}-link failure set keeps {topology.name} connected"
-    )
+    # Rejection sampling failed: valid sets are rare or nonexistent.  On
+    # small topologies, decide which by enumeration.
+    if math.comb(topology.num_edges, count) > _ENUMERATION_LIMIT:
+        raise RuntimeError(
+            f"no {count}-link failure set keeping {topology.name} connected "
+            f"found in {attempts} attempts (topology too large to enumerate)"
+        )
+    valid = [
+        list(combo)
+        for combo in combinations(range(topology.num_edges), count)
+        if _connected_without(topology, combo)
+    ]
+    if not valid:
+        raise RuntimeError(
+            f"no {count}-link failure set keeps {topology.name} connected"
+        )
+    chosen = rng.choice(valid)
+    for edge_id in chosen:
+        network.links[edge_id].up = False
+    return chosen
 
 
 def _connected_without(topology: Topology, dead: Iterable[int]) -> bool:
@@ -115,12 +144,18 @@ def fail_region(network: Network, nodes: Iterable[int]) -> list[int]:
     return failed
 
 
-def management_outage(channel, fraction: float, seed: int = 0) -> list[int]:
-    """Disconnect a random *fraction* of switches from the controller."""
+def management_outage(
+    channel, fraction: float, seed: int | None = None
+) -> list[int]:
+    """Disconnect a random *fraction* of switches from the controller.
+
+    With ``seed=None`` the choice comes from the network's shared seeded
+    RNG (``channel.network.rng``); an explicit seed detaches the stream.
+    """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be in [0, 1]")
     topology = channel.network.topology
-    rng = random.Random(seed)
+    rng = channel.network.rng if seed is None else random.Random(seed)
     count = int(round(fraction * topology.num_nodes))
     chosen = rng.sample(list(topology.nodes()), count)
     for node in chosen:

@@ -42,6 +42,16 @@ class Link:
     )
     #: Propagation delay (simulated time units).
     delay: float = 1.0
+    #: Per-direction duplication probability: a crossing spawns a second,
+    #: independent copy of the packet (a misbehaving link / spanning-tree
+    #: transient).  Chaos-campaign knob; 0.0 everywhere by default.
+    dup_prob: dict[Direction, float] = field(
+        default_factory=lambda: {Direction.A_TO_B: 0.0, Direction.B_TO_A: 0.0}
+    )
+    #: Max extra per-crossing delay, drawn uniformly from [0, jitter] by the
+    #: network's seeded RNG.  Nonzero jitter reorders packets in flight
+    #: (the simulator otherwise delivers FIFO per link).
+    jitter: float = 0.0
     #: Number of packets forwarded per direction (ground-truth accounting,
     #: not visible to the data plane — smart counters are the in-band view).
     delivered: dict[Direction, int] = field(
@@ -81,12 +91,33 @@ class Link:
         else:
             self.drop_prob[direction] = probability
 
+    def set_duplication(
+        self, probability: float, direction: Direction | None = None
+    ) -> None:
+        """Set a per-direction (or symmetric) duplication probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"bad duplication probability {probability}")
+        if direction is None:
+            self.dup_prob[Direction.A_TO_B] = probability
+            self.dup_prob[Direction.B_TO_A] = probability
+        else:
+            self.dup_prob[direction] = probability
+
+    def set_jitter(self, jitter: float) -> None:
+        """Set the max extra per-crossing delay (reordering knob)."""
+        if jitter < 0:
+            raise ValueError(f"bad jitter {jitter}")
+        self.jitter = jitter
+
     def is_blackhole(self) -> bool:
         """True if at least one direction silently drops everything."""
         return self.up and any(p >= 1.0 for p in self.drop_prob.values())
 
     def clear(self) -> None:
-        """Restore the link to a healthy state (up, no loss)."""
+        """Restore the link to a healthy state (up, no loss/dup/jitter)."""
         self.up = True
         self.drop_prob[Direction.A_TO_B] = 0.0
         self.drop_prob[Direction.B_TO_A] = 0.0
+        self.dup_prob[Direction.A_TO_B] = 0.0
+        self.dup_prob[Direction.B_TO_A] = 0.0
+        self.jitter = 0.0

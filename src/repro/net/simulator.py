@@ -159,6 +159,11 @@ class Network:
             if link.up
         }
 
+    def max_link_delay(self) -> float:
+        """Worst-case single-crossing delay (base + jitter), for watchdog
+        deadline sizing."""
+        return max((link.delay + link.jitter for link in self.links), default=1.0)
+
     # ------------------------------------------------------------------ #
     # Packet motion                                                      #
     # ------------------------------------------------------------------ #
@@ -286,8 +291,29 @@ class Network:
             TraceEvent(self.sim.now, EventKind.HOP, node, packet.packet_id, detail)
         )
         self.sim.schedule(
-            link.delay, lambda: self._arrive(far.node, packet, far.port)
+            self._crossing_delay(link), lambda: self._arrive(far.node, packet, far.port)
         )
+        # Duplication: the link spawns a second, independent copy (its own
+        # packet id, so traces and duplicate-suppression can tell them
+        # apart).  The copy crosses with its own delay draw.
+        dup = link.dup_prob[direction]
+        if dup > 0.0 and self.rng.random() < dup:
+            twin = packet.copy()
+            link.delivered[direction] += 1
+            twin.hops += 1
+            self.trace.record(
+                TraceEvent(self.sim.now, EventKind.HOP, node, twin.packet_id, detail)
+            )
+            self.sim.schedule(
+                self._crossing_delay(link),
+                lambda: self._arrive(far.node, twin, far.port),
+            )
+
+    def _crossing_delay(self, link: Link) -> float:
+        """One crossing's delay: base + seeded jitter (reordering knob)."""
+        if link.jitter <= 0.0:
+            return link.delay
+        return link.delay + self.rng.random() * link.jitter
 
     def _drops(self, link: Link, direction: Direction) -> bool:
         probability = link.drop_prob[direction]

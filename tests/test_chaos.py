@@ -1,0 +1,146 @@
+"""The seeded chaos-campaign harness and its CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.net.chaos import (
+    DEGRADED_CORRECT,
+    HUNG,
+    PROFILES,
+    RECOVERED,
+    SERVICES,
+    TOPOLOGIES,
+    WRONG_RESULT,
+    CampaignReport,
+    ChaosConfig,
+    RunRecord,
+    run_campaign,
+    run_one,
+)
+
+
+class TestChaosConfig:
+    def test_defaults_valid(self):
+        ChaosConfig().validate()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"runs": 0},
+            {"services": ("snapshot", "nope")},
+            {"topologies": ("torus3x3", "nope")},
+            {"profiles": ("nope",)},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ChaosConfig(**kwargs).validate()
+
+    def test_stock_menus_cover_the_paper(self):
+        assert set(SERVICES) == {"snapshot", "anycast", "blackhole", "critical"}
+        assert set(TOPOLOGIES) == {"torus3x3", "complete5"}
+        assert set(PROFILES) == {"lossy", "partition", "blackhole"}
+
+
+class TestRunOne:
+    def test_seeded_run_is_deterministic(self):
+        a = run_one(0, "snapshot", "torus3x3", "lossy", run_seed=42)
+        b = run_one(0, "snapshot", "torus3x3", "lossy", run_seed=42)
+        assert a.to_dict() == b.to_dict()
+
+    def test_record_carries_fault_plan(self):
+        record = run_one(0, "snapshot", "complete5", "lossy", run_seed=3)
+        assert record.outcome in (RECOVERED, DEGRADED_CORRECT)
+        for fault in record.faults:
+            kind = fault.split(":")[0]
+            assert kind in ("loss", "blackhole", "fail", "dup", "jitter",
+                            "disconnect")
+
+    def test_blackhole_service_skips_visible_mid_failures(self):
+        # §3.3 premise: failover masks visible failures before the sweep.
+        for seed in range(12):
+            record = run_one(0, "blackhole", "torus3x3", "partition", seed)
+            assert not any(f.startswith("fail:") for f in record.faults)
+
+
+class TestCampaign:
+    def test_small_campaign_meets_the_bar(self):
+        report = run_campaign(ChaosConfig(runs=24, seed=5))
+        counts = report.outcome_counts()
+        assert sum(counts.values()) == 24
+        assert counts[WRONG_RESULT] == 0
+        assert counts[HUNG] == 0
+        assert report.ok
+
+    def test_round_robin_covers_the_grid(self):
+        report = run_campaign(ChaosConfig(runs=24, seed=1))
+        combos = {(r.service, r.topology, r.profile) for r in report.records}
+        assert len(combos) == 24  # 4 services x 2 topologies x 3 profiles
+
+    def test_same_seed_byte_identical_json(self):
+        config = ChaosConfig(runs=12, seed=8)
+        assert run_campaign(config).to_json() == run_campaign(config).to_json()
+
+    def test_different_seed_differs(self):
+        a = run_campaign(ChaosConfig(runs=12, seed=0))
+        b = run_campaign(ChaosConfig(runs=12, seed=1))
+        assert a.to_json() != b.to_json()
+
+    def test_report_verdict_logic(self):
+        config = ChaosConfig(runs=1)
+        ok = CampaignReport(config=config, records=[
+            RunRecord(0, "snapshot", "torus3x3", "lossy", 0, 0, [], RECOVERED),
+        ])
+        assert ok.ok
+        lied = CampaignReport(config=config, records=[
+            RunRecord(0, "snapshot", "torus3x3", "lossy", 0, 0, [], WRONG_RESULT),
+        ])
+        assert not lied.ok
+        hung = CampaignReport(config=config, records=[
+            RunRecord(0, "snapshot", "torus3x3", "lossy", 0, 0, [], HUNG),
+        ])
+        assert not hung.ok
+
+    def test_summary_mentions_every_outcome_class(self):
+        report = run_campaign(ChaosConfig(runs=6, seed=2))
+        text = report.format_summary()
+        for token in ("recovered", "degraded-correct", "wrong-result", "hung",
+                      "verdict:"):
+            assert token in text
+
+
+class TestChaosCli:
+    def test_cli_summary_and_exit_code(self, capsys):
+        code = cli_main(["chaos", "--runs", "6", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos campaign: 6 runs, seed 3" in out
+        assert "verdict: OK" in out
+
+    def test_cli_json_report(self, capsys, tmp_path):
+        out_file = tmp_path / "report.json"
+        code = cli_main([
+            "chaos", "--runs", "6", "--seed", "3", "--json",
+            "--json-out", str(out_file),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert len(payload["records"]) == 6
+        assert json.loads(out_file.read_text()) == payload
+
+    def test_cli_subset_filters(self, capsys):
+        code = cli_main([
+            "chaos", "--runs", "4", "--services", "anycast",
+            "--topologies", "complete5", "--profiles", "lossy",
+        ])
+        assert code == 0
+        assert "anycast" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_service(self):
+        with pytest.raises(SystemExit):
+            cli_main(["chaos", "--runs", "2", "--services", "nope"])

@@ -60,6 +60,34 @@ class TestControlChannel:
         net.run()
         assert channel.out_band_messages == 1
 
+    def test_disconnect_reconnect_counter_sequence(self):
+        net = Network(line(2))
+        delivered = []
+        net.set_handler(0, lambda p, i: delivered.append(p) or [])
+        channel = ControlChannel(net)
+
+        assert channel.packet_out(0, Packet())          # connected: sent
+        channel.disconnect(0)
+        assert not channel.packet_out(0, Packet())      # down: lost
+        assert not channel.packet_out(0, Packet())      # still down: lost
+        channel.reconnect(0)
+        assert channel.packet_out(0, Packet())          # back up: sent
+        net.run()
+
+        assert channel.packet_outs_sent == 4            # attempts counted
+        assert channel.packet_outs_lost == 2
+        assert len(delivered) == 2                      # only live sends land
+
+    def test_reconnect_is_idempotent(self):
+        net = Network(line(2))
+        channel = ControlChannel(net)
+        channel.disconnect(0)
+        channel.disconnect(0)
+        assert channel.disconnected_switches() == {0}
+        channel.reconnect(0)
+        channel.reconnect(0)
+        assert channel.disconnected_switches() == set()
+
 
 class TestController:
     def test_app_receives_packet_ins(self):

@@ -46,6 +46,37 @@ class TestRandomLinks:
         with pytest.raises(RuntimeError):
             fail_random_links(net, 1, keep_connected=True)
 
+    def test_enumeration_fallback_finds_rare_valid_sets(self):
+        # With attempts=0 rejection sampling never runs, so the call must
+        # fall through to exhaustive enumeration — and still succeed
+        # whenever a valid set exists.
+        topo = ring(6)
+        for seed in range(8):
+            net = Network(topo)
+            dead = fail_random_links(
+                net, 1, seed=seed, keep_connected=True, attempts=0
+            )
+            assert len(dead) == 1
+            assert live_component(net, 0) == set(topo.nodes())
+
+    def test_enumeration_fallback_proves_impossibility(self):
+        net = Network(line(4))
+        with pytest.raises(RuntimeError, match="keeps"):
+            fail_random_links(net, 1, keep_connected=True, attempts=0)
+
+    def test_default_draws_come_from_network_rng(self):
+        # Same network seed, no explicit call seed: identical draws.
+        a = Network(ring(8), seed=13)
+        b = Network(ring(8), seed=13)
+        assert fail_random_links(a, 2) == fail_random_links(b, 2)
+        # The shared stream advances: a second call differs from a fresh
+        # network's first call.
+        c = Network(ring(8), seed=13)
+        fail_random_links(c, 2)
+        second = fail_random_links(c, 2)
+        fresh = fail_random_links(Network(ring(8), seed=13), 2)
+        assert second != fresh
+
 
 class TestIsolateAndRegion:
     def test_isolate_node(self):

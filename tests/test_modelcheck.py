@@ -313,6 +313,7 @@ class TestInvariantRegistry:
             "MC006",
             "MC007",
             "MC008",
+            "MC009",
         ):
             assert inv_id in INVARIANTS
             assert INVARIANTS[inv_id].doc
@@ -518,3 +519,91 @@ class TestReport:
         payload = json.loads(capsys.readouterr().out)
         assert payload["topology"] == "star-5"
         assert payload["counterexamples"] == []
+
+
+# --------------------------------------------------------------------- #
+# MC009: supervised epochs deliver at most once                          #
+# --------------------------------------------------------------------- #
+
+
+class TestEpochAtMostOnce:
+    """MC009's safety half on synthetic terminal states, and its liveness
+    half (the supervisor ledger) against real supervised runs."""
+
+    @staticmethod
+    def _violations(service, reports=(), deliveries=()):
+        from types import SimpleNamespace
+
+        ctx = SimpleNamespace(service=service)
+        state = SimpleNamespace(reports=tuple(reports),
+                                deliveries=tuple(deliveries))
+        return list(INVARIANTS["MC009"].check(ctx, state))
+
+    def test_single_completion_per_epoch_clean(self):
+        reports = [
+            (0, (("epoch", 1),), ()),
+            (0, (("epoch", 2),), ()),
+        ]
+        assert self._violations(SnapshotService(), reports) == []
+
+    def test_duplicate_epoch_report_flagged(self):
+        reports = [
+            (0, (("epoch", 3),), ()),
+            (1, (("epoch", 3),), ()),
+        ]
+        violations = self._violations(SnapshotService(), reports)
+        assert len(violations) == 1
+        assert "epoch 3" in violations[0].message
+
+    def test_epoch_zero_exempt(self):
+        # Unsupervised traffic (epoch 0) may report as often as it likes.
+        reports = [(0, (), ()), (1, (), ()), (2, (("epoch", 0),), ())]
+        assert self._violations(SnapshotService(), reports) == []
+
+    def test_anycast_counts_deliveries(self):
+        deliveries = [(3, (("epoch", 4),)), (5, (("epoch", 4),))]
+        violations = self._violations(
+            AnycastService({1: {3, 5}}), deliveries=deliveries
+        )
+        assert len(violations) == 1
+
+    def test_blackhole_found_multiplicity_tolerated(self):
+        # Phase B may copy several FOUND reports per walk; only BH_DONE is
+        # the completion observable for the blackhole services.
+        reports = [
+            (0, (("bh", 1), ("epoch", 6)), ()),
+            (2, (("bh", 1), ("epoch", 6)), ()),
+        ]
+        assert self._violations(BlackholeService(), reports) == []
+        done_twice = [
+            (0, (("bh", 2), ("epoch", 6)), ()),
+            (0, (("bh", 2), ("epoch", 6)), ()),
+        ]
+        assert len(self._violations(BlackholeService(), done_twice)) == 1
+
+    def test_clean_supervised_runs_satisfy_the_ledger(self):
+        from repro.control.supervisor import SupervisedRuntime, check_epoch_ledger
+
+        net = Network(grid(3, 3))
+        runtime = SupervisedRuntime(net)
+        outcomes = [
+            runtime.snapshot(0).supervision,
+            runtime.critical(4).supervision,
+            runtime.detect_blackhole(0).supervision,
+            runtime.anycast(0, 1, {1: {8}}).supervision,
+        ]
+        for outcome in outcomes:
+            assert check_epoch_ledger(outcome) == []
+
+    def test_degraded_supervised_run_satisfies_the_ledger(self):
+        from repro.control.supervisor import SupervisedRuntime, SupervisorConfig
+        from repro.control.supervisor import check_epoch_ledger
+
+        net = Network(ring(5))
+        net.links[0].set_blackhole()
+        runtime = SupervisedRuntime(
+            net, config=SupervisorConfig(max_attempts=2)
+        )
+        snap = runtime.snapshot(0)
+        assert snap.degraded
+        assert check_epoch_ledger(snap.supervision) == []
