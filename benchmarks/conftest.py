@@ -11,6 +11,16 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-fastpath-baseline",
+        action="store_true",
+        default=False,
+        help="Rewrite benchmarks/baselines/fastpath_baseline.json with the "
+        "speedups measured in this run (use after an intentional change).",
+    )
+
+
 @pytest.fixture
 def emit(capsys):
     """Print *text* to the real terminal, bypassing capture."""

@@ -1042,10 +1042,23 @@ def _emit_service(
     codegen.emit_extra_tables(cg)
 
 
-def compile_service(network: Network, node: int, service: Service) -> Switch:
-    """Compile *service* for *node*: the paper's offline stage, for real."""
+def compile_service(
+    network: Network,
+    node: int,
+    service: Service,
+    fast_path: bool | None = None,
+) -> Switch:
+    """Compile *service* for *node*: the paper's offline stage, for real.
+
+    ``fast_path`` selects the switch's packet engine (None: the network's
+    default); see :mod:`repro.openflow.fastpath`.
+    """
     deg = network.topology.degree(node)
-    switch = Switch(node, deg, liveness=network.liveness_fn(node))
+    if fast_path is None:
+        fast_path = network.fast_path
+    switch = Switch(
+        node, deg, liveness=network.liveness_fn(node), fast_path=fast_path
+    )
     _emit_service(switch, network, node, service)
     return switch
 
@@ -1057,7 +1070,10 @@ SERVICE_BLOCK_GROUPS = 100_000
 
 
 def compile_services(
-    network: Network, node: int, services: Sequence[Service]
+    network: Network,
+    node: int,
+    services: Sequence[Service],
+    fast_path: bool | None = None,
 ) -> Switch:
     """Compile several services onto one switch.
 
@@ -1071,7 +1087,11 @@ def compile_services(
     if len(set(ids)) != len(ids):
         raise ValueError(f"duplicate service ids in {ids}")
     deg = network.topology.degree(node)
-    switch = Switch(node, deg, liveness=network.liveness_fn(node))
+    if fast_path is None:
+        fast_path = network.fast_path
+    switch = Switch(
+        node, deg, liveness=network.liveness_fn(node), fast_path=fast_path
+    )
     for index, service in enumerate(services):
         table_base = 1 + index * SERVICE_BLOCK_TABLES
         switch.install(

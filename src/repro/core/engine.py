@@ -148,19 +148,33 @@ class InterpretedEngine(_BaseEngine):
 
 
 class CompiledEngine(_BaseEngine):
-    """Compiled engine: OpenFlow rule sets on simulated switches."""
+    """Compiled engine: OpenFlow rule sets on simulated switches.
+
+    ``fast_path`` picks the switches' packet engine: the interpreted
+    per-entry scan (False) or the indexed dispatch of
+    :mod:`repro.openflow.fastpath` (True); None defers to the network's
+    ``fast_path`` default.  Both engines are observably identical.
+    """
 
     mode = "compiled"
 
-    def __init__(self, network: Network, service: Service) -> None:
+    def __init__(
+        self,
+        network: Network,
+        service: Service,
+        fast_path: bool | None = None,
+    ) -> None:
         super().__init__(network, service)
         self.switches: dict[int, Switch] = {}
+        self.fast_path = network.fast_path if fast_path is None else fast_path
 
     def _do_install(self) -> None:
         from repro.core.compiler import compile_service
 
         for node in self.network.topology.nodes():
-            self.switches[node] = compile_service(self.network, node, self.service)
+            self.switches[node] = compile_service(
+                self.network, node, self.service, fast_path=self.fast_path
+            )
 
     def _bind_handlers(self) -> None:
         for node, switch in self.switches.items():
@@ -176,13 +190,17 @@ class CompiledEngine(_BaseEngine):
 
 
 def make_engine(
-    network: Network, service: Service, mode: str = "interpreted"
+    network: Network,
+    service: Service,
+    mode: str = "interpreted",
+    fast_path: bool | None = None,
 ) -> _BaseEngine:
-    """Factory: ``mode`` is "interpreted" or "compiled"."""
+    """Factory: ``mode`` is "interpreted" or "compiled"; ``fast_path``
+    selects the compiled switches' packet engine (None: network default)."""
     if mode == "interpreted":
         return InterpretedEngine(network, service)
     if mode == "compiled":
-        return CompiledEngine(network, service)
+        return CompiledEngine(network, service, fast_path=fast_path)
     raise ValueError(f"unknown engine mode {mode!r}")
 
 
@@ -197,7 +215,11 @@ class MultiServiceEngine:
     """
 
     def __init__(
-        self, network: Network, services: list[Service], mode: str = "compiled"
+        self,
+        network: Network,
+        services: list[Service],
+        mode: str = "compiled",
+        fast_path: bool | None = None,
     ) -> None:
         if mode not in ("interpreted", "compiled"):
             raise ValueError(f"unknown engine mode {mode!r}")
@@ -206,6 +228,7 @@ class MultiServiceEngine:
             raise ValueError(f"duplicate service ids in {ids}")
         self.network = network
         self.mode = mode
+        self.fast_path = network.fast_path if fast_path is None else fast_path
         self.services: dict[int, Service] = {
             service.service_id: service for service in services
         }
@@ -229,7 +252,7 @@ class MultiServiceEngine:
                 ordered = list(self.services.values())
                 for node in self.network.topology.nodes():
                     self.switches[node] = compile_services(
-                        self.network, node, ordered
+                        self.network, node, ordered, fast_path=self.fast_path
                     )
             else:
                 self._interpreters = {

@@ -73,11 +73,19 @@ class ChainOutcome:
 class SmartSouthRuntime:
     """All four data-plane functions over one network."""
 
-    def __init__(self, network: Network | Topology, mode: str = "interpreted") -> None:
+    def __init__(
+        self,
+        network: Network | Topology,
+        mode: str = "interpreted",
+        fast_path: bool | None = None,
+    ) -> None:
         if isinstance(network, Topology):
             network = Network(network)
         self.network = network
         self.mode = mode
+        #: Compiled-switch engine flag (None: the network's default); see
+        #: :mod:`repro.openflow.fastpath` and docs/FASTPATH.md.
+        self.fast_path = network.fast_path if fast_path is None else fast_path
         self._engines: dict[str, object] = {}
 
     # ------------------------------------------------------------------ #
@@ -94,7 +102,9 @@ class SmartSouthRuntime:
         key = key or service.name
         engine = self._engines.get(key)
         if engine is None:
-            engine = make_engine(self.network, service, self.mode)
+            engine = make_engine(
+                self.network, service, self.mode, fast_path=self.fast_path
+            )
             self._engines[key] = engine
         return engine
 

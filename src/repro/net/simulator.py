@@ -81,10 +81,20 @@ class Simulator:
 
 
 class Network:
-    """A topology with runtime link state, handlers, and the event loop."""
+    """A topology with runtime link state, handlers, and the event loop.
 
-    def __init__(self, topology: Topology, seed: int = 0) -> None:
+    ``fast_path`` is the network-wide engine default: compiled engines built
+    on this network run their switches on the indexed fast path
+    (:mod:`repro.openflow.fastpath`) unless overridden per engine.  It does
+    not change simulator semantics — both switch engines are observably
+    identical — only the speed of the per-packet pipeline.
+    """
+
+    def __init__(
+        self, topology: Topology, seed: int = 0, fast_path: bool = False
+    ) -> None:
         self.topology = topology
+        self.fast_path = fast_path
         self.links: list[Link] = [Link(edge) for edge in topology.edges()]
         self.sim = Simulator()
         self.trace = Trace()

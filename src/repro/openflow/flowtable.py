@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Callable, Iterator, Mapping
 
 from repro.openflow.actions import Instructions
 from repro.openflow.errors import TableError
@@ -16,7 +16,10 @@ class FlowEntry:
 
     ``cookie`` is an opaque label the compiler uses to tag which template
     state an entry implements (useful for verification and debugging);
-    ``packet_count`` mirrors OpenFlow's per-entry counters.
+    ``packet_count`` mirrors OpenFlow's per-entry counters.  ``seq`` is the
+    table-assigned insertion sequence number: it is the documented tie-break
+    among equal-priority overlapping entries (earliest installed wins) and
+    the identity the fast path sorts on.
     """
 
     match: Match
@@ -24,6 +27,7 @@ class FlowEntry:
     priority: int = 0
     cookie: str = ""
     packet_count: int = 0
+    seq: int = -1
 
     def describe(self) -> str:
         return (
@@ -48,9 +52,18 @@ class FlowTable:
     """A single flow table.
 
     Lookup returns the highest-priority matching entry; ties are broken by
-    insertion order (OpenFlow leaves overlapping same-priority behaviour
-    undefined — the compiler never emits such overlaps, and the verifier in
-    :mod:`repro.analysis.verify` checks that).
+    insertion order — explicitly, via the per-entry ``seq`` counter, so the
+    rule survives removals, in-place priority edits, and re-sorting, and the
+    compiled fast path can reproduce it exactly.  (OpenFlow leaves
+    overlapping same-priority behaviour undefined — the compiler never emits
+    such overlaps, and the verifier in :mod:`repro.analysis.verify` checks
+    that.)  ``modify`` keeps an entry's seq (it stays in place in the
+    tie-break order); removing and re-adding assigns a fresh seq (it moves
+    to the back).
+
+    ``version`` increments on every mutation; the fast path
+    (:mod:`repro.openflow.fastpath`) uses it to invalidate compiled indexes
+    transparently.
     """
 
     def __init__(self, table_id: int, name: str = "") -> None:
@@ -60,11 +73,28 @@ class FlowTable:
         self.name = name or f"table{table_id}"
         self._entries: list[FlowEntry] = []
         self._sorted = True
+        self._version = 0
+        self._next_seq = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (bumped by add/remove/modify/touch)."""
+        return self._version
+
+    def _mutated(self) -> None:
+        self._sorted = False
+        self._version += 1
+
+    def touch(self) -> None:
+        """Record an out-of-band mutation (an entry edited in place)."""
+        self._mutated()
 
     def add(self, entry: FlowEntry) -> FlowEntry:
-        """Install *entry* and return it."""
+        """Install *entry* and return it (assigns its insertion seq)."""
+        entry.seq = self._next_seq
+        self._next_seq += 1
         self._entries.append(entry)
-        self._sorted = False
+        self._mutated()
         return entry
 
     def install(
@@ -77,10 +107,63 @@ class FlowTable:
         """Convenience wrapper building and adding a :class:`FlowEntry`."""
         return self.add(FlowEntry(match, instructions, priority, cookie))
 
+    def remove(
+        self,
+        match: Match | None = None,
+        priority: int | None = None,
+        predicate: Callable[[FlowEntry], bool] | None = None,
+    ) -> list[FlowEntry]:
+        """Remove and return entries selected by the given filters.
+
+        Filters compose conjunctively: an entry is removed when its match
+        equals *match* (if given), its priority equals *priority* (if
+        given), and *predicate* accepts it (if given).  With no filters,
+        every entry is removed (OpenFlow's delete-all).
+        """
+        removed: list[FlowEntry] = []
+        kept: list[FlowEntry] = []
+        for entry in self._entries:
+            if (
+                (match is None or entry.match == match)
+                and (priority is None or entry.priority == priority)
+                and (predicate is None or predicate(entry))
+            ):
+                removed.append(entry)
+            else:
+                kept.append(entry)
+        if removed:
+            self._entries = kept
+            self._mutated()
+        return removed
+
+    def modify(
+        self,
+        match: Match,
+        instructions: Instructions,
+        priority: int | None = None,
+    ) -> list[FlowEntry]:
+        """Replace the instructions of entries whose match equals *match*
+        (and priority, if given).  Modified entries keep their ``seq``, so
+        their position in the same-priority tie-break order is preserved.
+        Returns the modified entries.
+        """
+        modified: list[FlowEntry] = []
+        for entry in self._entries:
+            if entry.match == match and (
+                priority is None or entry.priority == priority
+            ):
+                entry.instructions = instructions
+                modified.append(entry)
+        if modified:
+            self._mutated()
+        return modified
+
     def _ensure_sorted(self) -> None:
         if not self._sorted:
-            # Stable sort keeps insertion order among equal priorities.
-            self._entries.sort(key=lambda e: -e.priority)
+            # Priority descending, then insertion order: the documented
+            # same-priority tie-break, made explicit via seq rather than
+            # relying on incidental list order + sort stability.
+            self._entries.sort(key=lambda e: (-e.priority, e.seq))
             self._sorted = True
 
     def lookup(self, context: Mapping[str, int]) -> FlowEntry | None:

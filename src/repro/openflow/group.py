@@ -86,11 +86,24 @@ class GroupTable:
     def __init__(self, liveness: LivenessFn) -> None:
         self._groups: dict[int, Group] = {}
         self._liveness = liveness
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; the fast path invalidates compiled group
+        programs when it changes.  Port-liveness flips are *not* mutations
+        (failover consults the liveness oracle per packet)."""
+        return self._version
+
+    def touch(self) -> None:
+        """Record an out-of-band mutation (bucket lists edited in place)."""
+        self._version += 1
 
     def add(self, group: Group) -> Group:
         if group.group_id in self._groups:
             raise GroupError(f"duplicate group id {group.group_id}")
         self._groups[group.group_id] = group
+        self._version += 1
         return group
 
     def get(self, group_id: int) -> Group:

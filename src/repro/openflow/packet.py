@@ -44,6 +44,17 @@ _RESERVED_PORT_NAMES = {
 _packet_ids = itertools.count(1)
 
 
+def reset_packet_ids(start: int = 1) -> None:
+    """Restart the global packet-id counter (test/bench support).
+
+    Packet ids are bookkeeping, never matched on — but they appear in
+    traces, so runs that must produce byte-identical traces (the fast-path
+    differential suite, the golden-trace corpus) reset the counter first.
+    """
+    global _packet_ids
+    _packet_ids = itertools.count(start)
+
+
 def port_name(port: int) -> str:
     """Return a human-readable name for *port* (physical or reserved)."""
     return _RESERVED_PORT_NAMES.get(port, str(port))

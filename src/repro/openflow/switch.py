@@ -32,6 +32,13 @@ class Switch:
     tables and a group table.  ``liveness`` reports whether the link behind a
     physical port is up; it backs both fast-failover bucket selection and the
     (purely informational) port-status view.
+
+    With ``fast_path=True`` the pipeline runs on the compiled indexed-dispatch
+    engine of :mod:`repro.openflow.fastpath` instead of the interpreted
+    per-entry scan.  The two are observably identical (the differential
+    suite proves it); table and group mutations invalidate the compiled
+    index transparently, and failover port-liveness is consulted per packet
+    on both paths.
     """
 
     #: Hard cap on pipeline steps per packet, to turn accidental rule loops
@@ -43,6 +50,7 @@ class Switch:
         node_id: int,
         num_ports: int,
         liveness: LivenessFn | None = None,
+        fast_path: bool = False,
     ) -> None:
         if num_ports < 0:
             raise PipelineError(f"switch {node_id}: negative port count")
@@ -53,6 +61,9 @@ class Switch:
         self.groups = GroupTable(self._port_live)
         self.packets_processed = 0
         self.table_misses = 0
+        self._fast_path = None
+        if fast_path:
+            self.enable_fast_path()
 
     # ------------------------------------------------------------------ #
     # Configuration                                                      #
@@ -79,8 +90,46 @@ class Switch:
         return self.groups.add(group)
 
     def set_liveness(self, liveness: LivenessFn) -> None:
-        """Replace the port-liveness oracle (wired up by the simulator)."""
+        """Replace the port-liveness oracle (wired up by the simulator).
+
+        No fast-path invalidation needed: both engines read the oracle
+        through :meth:`_port_live` on every failover decision.
+        """
         self._liveness = liveness
+
+    def enable_fast_path(self) -> None:
+        """Switch packet processing to the compiled indexed engine."""
+        if self._fast_path is None:
+            from repro.openflow.fastpath import FastPath
+
+            self._fast_path = FastPath(self)
+
+    def disable_fast_path(self) -> None:
+        """Return to the interpreted per-entry scan."""
+        self._fast_path = None
+
+    @property
+    def fast_path_enabled(self) -> bool:
+        return self._fast_path is not None
+
+    def warm_fast_path(self) -> None:
+        """Pre-compile every table and group program (no-op if disabled).
+
+        Compilation is lazy by default; benches call this so the timed hot
+        loop never pays a compile.
+        """
+        if self._fast_path is not None:
+            self._fast_path.warm()
+
+    def invalidate_fast_path(self) -> None:
+        """Drop compiled fast-path artifacts (recompiled on next packet).
+
+        Mutations through the :class:`FlowTable` / :class:`GroupTable` APIs
+        invalidate automatically via version counters; call this only after
+        editing entry or bucket objects in place.
+        """
+        if self._fast_path is not None:
+            self._fast_path.invalidate()
 
     def _port_live(self, port: int) -> bool:
         return self._liveness(port)
@@ -112,6 +161,8 @@ class Switch:
         ``IN_PORT`` is resolved to *in_port* here.  An empty list means the
         packet was dropped (table miss with no entry, or no live FF bucket).
         """
+        if self._fast_path is not None:
+            return self._fast_path.process(packet, in_port)
         self.packets_processed = self.packets_processed + 1
         outputs: list[PacketOut] = []
         metadata = 0

@@ -59,6 +59,16 @@ def _multigraph() -> Topology:
     return topo
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen",
+        action="store_true",
+        default=False,
+        help="Regenerate the golden-trace corpus under tests/golden/ from "
+        "the current fast-path engine instead of comparing against it.",
+    )
+
+
 def zoo_params():
     return [pytest.param(t, id=t.name) for t in _zoo()]
 

@@ -1,0 +1,226 @@
+"""Fast-path cache invalidation: mutations take effect on the next packet.
+
+The fast path caches compiled tables per ``FlowTable.version`` and compiled
+group programs per ``GroupTable.version``; port liveness is *never* cached.
+Each test mutates a live switch and asserts the very next packet behaves
+exactly like a fresh interpreted switch would — no stale dispatch, no lost
+dynamic state (round-robin cursors, counters), no recompile needed for
+failover flips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.openflow.actions import GroupAction, Instructions, Output, SetField
+from repro.openflow.errors import GroupError
+from repro.openflow.group import Bucket, Group, GroupType
+from repro.openflow.match import Match
+from repro.openflow.packet import Packet
+from repro.openflow.switch import Switch
+
+
+def _switch(fast_path=True, liveness=None) -> Switch:
+    return Switch(node_id=0, num_ports=4, liveness=liveness, fast_path=fast_path)
+
+
+def _ports(outputs):
+    return [out.port for out in outputs]
+
+
+def _process(switch, fields=None, in_port=1):
+    return switch.process(Packet(fields=dict(fields or {})), in_port)
+
+
+class TestTableMutations:
+    def test_add_entry_visible_immediately(self):
+        switch = _switch()
+        switch.install(0, Match(), Instructions(apply_actions=(Output(1),)))
+        assert _ports(_process(switch)) == [1]  # compiled now
+        switch.install(
+            0, Match(a=5), Instructions(apply_actions=(Output(2),)), priority=9
+        )
+        assert _ports(_process(switch, {"a": 5})) == [2]
+        assert _ports(_process(switch, {"a": 4})) == [1]
+
+    def test_remove_entry_visible_immediately(self):
+        switch = _switch()
+        high = Match(a=5)
+        switch.install(0, Match(), Instructions(apply_actions=(Output(1),)))
+        switch.install(
+            0, high, Instructions(apply_actions=(Output(2),)), priority=9
+        )
+        assert _ports(_process(switch, {"a": 5})) == [2]
+        removed = switch.table(0).remove(match=high)
+        assert len(removed) == 1
+        assert _ports(_process(switch, {"a": 5})) == [1]
+
+    def test_remove_all_causes_table_miss(self):
+        switch = _switch()
+        switch.install(0, Match(), Instructions(apply_actions=(Output(1),)))
+        assert _ports(_process(switch)) == [1]
+        switch.table(0).remove()  # OpenFlow delete-all
+        misses = switch.table_misses
+        assert _process(switch) == []
+        assert switch.table_misses == misses + 1
+
+    def test_modify_swaps_instructions(self):
+        switch = _switch()
+        match = Match(a=1)
+        switch.install(0, match, Instructions(apply_actions=(Output(1),)))
+        assert _ports(_process(switch, {"a": 1})) == [1]
+        switch.table(0).modify(
+            match, Instructions(apply_actions=(SetField("b", 7), Output(3)))
+        )
+        out = _process(switch, {"a": 1})
+        assert _ports(out) == [3]
+        assert out[0].packet.fields["b"] == 7
+
+    def test_goto_target_added_later(self):
+        """A goto to a table that does not exist yet starts raising; adding
+        the table (with an entry) heals it on the next packet."""
+        from repro.openflow.errors import TableError
+
+        switch = _switch()
+        switch.install(0, Match(), Instructions(goto_table=1))
+        with pytest.raises(TableError):
+            _process(switch)
+        switch.install(1, Match(), Instructions(apply_actions=(Output(2),)))
+        assert _ports(_process(switch)) == [2]
+
+    def test_packet_counts_continue_across_recompile(self):
+        switch = _switch()
+        entry = switch.install(
+            0, Match(), Instructions(apply_actions=(Output(1),))
+        )
+        _process(switch)
+        _process(switch)
+        assert entry.packet_count == 2
+        switch.install(
+            0, Match(a=9), Instructions(apply_actions=(Output(2),)), priority=5
+        )  # forces a recompile of table 0
+        _process(switch)
+        assert entry.packet_count == 3  # same FlowEntry object, not a reset
+
+
+class TestGroupMutations:
+    def test_group_added_after_first_compile(self):
+        """An entry pointing at a not-yet-installed group raises at
+        execution (interpreter timing); installing the group heals it."""
+        switch = _switch()
+        switch.install(
+            0, Match(), Instructions(apply_actions=(GroupAction(7),))
+        )
+        with pytest.raises(GroupError):
+            _process(switch)
+        switch.add_group(
+            Group(7, GroupType.INDIRECT, [Bucket(actions=(Output(2),))])
+        )
+        assert _ports(_process(switch)) == [2]
+
+    def test_select_cursor_survives_recompile(self):
+        """SELECT round-robin state lives on the Group object, not in the
+        compiled program — a recompile must not rewind it."""
+        switch = _switch()
+        group = switch.add_group(
+            Group(
+                5,
+                GroupType.SELECT,
+                [Bucket(actions=(Output(p),)) for p in (1, 2, 3)],
+            )
+        )
+        switch.install(
+            0, Match(), Instructions(apply_actions=(GroupAction(5),))
+        )
+        assert _ports(_process(switch)) == [1]
+        assert group.rr_next == 1
+        # Mutate the flow table: recompiles the entry closures and (via the
+        # embedded programs) the group dispatch.
+        switch.install(
+            0, Match(a=1), Instructions(apply_actions=(Output(4),)), priority=9
+        )
+        assert _ports(_process(switch)) == [2]  # continues, no rewind
+        assert _ports(_process(switch)) == [3]
+        assert _ports(_process(switch)) == [1]
+
+    def test_ff_liveness_flip_needs_no_invalidation(self):
+        """Failover takes the same per-packet liveness path as the
+        interpreter: flipping a port re-routes the very next packet with no
+        table or group mutation at all."""
+        live = {1: True, 2: True}
+        switch = _switch(liveness=lambda port: live.get(port, True))
+        switch.add_group(
+            Group(
+                3,
+                GroupType.FF,
+                [
+                    Bucket(actions=(Output(1),), watch_port=1),
+                    Bucket(actions=(Output(2),), watch_port=2),
+                ],
+            )
+        )
+        switch.install(
+            0, Match(), Instructions(apply_actions=(GroupAction(3),))
+        )
+        versions = (switch.table(0).version, switch.groups.version)
+        assert _ports(_process(switch)) == [1]
+        live[1] = False
+        assert _ports(_process(switch)) == [2]
+        live[1] = True
+        assert _ports(_process(switch)) == [1]
+        live[1] = live[2] = False
+        assert _process(switch) == []  # no live bucket: silent drop
+        # No mutation happened: the compiled caches were never invalidated.
+        assert (switch.table(0).version, switch.groups.version) == versions
+
+    def test_flattened_indirect_group_still_counts(self):
+        """Single-bucket INDIRECT groups are inlined into the entry closure;
+        the flattening must keep bumping group and bucket counters."""
+        switch = _switch()
+        group = switch.add_group(
+            Group(9, GroupType.INDIRECT, [Bucket(actions=(Output(2),))])
+        )
+        switch.install(
+            0, Match(), Instructions(apply_actions=(GroupAction(9),))
+        )
+        _process(switch)
+        _process(switch)
+        assert group.packet_count == 2
+        assert group.buckets[0].packet_count == 2
+
+
+class TestExplicitInvalidation:
+    def test_in_place_edit_plus_invalidate(self):
+        """Editing an entry object in place bypasses the version counters
+        (documented); ``invalidate_fast_path`` is the escape hatch."""
+        switch = _switch()
+        entry = switch.install(
+            0, Match(), Instructions(apply_actions=(Output(1),))
+        )
+        assert _ports(_process(switch)) == [1]
+        entry.instructions = Instructions(apply_actions=(Output(3),))
+        assert _ports(_process(switch)) == [1]  # stale, by design
+        switch.invalidate_fast_path()
+        assert _ports(_process(switch)) == [3]
+
+    def test_touch_is_equivalent_to_invalidate(self):
+        switch = _switch()
+        entry = switch.install(
+            0, Match(), Instructions(apply_actions=(Output(1),))
+        )
+        assert _ports(_process(switch)) == [1]
+        entry.instructions = Instructions(apply_actions=(Output(2),))
+        switch.table(0).touch()
+        assert _ports(_process(switch)) == [2]
+
+    def test_enable_disable_round_trip(self):
+        switch = _switch(fast_path=False)
+        switch.install(0, Match(), Instructions(apply_actions=(Output(1),)))
+        assert not switch.fast_path_enabled
+        assert _ports(_process(switch)) == [1]
+        switch.enable_fast_path()
+        assert switch.fast_path_enabled
+        assert _ports(_process(switch)) == [1]
+        switch.disable_fast_path()
+        assert not switch.fast_path_enabled
+        assert _ports(_process(switch)) == [1]

@@ -1,0 +1,107 @@
+"""Same-priority overlap tie-break: insertion order, stable, both engines.
+
+OpenFlow leaves overlapping same-priority entries undefined; this simulator
+pins them down — the earliest-installed entry wins — and makes the rule
+explicit via the per-entry ``seq`` counter instead of relying on list order
+plus sort stability.  These regressions pin the full contract:
+
+* earliest installed wins, in the interpreter and on the fast path;
+* the winner is stable across unrelated mutations and re-sorts;
+* ``modify`` keeps an entry's seq, so it keeps its place in line;
+* remove + re-add assigns a fresh seq, moving the entry to the back.
+"""
+
+from __future__ import annotations
+
+from repro.openflow.actions import Instructions, Output
+from repro.openflow.fastpath import compile_table
+from repro.openflow.flowtable import FlowEntry, FlowTable
+from repro.openflow.match import Match
+from repro.openflow.packet import Packet
+from repro.openflow.switch import Switch
+
+
+def _overlapping_pair():
+    """Two same-priority entries that both match {a: 1}."""
+    table = FlowTable(0)
+    first = table.add(
+        FlowEntry(Match(a=1), Instructions(apply_actions=(Output(1),)), 5)
+    )
+    second = table.add(
+        FlowEntry(Match(), Instructions(apply_actions=(Output(2),)), 5)
+    )
+    return table, first, second
+
+
+def _winner(table):
+    return table.lookup({"a": 1, "in_port": 1, "metadata": 0})
+
+
+def _fast_winner(table):
+    compiled = compile_table(table).lookup({"a": 1}, 1, 0)
+    return None if compiled is None else compiled.entry
+
+
+def test_earliest_installed_wins():
+    table, first, _second = _overlapping_pair()
+    assert _winner(table) is first
+    assert _fast_winner(table) is first
+
+
+def test_winner_stable_across_unrelated_mutations():
+    table, first, _second = _overlapping_pair()
+    assert _winner(table) is first
+    extra = table.add(
+        FlowEntry(Match(b=9), Instructions(apply_actions=(Output(3),)), 5)
+    )
+    table.remove(match=Match(b=9))
+    assert extra not in list(table.entries())
+    assert _winner(table) is first
+    assert _fast_winner(table) is first
+
+
+def test_modify_keeps_position():
+    table, first, second = _overlapping_pair()
+    table.modify(Match(a=1), Instructions(apply_actions=(Output(4),)))
+    assert first.seq < second.seq
+    winner = _winner(table)
+    assert winner is first
+    assert winner.instructions.apply_actions == (Output(4),)
+    assert _fast_winner(table) is first
+
+
+def test_remove_and_readd_moves_to_back():
+    table, first, second = _overlapping_pair()
+    table.remove(match=Match(a=1))
+    readded = table.add(
+        FlowEntry(Match(a=1), Instructions(apply_actions=(Output(1),)), 5)
+    )
+    assert readded.seq > second.seq
+    assert _winner(table) is second  # the survivor is now earliest
+    assert _fast_winner(table) is second
+    assert first.seq != readded.seq
+
+
+def test_higher_priority_still_beats_earlier_seq():
+    table, _first, _second = _overlapping_pair()
+    high = table.add(
+        FlowEntry(Match(a=1), Instructions(apply_actions=(Output(9),)), 7)
+    )
+    assert _winner(table) is high
+    assert _fast_winner(table) is high
+
+
+def test_tie_break_identical_on_both_switch_engines():
+    """End to end through Switch.process: three same-priority overlapping
+    entries; both engines forward out the earliest-installed port."""
+    for fast_path in (False, True):
+        switch = Switch(node_id=0, num_ports=4, fast_path=fast_path)
+        for port in (1, 2, 3):
+            switch.install(
+                0,
+                Match(a=1) if port != 2 else Match(),
+                Instructions(apply_actions=(Output(port),)),
+                priority=5,
+            )
+        outputs = switch.process(Packet(fields={"a": 1}), 4)
+        assert [out.port for out in outputs] == [1], f"fast_path={fast_path}"

@@ -1,0 +1,95 @@
+"""Golden-trace corpus: pinned end-to-end observables for seeded scenarios.
+
+The differential suite proves the two switch engines agree *with each
+other*; this corpus pins them against *history*.  Each golden file under
+``tests/golden/`` stores the complete observable dict of one seeded chaos
+scenario (trace JSONL, per-trigger outcomes, full counter snapshot) as
+produced by the fast-path engine.  Any change to traversal semantics,
+packet-id allocation, fault planning, or counter accounting shows up as a
+golden diff — deliberate changes regenerate the corpus with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_traces.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from tests.fastpath_util import run_scenario
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Twelve scenarios: every service × both chaos topologies, profiles and
+#: seeds varied so lossy, partition and blackhole faults all appear.
+SCENARIOS = [
+    ("snapshot", "torus3x3", "lossy", 11),
+    ("snapshot", "complete5", "partition", 42),
+    ("snapshot", "torus3x3", "blackhole", 7),
+    ("anycast", "torus3x3", "partition", 11),
+    ("anycast", "complete5", "lossy", 42),
+    ("anycast", "complete5", "blackhole", 3),
+    ("priocast", "torus3x3", "blackhole", 11),
+    ("priocast", "complete5", "lossy", 7),
+    ("priocast", "torus3x3", "partition", 42),
+    ("blackhole", "torus3x3", "lossy", 42),
+    ("blackhole", "complete5", "blackhole", 11),
+    ("blackhole", "complete5", "partition", 7),
+]
+
+
+def _golden_path(service, topology, profile, seed) -> Path:
+    return GOLDEN_DIR / f"{service}-{topology}-{profile}-s{seed}.json"
+
+
+def _normalize(observables: dict) -> dict:
+    """JSON round-trip, so in-memory tuples compare equal to loaded lists."""
+    return json.loads(json.dumps(observables, sort_keys=True))
+
+
+@pytest.mark.parametrize(
+    "service,topology,profile,seed",
+    SCENARIOS,
+    ids=[f"{s}-{t}-{p}-s{seed}" for s, t, p, seed in SCENARIOS],
+)
+def test_golden_trace(request, service, topology, profile, seed):
+    observed = _normalize(
+        run_scenario(service, topology, profile, seed, fast_path=True)
+    )
+    path = _golden_path(service, topology, profile, seed)
+    if request.config.getoption("--regen"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(observed, indent=2, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"missing golden file {path.name} — run pytest "
+        f"tests/test_golden_traces.py --regen"
+    )
+    golden = json.loads(path.read_text())
+    if observed != golden:
+        for key in golden:
+            assert observed.get(key) == golden[key], (
+                f"golden drift in {path.name}, key {key!r}"
+            )
+    assert observed == golden
+
+
+def test_corpus_is_complete_and_unstale():
+    """Every scenario has a golden file and no orphan files linger."""
+    expected = {
+        _golden_path(*scenario).name for scenario in SCENARIOS
+    }
+    actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert actual == expected
+
+
+def test_corpus_covers_the_grid():
+    services = {s for s, _, _, _ in SCENARIOS}
+    topologies = {t for _, t, _, _ in SCENARIOS}
+    profiles = {p for _, _, p, _ in SCENARIOS}
+    assert services == {"snapshot", "anycast", "priocast", "blackhole"}
+    assert topologies == {"torus3x3", "complete5"}
+    assert profiles == {"lossy", "partition", "blackhole"}
+    assert len(SCENARIOS) == 12
