@@ -1,0 +1,114 @@
+"""Benchmark: sanitizer cost — the full-repo pass must stay inner-loop fast.
+
+``smartsouth sancheck`` runs on every push and is meant to be cheap
+enough to run before every commit, so this bench gates its wall time two
+ways: an absolute ceiling (the full pass over ``src/repro`` in a few
+seconds, CI-runner slack included) and a throughput floor against the
+committed baseline (``benchmarks/baselines/sancheck_baseline.json``),
+which catches a rule accidentally going quadratic long before the
+ceiling would.
+
+After an intentional cost change, regenerate the baseline with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sancheck.py \
+        --update-sancheck-baseline
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.static import build_models, analyze_models, run_sancheck
+from repro.analysis.static.doublerun import scenario_digests
+from repro.analysis.static.runner import default_scan_root
+from repro.net.scenario import GOLDEN_SCENARIOS
+
+from conftest import fmt_row
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "sancheck_baseline.json"
+#: Hard ceiling on one full static pass (absolute, generous for slow CI).
+GATE_SECONDS = 10.0
+#: Fail if measured files/s drops below this fraction of the baseline.
+REGRESSION_TOLERANCE = 0.5
+WIDTHS = (26, 10, 12, 12)
+
+
+def _load_baseline() -> dict:
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def test_full_repo_pass(benchmark, emit, request):
+    """One complete sancheck over src/repro: parse, rules, baseline."""
+    report = benchmark(run_sancheck)
+    assert report.exit_code == 0, report.format_text()
+    mean = benchmark.stats.stats.mean if benchmark.stats is not None else 0.0
+    rate = report.files / mean if mean else float("inf")
+
+    emit("\n=== bench_sancheck: full static pass over src/repro ===")
+    emit(fmt_row(["metric", "files", "mean (s)", "files/s"], WIDTHS))
+    emit(fmt_row(
+        ["full pass", report.files, f"{mean:.3f}", f"{rate:.0f}"], WIDTHS
+    ))
+
+    assert mean < GATE_SECONDS, (
+        f"sancheck took {mean:.2f}s — no longer inner-loop fast"
+    )
+    if request.config.getoption("--update-sancheck-baseline"):
+        BASELINE_PATH.write_text(json.dumps(
+            {
+                "description": (
+                    "Committed sanitizer throughput baseline for "
+                    "bench_sancheck.py. files_per_second is set well under "
+                    "a quiet-machine measurement to absorb runner noise; "
+                    "the bench fails below "
+                    f"{REGRESSION_TOLERANCE:.0%} of it. Regenerate with: "
+                    "PYTHONPATH=src python -m pytest "
+                    "benchmarks/bench_sancheck.py --update-sancheck-baseline"
+                ),
+                "files_per_second": round(rate / 2.0, 1),
+            },
+            indent=2, sort_keys=True,
+        ) + "\n")
+        return
+    floor = _load_baseline()["files_per_second"] * REGRESSION_TOLERANCE
+    assert rate > floor, (
+        f"sancheck throughput regressed: {rate:.0f} files/s < floor "
+        f"{floor:.0f} (baseline x {REGRESSION_TOLERANCE})"
+    )
+
+
+def test_phase_split(emit):
+    """Where the time goes: parsing+model building vs running the rules."""
+    root = default_scan_root()
+    started = time.perf_counter()
+    models = build_models(root)
+    parse_s = time.perf_counter() - started
+    started = time.perf_counter()
+    findings, rules_run = analyze_models(models)
+    rules_s = time.perf_counter() - started
+
+    emit("\n=== bench_sancheck: phase split ===")
+    emit(fmt_row(["phase", "files", "time (s)", "share"], WIDTHS))
+    total = parse_s + rules_s
+    for phase, elapsed in (("parse + model", parse_s), ("rules", rules_s)):
+        emit(fmt_row(
+            [phase, len(models), f"{elapsed:.3f}",
+             f"{elapsed / total:.0%}" if total else "-"], WIDTHS,
+        ))
+    assert len(rules_run) >= 10
+    assert total < GATE_SECONDS
+
+
+def test_single_scenario_digest_cost(benchmark, emit):
+    """The double-run gate's unit of work: one scenario, hashed."""
+    scenario = GOLDEN_SCENARIOS[0]
+    digests = benchmark(lambda: scenario_digests((scenario,)))
+    assert len(digests) == 1
+    mean = benchmark.stats.stats.mean if benchmark.stats is not None else 0.0
+    emit("\n=== bench_sancheck: double-run unit cost ===")
+    emit(fmt_row(
+        ["one scenario digest", 1, f"{mean:.3f}",
+         f"x{2 * len(GOLDEN_SCENARIOS)} per gate"], WIDTHS,
+    ))

@@ -19,6 +19,13 @@ def pytest_addoption(parser):
         help="Rewrite benchmarks/baselines/fastpath_baseline.json with the "
         "speedups measured in this run (use after an intentional change).",
     )
+    parser.addoption(
+        "--update-sancheck-baseline",
+        action="store_true",
+        default=False,
+        help="Rewrite benchmarks/baselines/sancheck_baseline.json with the "
+        "throughput measured in this run (use after an intentional change).",
+    )
 
 
 @pytest.fixture

@@ -1,6 +1,9 @@
 """Analysis tools: graph algorithms, Table 2 closed forms, symbolic
-header-space analysis, lint rules, rule-set verification, and stateful
-model checking with replayable counterexamples."""
+header-space analysis, lint rules, rule-set verification, stateful
+model checking with replayable counterexamples, and the determinism &
+shared-state sanitizer over the repro source itself
+(:mod:`repro.analysis.static`, kept out of this namespace so importing
+the analysis layer does not drag in the scenario runner)."""
 
 from repro.analysis.complexity import (
     dfs_message_count,

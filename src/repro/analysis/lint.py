@@ -139,6 +139,7 @@ def lint_rule(
     def register(func):
         if rule_id in LINT_RULES:
             raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        # repro: allow[RACE001] import-time rule registration, frozen before use
         LINT_RULES[rule_id] = LintRule(
             rule_id=rule_id,
             name=name,

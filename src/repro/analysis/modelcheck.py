@@ -751,6 +751,7 @@ def invariant(invariant_id: str, name: str, scope: str):
     def register(func: Callable) -> Callable:
         if invariant_id in INVARIANTS:
             raise ValueError(f"duplicate invariant id {invariant_id}")
+        # repro: allow[RACE001] import-time invariant registration, frozen before use
         INVARIANTS[invariant_id] = Invariant(
             invariant_id, name, scope, (func.__doc__ or "").strip(), func
         )
@@ -1783,6 +1784,7 @@ class CheckReport:
                 ],
             },
             indent=2,
+            sort_keys=True,
             default=str,
         )
 

@@ -1,0 +1,238 @@
+"""Findings, rule metadata, and the report for the source sanitizer.
+
+Mirrors the shape of the flow-rule lint layer (:mod:`repro.analysis.lint`):
+stable rule ids (``DET001`` …, ``RACE001`` …), a severity per rule, a fix
+hint on every finding, and one report object that renders to text or JSON.
+The difference is the subject — these findings point at *Python source
+lines* of the reproduction itself, so each carries a path, line, column,
+enclosing scope, and the stripped source line (the baseline key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+_SEVERITIES = (SEVERITY_ERROR, SEVERITY_WARNING, SEVERITY_INFO)
+
+
+@dataclass(frozen=True)
+class SanFinding:
+    """One determinism / shared-state diagnosis at a source location."""
+
+    rule: str
+    name: str
+    severity: str
+    message: str
+    path: str
+    line: int
+    col: int
+    #: Dotted enclosing scope (``<module>``, ``ClassName.method``, …).
+    scope: str
+    #: The stripped source line — part of the baseline key, so baselines
+    #: survive line-number drift.
+    code: str
+    fix_hint: str = ""
+    #: Silenced by a ``# repro: allow[RULE]`` comment at the site.
+    suppressed: bool = False
+    #: Matched an entry of the committed baseline file.
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        """Does this finding fail the gate (new: not suppressed/baselined)?"""
+        return not (self.suppressed or self.baselined)
+
+    def key(self) -> tuple[str, str, str, str]:
+        """The baseline identity: (rule, path, scope, stripped line)."""
+        return (self.rule, self.path, self.scope, self.code)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": self.severity,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "scope": self.scope,
+            "code": self.code,
+            "fix_hint": self.fix_hint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    def format(self) -> str:
+        status = ""
+        if self.suppressed:
+            status = " (suppressed)"
+        elif self.baselined:
+            status = " (baselined)"
+        line = (
+            f"{self.severity}[{self.rule}] {self.path}:{self.line}:{self.col}"
+            f" in {self.scope}{status}: {self.message}"
+        )
+        if self.code:
+            line += f"\n    {self.code}"
+        if self.fix_hint:
+            line += f"\n    hint: {self.fix_hint}"
+        return line
+
+
+@dataclass(frozen=True)
+class SanRule:
+    """A registered source check: metadata plus the generator running it."""
+
+    rule_id: str
+    name: str
+    severity: str
+    doc: str
+    fix_hint: str
+    func: Callable[..., Iterator[SanFinding]]
+
+    def finding(
+        self,
+        model,
+        node,
+        message: str,
+        fix_hint: str | None = None,
+    ) -> SanFinding:
+        """Build a finding for AST *node* of *model* with this rule's ids."""
+        line = getattr(node, "lineno", 0)
+        return SanFinding(
+            rule=self.rule_id,
+            name=self.name,
+            severity=self.severity,
+            message=message,
+            path=model.relpath,
+            line=line,
+            col=getattr(node, "col_offset", 0),
+            scope=model.qualname(node),
+            code=model.line(line),
+            fix_hint=self.fix_hint if fix_hint is None else fix_hint,
+        )
+
+
+#: rule id -> SanRule, in registration order.
+# repro: allow[RACE001] import-time rule registry, mutated only by decorators
+SAN_RULES: dict[str, SanRule] = {}
+
+
+def san_rule(
+    rule_id: str, name: str, severity: str, fix_hint: str = ""
+) -> Callable:
+    """Register a sanitizer check (the ``lint_rule`` pattern).
+
+    The decorated generator receives ``(model, rule)`` — a parsed
+    :class:`~repro.analysis.static.walker.ModuleModel` and its own
+    :class:`SanRule` — and yields findings, usually via ``rule.finding``.
+    ``DET``/``RACE`` ids are reserved for the built-ins.
+    """
+    if severity not in _SEVERITIES:
+        raise ValueError(f"unknown severity {severity!r}")
+
+    def register(func):
+        if rule_id in SAN_RULES:
+            raise ValueError(f"duplicate sanitizer rule id {rule_id!r}")
+        # repro: allow[RACE001] import-time rule registry
+        SAN_RULES[rule_id] = SanRule(
+            rule_id=rule_id,
+            name=name,
+            severity=severity,
+            doc=(func.__doc__ or "").strip(),
+            fix_hint=fix_hint,
+            func=func,
+        )
+        return func
+
+    return register
+
+
+@dataclass
+class SanReport:
+    """All findings of one run plus the gate verdict."""
+
+    findings: list[SanFinding]
+    files: int
+    rules_run: list[str]
+    root: str = ""
+    baseline_path: str | None = None
+    #: Baseline entries no finding matched (candidates for pruning).
+    stale_baseline: list[dict] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[SanFinding]:
+        return [f for f in self.findings if f.active]
+
+    @property
+    def suppressed(self) -> list[SanFinding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def baselined(self) -> list[SanFinding]:
+        return [f for f in self.findings if f.baselined]
+
+    @property
+    def exit_code(self) -> int:
+        """1 = new findings (the gate fails), 0 = clean.
+
+        Unlike the flow-rule lint there is no warnings-only exit: CI's
+        contract is "no *new* findings of any severity vs the baseline".
+        """
+        return 1 if self.active else 0
+
+    def summary(self) -> str:
+        return (
+            f"sancheck: {len(self.active)} new, "
+            f"{len(self.baselined)} baselined, "
+            f"{len(self.suppressed)} suppressed finding(s) "
+            f"across {self.files} file(s)"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "root": self.root,
+            "baseline": self.baseline_path,
+            "summary": {
+                "new": len(self.active),
+                "baselined": len(self.baselined),
+                "suppressed": len(self.suppressed),
+                "files": self.files,
+                "rules_run": self.rules_run,
+            },
+            "stale_baseline": self.stale_baseline,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def format_text(self, show_silenced: bool = False) -> str:
+        order = {SEVERITY_ERROR: 0, SEVERITY_WARNING: 1, SEVERITY_INFO: 2}
+        lines = []
+        shown = self.findings if show_silenced else self.active
+        for finding in sorted(
+            shown, key=lambda f: (order[f.severity], f.rule, f.path, f.line)
+        ):
+            lines.append(finding.format())
+        for entry in self.stale_baseline:
+            lines.append(
+                f"note: stale baseline entry {entry['rule']} "
+                f"{entry['path']} ({entry['scope']}) — prune it"
+            )
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+
+__all__ = [
+    "SAN_RULES",
+    "SEVERITY_ERROR",
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "SanFinding",
+    "SanReport",
+    "SanRule",
+    "replace",
+    "san_rule",
+]

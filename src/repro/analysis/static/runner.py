@@ -1,0 +1,94 @@
+"""Drive the sanitizer: parse → rules → suppressions → baseline → report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.static import rules as _rules  # noqa: F401 - registers
+from repro.analysis.static.baseline import (
+    apply_baseline,
+    discover_baseline,
+    load_baseline,
+)
+from repro.analysis.static.findings import (
+    SAN_RULES,
+    SanFinding,
+    SanReport,
+    replace,
+)
+from repro.analysis.static.walker import ModuleModel, build_models
+
+
+@dataclass(frozen=True)
+class SanConfig:
+    """Knobs for one sanitizer run (CLI flags map straight onto these)."""
+
+    disable: frozenset[str] = frozenset()
+    #: Restrict the run to these rule ids (None = all registered).
+    rules: tuple[str, ...] | None = None
+
+
+def default_scan_root() -> Path:
+    """The installed ``repro`` package directory (the repro source)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def analyze_models(
+    models: Iterable[ModuleModel], config: SanConfig | None = None
+) -> tuple[list[SanFinding], list[str]]:
+    """Run the selected rules over parsed modules; apply suppressions."""
+    config = config or SanConfig()
+    selected = [
+        SAN_RULES[rule_id]
+        for rule_id in (config.rules if config.rules is not None else SAN_RULES)
+        if rule_id in SAN_RULES and rule_id not in config.disable
+    ]
+    findings: list[SanFinding] = []
+    for model in models:
+        for rule in selected:
+            for finding in rule.func(model, rule):
+                if model.is_suppressed(finding.line, finding.rule):
+                    finding = replace(finding, suppressed=True)
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings, [rule.rule_id for rule in selected]
+
+
+def run_sancheck(
+    root: Path | None = None,
+    rel_base: Path | None = None,
+    baseline_path: Path | None = None,
+    config: SanConfig | None = None,
+    use_baseline: bool = True,
+) -> SanReport:
+    """Analyze the source tree under *root* and gate against the baseline.
+
+    *root* defaults to the installed ``repro`` package; *baseline_path*
+    defaults to the nearest ``sancheck-baseline.json`` above it (none found
+    means no baseline, so every finding is new).
+    """
+    root = (root or default_scan_root()).resolve()
+    models = build_models(root, rel_base=rel_base)
+    findings, rules_run = analyze_models(models, config)
+    stale: list[dict] = []
+    resolved_baseline: Path | None = None
+    if use_baseline:
+        resolved_baseline = (
+            Path(baseline_path) if baseline_path else discover_baseline(root)
+        )
+        if resolved_baseline is not None and resolved_baseline.is_file():
+            findings, stale = apply_baseline(
+                findings, load_baseline(resolved_baseline)
+            )
+    return SanReport(
+        findings=findings,
+        files=len(models),
+        rules_run=rules_run,
+        root=str(root),
+        baseline_path=str(resolved_baseline) if resolved_baseline else None,
+        stale_baseline=stale,
+    )

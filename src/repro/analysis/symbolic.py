@@ -123,6 +123,7 @@ class FieldWidths:
         """(in_port test or None, finitized non-in_port (name, value, mask)
         triples) for *match* — memoized, since the propagation loop
         intersects the same entry matches against thousands of cubes."""
+        # repro: allow[DET006] in-process memo key; `is` check guards id reuse
         cached = self._parts_cache.get(id(match))
         if cached is not None and cached[0] is match:
             return cached[1], cached[2]
@@ -138,6 +139,7 @@ class FieldWidths:
             if mask is None:
                 mask = full_mask(self.width(test.name), test.value)
             parts.append((test.name, test.value, mask))
+        # repro: allow[DET006] same memo key as the lookup above
         self._parts_cache[id(match)] = (match, in_port_test, parts)
         return in_port_test, parts
 

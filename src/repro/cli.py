@@ -86,13 +86,13 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
 
 
 def cmd_loadaudit(args: argparse.Namespace) -> int:
-    import random as _random
+    from repro.core.determinism import seeded_rng
 
     topo = build_topology(args)
     network = Network(topo, seed=args.seed)
     runtime = SmartSouthRuntime(network)  # interpreted-only feature
     monitor = runtime.load_monitor(tuple(int(m) for m in args.moduli.split(",")))
-    rng = _random.Random(args.seed)
+    rng = seeded_rng(args.seed)
     loads = {
         (edge.a.node, edge.a.port): rng.randrange(0, args.max_load)
         for edge in topo.edges()
@@ -244,7 +244,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
             ],
             "summary": {"errors": len(errors), "warnings": len(warnings)},
         }
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(f"verified {args.service} on {topo.name}: "
               f"{engine.total_rules()} rules, {engine.total_groups()} groups, "
@@ -275,11 +275,60 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if getattr(args, "json", False):
         payload = report.to_json()
         payload["topology"] = topo.name
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(f"lint {args.service} on {topo.name}:")
         print(report.format_text())
     return report.exit_code
+
+
+def cmd_sancheck(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis.static import SanConfig, run_sancheck, write_baseline
+
+    config = SanConfig(disable=frozenset(args.disable or []))
+    root = Path(args.root) if args.root else None
+    baseline = Path(args.baseline) if args.baseline else None
+    report = run_sancheck(
+        root=root,
+        baseline_path=baseline,
+        config=config,
+        use_baseline=not args.no_baseline,
+    )
+    if args.write_baseline:
+        target = baseline or Path(
+            report.baseline_path or "sancheck-baseline.json"
+        )
+        unsuppressed = [f for f in report.findings if not f.suppressed]
+        write_baseline(target, unsuppressed)
+        print(f"wrote {len(unsuppressed)} finding(s) to {target}")
+        return 0
+
+    exit_code = report.exit_code
+    payload = report.to_json()
+    if args.double_run:
+        from repro.analysis.static import double_run
+
+        gate = double_run()
+        payload["double_run"] = gate.to_dict()
+        if not gate.ok:
+            exit_code = 1
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.format_text(show_silenced=args.show_silenced))
+        if args.double_run:
+            print_gate = payload["double_run"]
+            print(f"double-run gate: {'OK' if print_gate['ok'] else 'FAILED'} "
+                  f"({len(print_gate['scenarios'])} scenario(s), "
+                  f"hash seeds {print_gate['hash_seeds']})")
+            for mismatch in print_gate["mismatches"]:
+                print(f"  MISMATCH {mismatch}")
+            for error in print_gate["errors"]:
+                print(f"  error: {error}")
+    return exit_code
 
 
 def _build_check_service(args: argparse.Namespace, topo: Topology):
@@ -322,7 +371,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     if getattr(args, "json", False):
         payload = json.loads(report.to_json())
         payload["topology"] = topo.name
-        print(json.dumps(payload, indent=2))
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(f"check {args.service} on {topo.name}:")
         print(report.format_text(topo))
@@ -486,6 +535,44 @@ def make_parser() -> argparse.ArgumentParser:
         help="comma-separated roots to walk from (default: every node)",
     )
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "sancheck",
+        help="determinism & shared-state sanitizer over the repro source",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="emit the full report as JSON")
+    p.add_argument(
+        "--root", default=None,
+        help="directory or file to scan (default: the repro package)",
+    )
+    p.add_argument(
+        "--baseline", default=None,
+        help="baseline file (default: nearest sancheck-baseline.json "
+        "above the scan root)",
+    )
+    p.add_argument(
+        "--no-baseline", action="store_true", dest="no_baseline",
+        help="ignore any baseline: report every finding as new",
+    )
+    p.add_argument(
+        "--write-baseline", action="store_true", dest="write_baseline",
+        help="write current unsuppressed findings as the new baseline",
+    )
+    p.add_argument(
+        "--show-silenced", action="store_true", dest="show_silenced",
+        help="also list suppressed and baselined findings",
+    )
+    p.add_argument(
+        "--disable", action="append", metavar="RULE",
+        help="disable a sanitizer rule id, e.g. DET005 (repeatable)",
+    )
+    p.add_argument(
+        "--double-run", action="store_true", dest="double_run",
+        help="also run the PYTHONHASHSEED double-run gate over the "
+        "golden scenario matrix (two subprocesses)",
+    )
+    p.set_defaults(fn=cmd_sancheck)
 
     p = sub.add_parser(
         "check",

@@ -437,7 +437,7 @@ class TraversalSupervisor:
     def terminal_nodes(self, outcome: SupervisedOutcome) -> set[int]:
         """Last node each supervised packet was seen at (suspect anchors)."""
         ids = {pid for a in outcome.attempts for pid in a.packet_ids}
-        last: dict[int, int] = {pid: outcome.root for pid in ids}
+        last: dict[int, int] = {pid: outcome.root for pid in sorted(ids)}
         for event in self.network.trace.events(EventKind.HOP):
             if event.packet_id in last and event.detail:
                 last[event.packet_id] = event.detail[2]

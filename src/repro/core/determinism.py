@@ -1,0 +1,82 @@
+"""The one place this codebase is allowed to touch randomness or clocks.
+
+Every pillar of the reproduction — golden traces, counterexample replay,
+seeded chaos, the fast-path differential suite — rests on runs being
+bit-for-bit deterministic, and the roadmap's sharded simulator will demand
+that determinism *per worker process*.  So randomness and time are
+centralized here:
+
+* **Randomness** comes only from :func:`seeded_rng` (a fresh
+  ``random.Random`` with an explicit seed — never the process-global RNG,
+  never OS entropy) or from :func:`derive_rng`, which derives stable
+  sub-seeds from a master seed and string labels.  Sub-seed derivation uses
+  SHA-256, *not* the builtin ``hash()``, so it is identical across
+  processes and ``PYTHONHASHSEED`` values — a requirement once seeds are
+  dealt out to shard workers.
+* **Time** is the simulator's virtual clock (``network.sim.now``) or the
+  packet-step logical clock (``network.packet_steps``); wall-clock reads
+  are confined to :func:`wall_clock`, which exists for benchmark harnesses
+  and must never feed a trace, result payload, or seed.
+
+The static analyzer (:mod:`repro.analysis.static`) enforces this split:
+``DET001``/``DET003`` flag direct RNG and clock access everywhere *except*
+this module, which is the allowlisted provider.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+#: The RNG type handed out by this module (an alias so call sites can
+#: annotate without importing :mod:`random` themselves).
+Rng = random.Random
+
+_SEED_MASK = (1 << 63) - 1
+
+
+def seeded_rng(seed: int) -> Rng:
+    """A fresh deterministic RNG stream for *seed*.
+
+    ``None`` is rejected on purpose: ``random.Random(None)`` silently falls
+    back to OS entropy, which is exactly the hazard this module exists to
+    prevent.
+    """
+    if seed is None:
+        raise ValueError(
+            "refusing an unseeded RNG: pass an explicit integer seed "
+            "(random.Random(None) would read OS entropy)"
+        )
+    return random.Random(seed)
+
+
+def derive_seed(master: int, *labels: object) -> int:
+    """A stable sub-seed from *master* and any hashable-as-text labels.
+
+    The derivation is ``SHA-256(master ':' label ':' label ...)`` truncated
+    to 63 bits: independent labels give independent streams, and the result
+    is identical in every process regardless of ``PYTHONHASHSEED`` —
+    builtin ``hash()`` would not be.
+    """
+    digest = hashlib.sha256(
+        ":".join([str(int(master)), *(str(label) for label in labels)]).encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big") & _SEED_MASK
+
+
+def derive_rng(master: int, *labels: object) -> Rng:
+    """A fresh RNG on the sub-seed :func:`derive_seed` gives for *labels*."""
+    return seeded_rng(derive_seed(master, *labels))
+
+
+def wall_clock() -> float:
+    """The explicit wall-clock escape hatch (``time.perf_counter``).
+
+    Benchmark harnesses may time real work with this; simulation code,
+    services, and anything whose output is traced, asserted, or serialized
+    must use the virtual clock instead.  Keeping the only wall-clock read
+    in this module is what lets ``DET003`` flag every other one.
+    """
+    import time
+
+    return time.perf_counter()

@@ -29,9 +29,10 @@ regression gate.
 from __future__ import annotations
 
 import json
-import random
 from dataclasses import dataclass, field
 from typing import Callable
+
+from repro.core.determinism import Rng, seeded_rng
 
 from repro.control.channel import ControlChannel
 from repro.control.supervisor import (
@@ -229,7 +230,7 @@ def _plan_faults(
     profile: FaultProfile,
     service: str,
     root: int,
-    rng: random.Random,
+    rng: Rng,
     channel: ControlChannel | None,
 ) -> list[str]:
     """Draw and apply one run's faults; returns their descriptions.
@@ -330,7 +331,7 @@ def _is_articulation(network: Network, node: int) -> bool:
         return False
     for u in adjacency:
         adjacency[u] = adjacency[u] - {node}
-    start = next(iter(others))
+    start = min(others)  # any member works; min() keeps it hash-order-free
     reachable = _component(adjacency, start) & others
     return reachable != others
 
@@ -510,7 +511,7 @@ def run_one(
     profile = PROFILES[profile_name]
     topology = TOPOLOGIES[topology_name]()
     network = Network(topology, seed=run_seed)
-    plan_rng = random.Random(run_seed ^ 0x9E3779B9)
+    plan_rng = seeded_rng(run_seed ^ 0x9E3779B9)
     root = plan_rng.randrange(topology.num_nodes)
 
     channel = None

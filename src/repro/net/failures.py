@@ -9,10 +9,10 @@ scripts build scenarios the same way (and stay seed-reproducible).
 from __future__ import annotations
 
 import math
-import random
 from itertools import combinations
 from typing import Iterable
 
+from repro.core.determinism import seeded_rng
 from repro.net.simulator import Network
 from repro.net.topology import Topology
 
@@ -44,7 +44,7 @@ def fail_random_links(
         raise ValueError(
             f"cannot fail {count} of {topology.num_edges} links"
         )
-    rng = network.rng if seed is None else random.Random(seed)
+    rng = network.rng if seed is None else seeded_rng(seed)
     for _attempt in range(attempts):
         chosen = rng.sample(range(topology.num_edges), count)
         if not keep_connected or _connected_without(topology, chosen):
@@ -155,7 +155,7 @@ def management_outage(
     if not 0.0 <= fraction <= 1.0:
         raise ValueError("fraction must be in [0, 1]")
     topology = channel.network.topology
-    rng = channel.network.rng if seed is None else random.Random(seed)
+    rng = channel.network.rng if seed is None else seeded_rng(seed)
     count = int(round(fraction * topology.num_nodes))
     chosen = rng.sample(list(topology.nodes()), count)
     for node in chosen:

@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-import random
 from typing import Callable, Iterable
 
+from repro.core.determinism import seeded_rng
 from repro.net.link import Direction, Link
 from repro.net.topology import Topology
 from repro.net.trace import EventKind, Trace, TraceEvent
@@ -98,7 +98,7 @@ class Network:
         self.links: list[Link] = [Link(edge) for edge in topology.edges()]
         self.sim = Simulator()
         self.trace = Trace()
-        self.rng = random.Random(seed)
+        self.rng = seeded_rng(seed)
         self._handlers: dict[int, Handler] = {}
         self._controller_sink: ControllerSink | None = None
         self._delivery_sink: DeliverySink | None = None

@@ -13,9 +13,10 @@ ports, and the traversal handles them like any other edge).
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator
+
+from repro.core.determinism import seeded_rng
 
 
 class TopologyError(Exception):
@@ -296,7 +297,7 @@ def erdos_renyi(n: int, p: float, seed: int = 0, connect: bool = True) -> Topolo
     are defined per connected component, and most experiments want a single
     component.
     """
-    rng = random.Random(seed)
+    rng = seeded_rng(seed)
     topo = Topology(n, name=f"gnp-{n}-{p}-s{seed}")
     present: set[frozenset[int]] = set()
     if connect and n > 1:
@@ -320,7 +321,7 @@ def barabasi_albert(n: int, m: int, seed: int = 0) -> Topology:
     """A preferential-attachment graph: each new node attaches to *m* others."""
     if m < 1 or n <= m:
         raise TopologyError("barabasi_albert needs n > m >= 1")
-    rng = random.Random(seed)
+    rng = seeded_rng(seed)
     topo = Topology(n, name=f"ba-{n}-{m}-s{seed}")
     # Seed clique on the first m+1 nodes keeps early attachment well-defined.
     targets: list[int] = []
@@ -332,7 +333,7 @@ def barabasi_albert(n: int, m: int, seed: int = 0) -> Topology:
         chosen: set[int] = set()
         while len(chosen) < m:
             chosen.add(rng.choice(targets))
-        for v in chosen:
+        for v in sorted(chosen):
             topo.add_link(u, v)
             targets.extend((u, v))
     return topo
@@ -346,7 +347,7 @@ def waxman(
     connect: bool = True,
 ) -> Topology:
     """A Waxman random geometric graph on the unit square."""
-    rng = random.Random(seed)
+    rng = seeded_rng(seed)
     topo = Topology(n, name=f"waxman-{n}-s{seed}")
     coords = [(rng.random(), rng.random()) for _ in range(n)]
     scale = math.sqrt(2.0)
@@ -392,7 +393,7 @@ def random_regular(n: int, degree: int, seed: int = 0) -> Topology:
         raise TopologyError("random_regular needs 2 <= degree < n")
     if (n * degree) % 2:
         raise TopologyError("n * degree must be even")
-    rng = random.Random(seed)
+    rng = seeded_rng(seed)
     for _attempt in range(1000):
         stubs = [node for node in range(n) for _ in range(degree)]
         rng.shuffle(stubs)

@@ -1,180 +1,17 @@
-"""Scenario runner for the fast-path differential and golden-trace suites.
+"""Back-compat shim: the scenario runner now lives in the package.
 
-One *scenario* is a fully seeded run: a service, a chaos topology, a fault
-profile, and a seed.  :func:`run_scenario` executes it on one switch engine
-(interpreted or fast path) and returns every observable as one
-JSON-serializable dict — the full event trace, per-trigger outcomes, and a
-complete counters snapshot (per-entry, per-group, per-bucket, round-robin
-cursors).  Two engines are *byte-identical* on a scenario iff their
-observable dicts (and hence their JSON encodings) are equal.
-
-Determinism notes:
-
-* Packet ids are global allocation order, so every run starts with
-  :func:`~repro.openflow.packet.reset_packet_ids` — identical behaviour
-  then yields identical ids, and they are compared, not masked.
-* Fault plans draw from a seed-derived RNG (the chaos harness's
-  ``_plan_faults``); the same seed produces the same plan on both engines.
-* Link loss/jitter draws come from the network's own seeded RNG *during*
-  the run, so the draw sequence — and everything after it — stays identical
-  only while both engines emit exactly the same packets in the same order.
-  A divergence amplifies instead of averaging out, which is the point.
+The fast-path differential and golden-trace suites predate
+:mod:`repro.net.scenario`; the runner moved into the package so the
+double-run determinism gate (:mod:`repro.analysis.static.doublerun`) can
+execute the same scenarios in clean subprocesses.  This module re-exports
+the public names so older imports keep working.
 """
 
 from __future__ import annotations
 
-import random
-
-from repro.core.engine import make_engine
-from repro.core.fields import FIELD_GID, FIELD_REPEAT
-from repro.core.services.anycast import AnycastService, PriocastService
-from repro.core.services.blackhole import (
-    REPEAT_PROBE,
-    REPEAT_VERIFY,
-    BlackholeService,
+from repro.net.scenario import (  # noqa: F401 - re-exports
+    GOLDEN_SCENARIOS,
+    SERVICES,
+    counters_snapshot,
+    run_scenario,
 )
-from repro.core.services.snapshot import SnapshotService
-from repro.net.chaos import PROFILES, TOPOLOGIES, _plan_faults
-from repro.net.simulator import Network
-from repro.openflow.packet import reset_packet_ids
-
-#: The services the differential matrix covers (the ISSUE's service list).
-SERVICES = ("snapshot", "anycast", "priocast", "blackhole")
-
-#: Mixed into the scenario seed for fault planning (the chaos harness's
-#: constant, so fault plans look like chaos campaign plans).
-_PLAN_SALT = 0x9E3779B9
-
-
-def _build_run(service_name: str, topology, root: int, rng: random.Random):
-    """The service instance and its trigger list for one scenario.
-
-    Returns ``(service, triggers)`` where each trigger is
-    ``(fields, from_controller)``.
-    """
-    others = [n for n in topology.nodes() if n != root]
-    if service_name == "snapshot":
-        return SnapshotService(), [({}, True)]
-    if service_name == "anycast":
-        members = set(rng.sample(others, min(2, len(others))))
-        return AnycastService({2: members}), [({FIELD_GID: 2}, False)]
-    if service_name == "priocast":
-        chosen = rng.sample(others, min(3, len(others)))
-        priorities = {2: {node: rng.randint(1, 255) for node in chosen}}
-        return PriocastService(priorities), [({FIELD_GID: 2}, False)]
-    if service_name == "blackhole":
-        # Probe then verify: the two-phase smart-counter detection, which
-        # exercises SELECT round-robin cursors across triggers.
-        return BlackholeService(), [
-            ({FIELD_REPEAT: REPEAT_PROBE}, True),
-            ({FIELD_REPEAT: REPEAT_VERIFY}, True),
-        ]
-    raise ValueError(f"unknown scenario service {service_name!r}")
-
-
-def _packet_view(packet) -> dict:
-    return {
-        "packet_id": packet.packet_id,
-        "hops": packet.hops,
-        "fields": sorted(packet.fields.items()),
-        "stack": [list(record) for record in packet.stack],
-    }
-
-
-def _result_view(result) -> dict:
-    return {
-        "root": result.root,
-        "reports": [
-            [node, _packet_view(packet)] for node, packet in result.reports
-        ],
-        "deliveries": [
-            [node, _packet_view(packet)] for node, packet in result.deliveries
-        ],
-        "in_band_messages": result.in_band_messages,
-        "out_band_messages": result.out_band_messages,
-    }
-
-
-def counters_snapshot(switch) -> dict:
-    """Every OpenFlow counter a switch exposes, in deterministic order."""
-    entries = [
-        [
-            table_id,
-            entry.seq,
-            entry.priority,
-            entry.cookie,
-            entry.packet_count,
-        ]
-        for table_id, entry in switch.iter_entries()
-    ]
-    groups = [
-        [
-            group.group_id,
-            group.group_type.value,
-            group.packet_count,
-            group.rr_next,
-            [bucket.packet_count for bucket in group.buckets],
-        ]
-        for group in switch.groups.groups()
-    ]
-    return {
-        "packets_processed": switch.packets_processed,
-        "table_misses": switch.table_misses,
-        "entries": entries,
-        "groups": groups,
-    }
-
-
-def run_scenario(
-    service_name: str,
-    topology_name: str,
-    profile_name: str,
-    seed: int,
-    fast_path: bool,
-) -> dict:
-    """Run one seeded chaos scenario on one engine; return its observables."""
-    reset_packet_ids()
-    topology = TOPOLOGIES[topology_name]()
-    network = Network(topology, seed=seed, fast_path=fast_path)
-    plan_rng = random.Random(seed ^ _PLAN_SALT)
-    root = plan_rng.randrange(topology.num_nodes)
-    faults = _plan_faults(
-        network, PROFILES[profile_name], service_name, root, plan_rng, None
-    )
-    service, triggers = _build_run(service_name, topology, root, plan_rng)
-    engine = make_engine(network, service, "compiled", fast_path=fast_path)
-
-    results = []
-    error = None
-    try:
-        for fields, from_controller in triggers:
-            result = engine.trigger(
-                root, fields=dict(fields), from_controller=from_controller
-            )
-            results.append(_result_view(result))
-    except Exception as exc:  # noqa: BLE001 - errors are observables too
-        error = [type(exc).__name__, str(exc)]
-
-    assert all(
-        switch.fast_path_enabled == fast_path
-        for switch in engine.switches.values()
-    ), "engine flag did not reach the switches"
-
-    return {
-        "scenario": {
-            "service": service_name,
-            "topology": topology_name,
-            "profile": profile_name,
-            "seed": seed,
-            "root": root,
-        },
-        "faults": faults,
-        "results": results,
-        "error": error,
-        "trace": network.trace.to_jsonl(),
-        "trace_summary": sorted(network.trace.summary().items()),
-        "counters": {
-            str(node): counters_snapshot(switch)
-            for node, switch in sorted(engine.switches.items())
-        },
-    }

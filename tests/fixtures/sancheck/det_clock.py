@@ -1,0 +1,47 @@
+"""Sanitizer corpus: DET003 (wall-clock reads outside the provider)."""
+
+import datetime
+import time
+from datetime import datetime as dt
+
+from repro.core.determinism import wall_clock
+
+
+def bad_time():
+    return time.time()  # expect[DET003]
+
+
+def bad_perf_counter():
+    return time.perf_counter()  # expect[DET003]
+
+
+def bad_monotonic_ns():
+    return time.monotonic_ns()  # expect[DET003]
+
+
+def bad_datetime_now():
+    return datetime.datetime.now()  # expect[DET003]
+
+
+def bad_aliased_utcnow():
+    return dt.utcnow()  # expect[DET003]
+
+
+def bad_date_today():
+    return datetime.date.today()  # expect[DET003]
+
+
+def good_virtual_clock(network):
+    return network.sim.now
+
+
+def good_provider_escape_hatch():
+    return wall_clock()
+
+
+def good_sleepless_duration(a: float, b: float):
+    return datetime.timedelta(seconds=b - a)
+
+
+def good_constructed_datetime():
+    return datetime.datetime(2014, 10, 27, 12, 0, 0)

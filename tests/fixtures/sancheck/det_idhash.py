@@ -1,0 +1,41 @@
+"""Sanitizer corpus: DET006 (id() escapes) and DET007 (hash() order)."""
+
+
+def bad_id_as_key(cache: dict, obj):
+    cache[id(obj)] = obj  # expect[DET006]
+
+
+def bad_id_as_tag(obj):
+    return f"obj-{id(obj)}"  # expect[DET006]
+
+
+def known_miss_id_sort_key(objects):
+    # A bare `id` passed as a function reference is a real hazard the
+    # rule does not catch (it only sees calls); kept here to document it.
+    return sorted(objects, key=id)
+
+
+def good_id_compare(a, b):
+    # Same-process identity test (better spelled `a is b`) is tolerated.
+    return id(a) == id(b)
+
+
+def bad_hash_bucket(name: str, shards: int):
+    return hash(name) % shards  # expect[DET007]
+
+
+def bad_hash_emitted(record):
+    return {"digest": hash(record)}  # expect[DET007]
+
+
+class Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    def __hash__(self):
+        # Inside __hash__ the interpreter owns the salting contract.
+        return hash((self.x, self.y))
+
+    def __eq__(self, other):
+        return (self.x, self.y) == (other.x, other.y)

@@ -1,0 +1,86 @@
+"""Sanitizer corpus: DET004 (unsorted JSON) and DET005 (set order escapes)."""
+
+import json
+
+
+def bad_dump_dynamic(payload: dict) -> str:
+    return json.dumps(payload)  # expect[DET004]
+
+
+def bad_dump_computed(counters) -> str:
+    data = {key: value for key, value in counters}
+    return json.dumps(data, indent=2)  # expect[DET004]
+
+
+def bad_dump_to_file(payload: dict, fh) -> None:
+    json.dump(payload, fh)  # expect[DET004]
+
+
+def good_sorted_dump(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def good_constant_literal() -> str:
+    # A dict literal's order is part of the source, not of hashing.
+    return json.dumps({"kind": "hop", "node": 3})
+
+
+def good_constant_named() -> str:
+    record = {"kind": "hop", "node": 3}
+    return json.dumps(record)
+
+
+def good_loads(text: str):
+    return json.loads(text)
+
+
+def bad_for_over_set(xs):
+    nodes = set(xs)
+    out = []
+    for node in nodes:  # expect[DET005]
+        out.append(node)
+    return out
+
+
+def bad_listcomp_over_literal():
+    return [n * 2 for n in {1, 2, 3}]  # expect[DET005]
+
+
+def bad_list_of_set(xs):
+    return list(set(xs))  # expect[DET005]
+
+
+def bad_join_over_set():
+    tags = {"a", "b", "c"}
+    return ",".join(tags)  # expect[DET005]
+
+
+def bad_enumerate_union(left, right):
+    members = set(left)
+    return enumerate(members | set(right))  # expect[DET005]
+
+
+def good_sorted_escape(xs):
+    nodes = set(xs)
+    return [n for n in sorted(nodes)]
+
+
+def good_reductions(xs):
+    nodes = set(xs)
+    return len(nodes), sum(nodes), min(nodes), max(nodes), any(nodes)
+
+
+def good_membership(xs, probe):
+    nodes = set(xs)
+    return probe in nodes
+
+
+def good_setcomp(xs):
+    # Set-to-set transforms never expose an order.
+    nodes = set(xs)
+    return {n + 1 for n in nodes}
+
+
+def good_list_of_list(xs):
+    rows = list(xs)
+    return list(rows)

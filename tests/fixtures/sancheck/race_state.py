@@ -1,0 +1,95 @@
+"""Sanitizer corpus: RACE001/RACE002/RACE003 (shared mutable state)."""
+
+REGISTRY: dict = {}
+LIMITS = [10, 20]
+FROZEN = ("a", "b")
+NAMES = frozenset({"x", "y"})
+
+REGISTRY["boot"] = True  # import-time init is exempt
+LIMITS.append(30)  # likewise
+
+
+def bad_register(name, value):
+    REGISTRY[name] = value  # expect[RACE001]
+
+
+def bad_append(value):
+    LIMITS.append(value)  # expect[RACE001]
+
+
+def bad_delete(name):
+    del REGISTRY[name]  # expect[RACE001]
+
+
+def bad_global_augment():
+    global LIMITS
+    LIMITS += [40]  # expect[RACE001]
+
+
+def good_local_shadow():
+    REGISTRY = {}
+    REGISTRY["x"] = 1
+    return REGISTRY
+
+
+def good_param_shadow(LIMITS):
+    LIMITS.append(99)
+    return LIMITS
+
+
+def good_read_only(name):
+    return REGISTRY.get(name), len(LIMITS), FROZEN, NAMES
+
+
+class BadTable:
+    rows: list = []
+
+    def add(self, row):
+        self.rows.append(row)  # expect[RACE002]
+
+
+class BadCounter:
+    hits = {}
+
+    def bump(self, key):
+        self.hits[key] = self.hits.get(key, 0) + 1  # expect[RACE002]
+
+
+class GoodTable:
+    rows: list = []  # a default; every instance rebinds it
+
+    def __init__(self):
+        self.rows = []
+
+    def add(self, row):
+        self.rows.append(row)
+
+
+class GoodConstants:
+    WEIGHTS = (1, 2, 3)
+
+    def total(self):
+        return sum(self.WEIGHTS)
+
+
+def bad_default(items=[]):  # expect[RACE003]
+    items.append(1)
+    return items
+
+
+def bad_kw_default(*, seen={}):  # expect[RACE003]
+    return seen
+
+
+def bad_ctor_default(queue=list()):  # expect[RACE003]
+    return queue
+
+
+def good_none_default(items=None):
+    items = [] if items is None else items
+    items.append(1)
+    return items
+
+
+def good_immutable_defaults(pair=(), names=frozenset(), label="x"):
+    return pair, names, label

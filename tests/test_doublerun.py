@@ -1,0 +1,79 @@
+"""The PYTHONHASHSEED double-run determinism gate."""
+
+import json
+import subprocess
+import sys
+
+from repro.analysis.static.doublerun import (
+    DEFAULT_HASH_SEEDS,
+    DoubleRunReport,
+    double_run,
+    scenario_digests,
+    _child_env,
+)
+from repro.net.scenario import GOLDEN_SCENARIOS
+
+# One cheap scenario keeps the subprocess tests fast; the full matrix
+# runs in CI via `smartsouth sancheck --double-run`.
+SMALL = (GOLDEN_SCENARIOS[0],)
+
+
+def test_digests_are_stable_in_process():
+    assert scenario_digests(SMALL) == scenario_digests(SMALL)
+
+
+def test_digest_covers_every_scenario():
+    digests = scenario_digests(SMALL)
+    assert len(digests) == len(SMALL)
+    for digest in digests.values():
+        assert len(digest) == 64  # SHA-256 hex
+
+
+def test_double_run_passes_across_hash_seeds():
+    report = double_run(scenarios=SMALL)
+    assert report.ok, report.format_text()
+    assert report.hash_seeds == DEFAULT_HASH_SEEDS
+    first, second = (report.digests[s] for s in DEFAULT_HASH_SEEDS)
+    assert first == second and len(first) == len(SMALL)
+
+
+def test_child_env_pins_hash_seed_and_path():
+    env = _child_env(7)
+    assert env["PYTHONHASHSEED"] == "7"
+    assert "repro" in subprocess.run(
+        [sys.executable, "-c", "import repro; print(repro.__name__)"],
+        env=env, capture_output=True, text=True,
+    ).stdout
+
+
+def test_child_emit_mode_prints_digest_map():
+    spec = json.dumps([list(s) for s in SMALL], sort_keys=True)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis.static.doublerun",
+         "--emit", "--scenarios", spec],
+        env=_child_env(0), capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout)
+    assert set(payload) == set(scenario_digests(SMALL))
+
+
+def test_report_flags_mismatch():
+    report = DoubleRunReport(
+        hash_seeds=(0, 1),
+        digests={0: {"s": "a"}, 1: {"s": "b"}},
+        mismatches=["s"],
+    )
+    assert not report.ok
+    assert "MISMATCH s" in report.format_text()
+    assert report.to_dict()["ok"] is False
+
+
+def test_report_flags_child_error():
+    report = DoubleRunReport(
+        hash_seeds=(0, 1),
+        digests={0: {}, 1: {}},
+        errors=["PYTHONHASHSEED=1 run failed (exit 1): boom"],
+    )
+    assert not report.ok
+    assert "FAILED" in report.format_text()
