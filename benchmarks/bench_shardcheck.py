@@ -1,0 +1,130 @@
+"""Benchmark: interprocedural pass cost — whole-program, still CI-cheap.
+
+``smartsouth shardcheck`` builds the call graph, runs the effect
+fixpoint, and judges every function against the ownership manifest, so
+it is inherently pricier than the per-site sancheck.  It still has to
+fit a pre-push hook, so this bench gates it two ways: an absolute
+wall-clock ceiling on the full pass over ``src/repro`` and a throughput
+floor against the committed baseline
+(``benchmarks/baselines/shardcheck_baseline.json``), which catches the
+fixpoint or the resolver accidentally going quadratic long before the
+ceiling would.
+
+After an intentional cost change, regenerate the baseline with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_shardcheck.py \
+        --update-shardcheck-baseline
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.static import build_models
+from repro.analysis.static.callgraph import build_program
+from repro.analysis.static.effects import build_effect_table
+from repro.analysis.static.runner import (
+    analyze_program,
+    default_scan_root,
+    run_shardcheck,
+)
+from repro.analysis.static.shardmodel import default_manifest
+
+from conftest import fmt_row
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "shardcheck_baseline.json"
+#: Hard ceiling on one full interprocedural pass (absolute; generous for
+#: slow CI runners — a quiet machine sits far under it).
+GATE_SECONDS = 20.0
+#: Fail if measured files/s drops below this fraction of the baseline.
+REGRESSION_TOLERANCE = 0.5
+WIDTHS = (26, 10, 12, 12)
+
+
+def _load_baseline() -> dict:
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def test_full_repo_pass(benchmark, emit, request):
+    """One complete shardcheck over src/repro: parse, call graph,
+    effect fixpoint, rules, baseline, effects contract."""
+    report = benchmark(run_shardcheck)
+    assert report.exit_code == 0, report.format_text()
+    assert report.resolution["resolution_rate"] >= 0.9
+    mean = benchmark.stats.stats.mean if benchmark.stats is not None else 0.0
+    rate = report.files / mean if mean else float("inf")
+
+    emit("\n=== bench_shardcheck: full interprocedural pass over src/repro ===")
+    emit(fmt_row(["metric", "files", "mean (s)", "files/s"], WIDTHS))
+    emit(fmt_row(
+        ["full pass", report.files, f"{mean:.3f}", f"{rate:.0f}"], WIDTHS
+    ))
+
+    assert mean < GATE_SECONDS, (
+        f"shardcheck took {mean:.2f}s — too slow for a pre-push gate"
+    )
+    if request.config.getoption("--update-shardcheck-baseline"):
+        BASELINE_PATH.write_text(json.dumps(
+            {
+                "description": (
+                    "Committed interprocedural-pass throughput baseline "
+                    "for bench_shardcheck.py. files_per_second is set well "
+                    "under a quiet-machine measurement to absorb runner "
+                    "noise; the bench fails below "
+                    f"{REGRESSION_TOLERANCE:.0%} of it. Regenerate with: "
+                    "PYTHONPATH=src python -m pytest "
+                    "benchmarks/bench_shardcheck.py "
+                    "--update-shardcheck-baseline"
+                ),
+                "files_per_second": round(rate / 2.0, 1),
+            },
+            indent=2, sort_keys=True,
+        ) + "\n")
+        return
+    floor = _load_baseline()["files_per_second"] * REGRESSION_TOLERANCE
+    assert rate > floor, (
+        f"shardcheck throughput regressed: {rate:.0f} files/s < floor "
+        f"{floor:.0f} (baseline x {REGRESSION_TOLERANCE})"
+    )
+
+
+def test_phase_split(emit):
+    """Where the time goes: parse vs call graph vs fixpoint vs rules."""
+    root = default_scan_root()
+    started = time.perf_counter()
+    models = build_models(root)
+    parse_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    program = build_program(models)
+    graph_s = time.perf_counter() - started
+
+    manifest = default_manifest()
+    started = time.perf_counter()
+    build_effect_table(program, manifest)
+    fixpoint_s = time.perf_counter() - started
+
+    # The rules re-run the whole pipeline; isolate them by subtraction.
+    started = time.perf_counter()
+    findings, rules_run, _, _ = analyze_program(models)
+    rules_s = max(
+        0.0, (time.perf_counter() - started) - graph_s - fixpoint_s
+    )
+
+    emit("\n=== bench_shardcheck: phase split ===")
+    emit(fmt_row(["phase", "files", "time (s)", "share"], WIDTHS))
+    total = parse_s + graph_s + fixpoint_s + rules_s
+    for phase, elapsed in (
+        ("parse + model", parse_s),
+        ("call graph", graph_s),
+        ("effect fixpoint", fixpoint_s),
+        ("EFF/SHARD rules", rules_s),
+    ):
+        emit(fmt_row(
+            [phase, len(models), f"{elapsed:.3f}",
+             f"{elapsed / total:.0%}" if total else "-"], WIDTHS,
+        ))
+    assert len(rules_run) == 7
+    assert total < GATE_SECONDS

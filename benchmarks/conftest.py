@@ -26,6 +26,14 @@ def pytest_addoption(parser):
         help="Rewrite benchmarks/baselines/sancheck_baseline.json with the "
         "throughput measured in this run (use after an intentional change).",
     )
+    parser.addoption(
+        "--update-shardcheck-baseline",
+        action="store_true",
+        default=False,
+        help="Rewrite benchmarks/baselines/shardcheck_baseline.json with "
+        "the throughput measured in this run (use after an intentional "
+        "change).",
+    )
 
 
 @pytest.fixture

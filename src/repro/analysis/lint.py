@@ -23,7 +23,7 @@ the command line.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dataclass_field, replace
-from typing import Callable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
 
 from repro.analysis.symbolic import (
     DEFAULT_WALK_BUDGET,
@@ -35,6 +35,9 @@ from repro.analysis.symbolic import (
 from repro.net.topology import Topology
 from repro.openflow.actions import GroupAction, SetField
 from repro.openflow.switch import Switch
+
+if TYPE_CHECKING:
+    from repro.core.engine import CompiledEngine
 
 SEVERITY_ERROR = "error"
 SEVERITY_WARNING = "warning"
@@ -682,7 +685,9 @@ def run_lint(
     )
 
 
-def lint_engine(engine, config: LintConfig | None = None) -> LintReport:
+def lint_engine(
+    engine: "CompiledEngine", config: LintConfig | None = None
+) -> LintReport:
     """Convenience: lint a CompiledEngine's switches (installs it first)."""
     engine.install()
     return run_lint(

@@ -17,18 +17,19 @@ from pathlib import Path
 
 from repro.analysis.static.findings import SanFinding, replace
 
-#: The committed baseline's filename, discovered by walking up from the
-#: scan root (so it lives at the repo root, beside pyproject.toml).
+#: The committed baselines' filenames, discovered by walking up from the
+#: scan root (so they live at the repo root, beside pyproject.toml).
 BASELINE_NAME = "sancheck-baseline.json"
+SHARD_BASELINE_NAME = "shardcheck-baseline.json"
 
 _KEY_FIELDS = ("rule", "path", "scope", "code")
 
 
-def discover_baseline(start: Path) -> Path | None:
-    """The nearest ``sancheck-baseline.json`` at or above *start*."""
+def discover_baseline(start: Path, name: str = BASELINE_NAME) -> Path | None:
+    """The nearest baseline file called *name* at or above *start*."""
     start = start.resolve()
     for candidate in [start, *start.parents]:
-        path = candidate / BASELINE_NAME
+        path = candidate / name
         if path.is_file():
             return path
     return None
@@ -102,3 +103,45 @@ def apply_baseline(
         if count > 0
     ]
     return out, stale
+
+
+def prune_baseline(path: Path, findings: list[SanFinding]) -> tuple[int, int]:
+    """Drop baseline entries no current finding matches; shrink counts.
+
+    The ratchet operation behind ``--prune-baseline``: every entry keeps
+    at most as much allowance as the scan still needs, so fixing a site
+    and pruning makes the fix permanent.  Returns ``(kept, dropped)``
+    where both count *occurrences* (an entry with ``count: 2`` matched
+    once is one kept, one dropped).
+    """
+    path = Path(path)
+    allowance = load_baseline(path)
+    needed: dict[tuple[str, str, str, str], int] = {}
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        key = finding.key()
+        needed[key] = needed.get(key, 0) + 1
+    kept = 0
+    dropped = 0
+    survivors: list[SanFinding] = []
+    for (rule, rel, scope, code), count in sorted(allowance.items()):
+        keep = min(count, needed.get((rule, rel, scope, code), 0))
+        kept += keep
+        dropped += count - keep
+        for _ in range(keep):
+            survivors.append(
+                SanFinding(
+                    rule=rule,
+                    name="",
+                    severity="error",
+                    message="",
+                    path=rel,
+                    line=0,
+                    col=0,
+                    scope=scope,
+                    code=code,
+                )
+            )
+    write_baseline(path, survivors)
+    return kept, dropped

@@ -1,0 +1,1370 @@
+"""Whole-program call graph over the sanitizer's :class:`ModuleModel` ASTs.
+
+The per-site rules (``DET*``/``RACE*``) judge one line at a time; the
+sharding rules (``EFF*``/``SHARD*``) need to know what a function *reaches*.
+This module builds that reachability: a symbol table of every module,
+class, and function under the scan roots, a light type-inference layer
+(annotations, constructor assignments, dataclass fields, container element
+types), and one :class:`CallEdge` per call site — resolved to a package
+function, classified *external* (stdlib/builtins), or recorded
+*unresolved* with a reason.  Unresolved sites are counted, never dropped:
+the resolution rate is part of the report and CI gates on it, so a
+refactor that silently blinds the analyzer fails loudly.
+
+Resolution handles the call shapes this codebase actually uses:
+
+* plain module functions and intra-package imports (``from repro.x import f``);
+* methods through ``self``/``cls``, including inherited ones (base classes
+  are resolved across modules and walked breadth-first);
+* ``super().m()`` to the nearest base defining ``m``;
+* attribute chains through typed receivers — parameter annotations,
+  ``x: T`` locals, ``x = ClassName(...)`` locals, instance attributes
+  assigned in any method (``self.sim = Simulator()``) or declared as
+  dataclass fields, and factory returns with ``-> T`` annotations;
+* container element types: ``links: list[Link]`` makes ``links[i].fail()``
+  and ``for link in links: link.fail()`` resolve, ``dict[K, V]`` feeds
+  subscripts, ``.get``, ``.items()``/``.keys()``/``.values()`` loops;
+* constructor calls (edge to ``T.__init__`` when defined);
+* function references passed as arguments (handlers, hooks) become
+  *callback* edges — the conservative assumption is that a function you
+  hand over will be called.
+
+Receivers proven to be builtin containers/scalars or instances of
+*external* classes (``argparse``, ``re`` …) route their method calls to
+*external*.  Everything else — ``fn()`` on an untyped local, attributes on
+unknown receivers — is unresolved, with the reason kept for the report.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.analysis.static.walker import ModuleModel
+
+#: Builtin type kinds the inference layer distinguishes from package
+#: classes.  ``"object"`` doubles as "instance of an external class".
+_BUILTIN_KINDS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "frozenset",
+        "tuple",
+        "str",
+        "bytes",
+        "int",
+        "float",
+        "bool",
+        "object",
+    }
+)
+
+#: ``typing`` names mapped onto the container kinds above (None = unwrap).
+_TYPING_KINDS: dict[str, str | None] = {
+    "Iterable": "list",
+    "Iterator": "list",
+    "Sequence": "list",
+    "MutableSequence": "list",
+    "List": "list",
+    "Deque": "list",
+    "Set": "set",
+    "MutableSet": "set",
+    "AbstractSet": "set",
+    "FrozenSet": "frozenset",
+    "Tuple": "tuple",
+    "Dict": "dict",
+    "Mapping": "dict",
+    "MutableMapping": "dict",
+    "DefaultDict": "dict",
+    "OrderedDict": "dict",
+    "Counter": "dict",
+    "Callable": "object",
+    "Optional": None,
+    "Any": None,
+}
+
+#: Lowercase builtin container names usable as subscripted annotations.
+_CONTAINER_KINDS = frozenset({"list", "dict", "set", "frozenset", "tuple"})
+
+#: Constructor-call origins mapping to builtin kinds (via the stdlib alias
+#: resolution the walker already does).
+_BUILTIN_CTORS = {
+    "builtins.list": "list",
+    "builtins.dict": "dict",
+    "builtins.set": "set",
+    "builtins.frozenset": "frozenset",
+    "builtins.tuple": "tuple",
+    "builtins.sorted": "list",
+    "builtins.str": "str",
+    "builtins.int": "int",
+    "builtins.float": "float",
+    "builtins.bool": "bool",
+    "collections.defaultdict": "dict",
+    "collections.OrderedDict": "dict",
+    "collections.Counter": "dict",
+    "collections.deque": "list",
+}
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+# Call-site classifications.
+RESOLVED = "resolved"
+EXTERNAL = "external"
+UNRESOLVED = "unresolved"
+
+#: Marker for "instance of a class outside the scanned package".
+_EXTERNAL_INSTANCE = "object"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the program."""
+
+    fqn: str
+    module: str
+    qualname: str
+    node: ast.AST
+    model: ModuleModel
+    #: Owning class when this is a method defined directly in a class body.
+    cls: "ClassInfo | None" = None
+    #: local/param name -> inferred type (built lazily).
+    local_types: "dict[str, TypeRef] | None" = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_public(self) -> bool:
+        """Part of the package's public surface: no leading underscore on
+        the function or any enclosing scope, and not nested in a function."""
+        parts = self.qualname.split(".")
+        if any(part.startswith("_") for part in parts):
+            return False
+        module_private = any(
+            part.startswith("_") for part in self.module.split(".")
+        )
+        if module_private:
+            return False
+        # Either a module-level function or a method directly on a class.
+        return len(parts) == 1 or (self.cls is not None and len(parts) == 2)
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, bases, and inferred instance-attribute types."""
+
+    fqn: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    model: ModuleModel
+    base_exprs: list[ast.expr] = field(default_factory=list)
+    #: Resolved base ClassInfos (filled after all modules are indexed).
+    bases: list["ClassInfo"] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: instance attr -> inferred type (annotation wins over assignment).
+    attr_types: dict[str, "TypeRef | None"] = field(default_factory=dict)
+
+    def _mro_walk(self) -> Iterator["ClassInfo"]:
+        seen: set[str] = set()
+        stack: list[ClassInfo] = [self]
+        while stack:
+            cls = stack.pop(0)
+            if cls.fqn in seen:
+                continue
+            seen.add(cls.fqn)
+            yield cls
+            stack.extend(cls.bases)
+
+    def find_method(self, name: str) -> FunctionInfo | None:
+        """Look *name* up on this class, then breadth-first through bases."""
+        for cls in self._mro_walk():
+            if name in cls.methods:
+                return cls.methods[name]
+        return None
+
+    def find_attr_type(self, name: str) -> "TypeRef | None":
+        for cls in self._mro_walk():
+            if name in cls.attr_types:
+                return cls.attr_types[name]
+        return None
+
+    def has_attr(self, name: str) -> bool:
+        return any(name in cls.attr_types for cls in self._mro_walk())
+
+
+@dataclass(frozen=True)
+class ContainerType:
+    """A builtin container with (partially) known element types.
+
+    ``elem`` is what iteration yields (dict: the key type); ``value`` is
+    what subscripting yields for mappings; ``elts`` carries the per-slot
+    types of a fixed-shape tuple (``tuple[A, B]``).
+    """
+
+    kind: str
+    elem: "TypeRef | None" = None
+    value: "TypeRef | None" = None
+    elts: "tuple[TypeRef | None, ...] | None" = None
+
+
+#: A type: package class, container with element types, or builtin kind.
+TypeRef = Union[ClassInfo, ContainerType, str]
+
+
+def builtin_kind(ref: "TypeRef | None") -> str | None:
+    """The builtin kind of *ref*, or None for package classes/unknown."""
+    if isinstance(ref, str):
+        return ref
+    if isinstance(ref, ContainerType):
+        return ref.kind
+    return None
+
+
+@dataclass
+class ModuleInfo:
+    """One module's symbols and import environment."""
+
+    fqn: str
+    model: ModuleModel
+    #: local name -> dotted target for every import in the module.
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level names bound by assignment (globals candidates).
+    global_names: set[str] = field(default_factory=set)
+    #: module-level name -> inferred type of its binding (aliases, caches).
+    global_types: dict[str, "TypeRef | None"] = field(default_factory=dict)
+
+
+@dataclass
+class CallEdge:
+    """One call site, classified."""
+
+    caller: str
+    status: str
+    #: FQN of the resolved package function (resolved edges only).
+    target: str | None
+    #: Why the site could not be resolved (unresolved edges only).
+    reason: str | None
+    lineno: int
+    col: int
+    #: Source spelling of the callee, for reports.
+    callee_text: str
+    #: A function reference passed as an argument rather than called.
+    callback: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "caller": self.caller,
+            "status": self.status,
+            "target": self.target,
+            "reason": self.reason,
+            "line": self.lineno,
+            "col": self.col,
+            "callee": self.callee_text,
+            "callback": self.callback,
+        }
+
+
+@dataclass
+class ProgramModel:
+    """The whole scanned program: symbols, types, and the call graph."""
+
+    models: list[ModuleModel]
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: caller fqn -> its call edges (every site, in source order).
+    edges: dict[str, list[CallEdge]] = field(default_factory=dict)
+    models_by_path: dict[str, ModuleModel] = field(default_factory=dict)
+    _method_names: set[str] | None = field(default=None, repr=False)
+    _subclasses: dict[str, list["ClassInfo"]] | None = field(
+        default=None, repr=False
+    )
+
+    def method_names(self) -> set[str]:
+        """Every method name defined on any package class.  A call whose
+        attribute name appears nowhere in this set cannot land on package
+        code, so an unknown receiver is provably external."""
+        if self._method_names is None:
+            names: set[str] = set()
+            for cls in self.classes.values():
+                names.update(cls.methods)
+            self._method_names = names
+        return self._method_names
+
+    def subclasses_of(self, cls: ClassInfo) -> list[ClassInfo]:
+        """All (transitive) subclasses of *cls* in the program."""
+        if self._subclasses is None:
+            direct: dict[str, list[ClassInfo]] = {}
+            for candidate in self.classes.values():
+                for base in candidate.bases:
+                    direct.setdefault(base.fqn, []).append(candidate)
+            self._subclasses = direct
+        out: list[ClassInfo] = []
+        stack = list(self._subclasses.get(cls.fqn, []))
+        while stack:
+            sub = stack.pop()
+            if all(sub.fqn != seen.fqn for seen in out):
+                out.append(sub)
+                stack.extend(self._subclasses.get(sub.fqn, []))
+        return out
+
+    def virtual_methods(self, cls: ClassInfo, name: str) -> list[FunctionInfo]:
+        """Class-hierarchy dispatch: implementations of *name* reachable
+        from a receiver statically typed *cls* (its own lookup first, else
+        every subclass override — a polymorphic site yields one edge per
+        candidate, which is the sound over-approximation)."""
+        own = cls.find_method(name)
+        if own is not None:
+            return [own]
+        seen: dict[str, FunctionInfo] = {}
+        for sub in self.subclasses_of(cls):
+            method = sub.find_method(name)
+            if method is not None:
+                seen.setdefault(method.fqn, method)
+        return list(seen.values())
+
+    def virtual_attr_type(
+        self, cls: ClassInfo, name: str
+    ) -> "TypeRef | None":
+        """Attr type under class-hierarchy dispatch: the receiver's own
+        declaration, else the unique type subclasses agree on."""
+        own = cls.find_attr_type(name)
+        if own is not None:
+            return own
+        unique: list[TypeRef] = []
+        for sub in self.subclasses_of(cls):
+            found = sub.find_attr_type(name)
+            if found is not None and all(found is not u for u in unique):
+                unique.append(found)
+        if len(unique) == 1:
+            return unique[0]
+        if unique and all(t == unique[0] for t in unique[1:]):
+            return unique[0]
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Stats                                                              #
+    # ------------------------------------------------------------------ #
+
+    def all_edges(self) -> Iterator[CallEdge]:
+        for edges in self.edges.values():
+            yield from edges
+
+    def resolution_stats(self) -> dict:
+        # A polymorphic site contributes several edges; count *sites*.
+        rank = {UNRESOLVED: 0, EXTERNAL: 1, RESOLVED: 2}
+        sites: dict[tuple, str] = {}
+        reasons: dict[str, int] = {}
+        for edge in self.all_edges():
+            if edge.callback:
+                continue
+            key = (edge.caller, edge.lineno, edge.col, edge.callee_text)
+            prev = sites.get(key)
+            if prev is None or rank[edge.status] > rank[prev]:
+                sites[key] = edge.status
+            if edge.status == UNRESOLVED and edge.reason:
+                reasons[edge.reason] = reasons.get(edge.reason, 0) + 1
+        counts = {RESOLVED: 0, EXTERNAL: 0, UNRESOLVED: 0}
+        for status in sites.values():
+            counts[status] += 1
+        in_package = counts[RESOLVED] + counts[UNRESOLVED]
+        rate = counts[RESOLVED] / in_package if in_package else 1.0
+        return {
+            "call_sites": len(sites),
+            "resolved": counts[RESOLVED],
+            "external": counts[EXTERNAL],
+            "unresolved": counts[UNRESOLVED],
+            "resolution_rate": round(rate, 4),
+            "unresolved_reasons": dict(sorted(reasons.items())),
+        }
+
+    def unresolved_sites(self) -> list[CallEdge]:
+        return [
+            e for e in self.all_edges() if e.status == UNRESOLVED and not e.callback
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Symbol resolution                                                  #
+    # ------------------------------------------------------------------ #
+
+    def lookup_dotted(
+        self, dotted: str
+    ) -> FunctionInfo | ClassInfo | ModuleInfo | None:
+        """Resolve a fully dotted path against the program's symbols.
+
+        Tries the longest module prefix, then walks the remainder through
+        classes (methods) and module members.
+        """
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            module = self.modules.get(prefix)
+            if module is None:
+                continue
+            rest = parts[cut:]
+            if not rest:
+                return module
+            head, *tail = rest
+            if head in module.classes:
+                cls = module.classes[head]
+                if not tail:
+                    return cls
+                if len(tail) == 1:
+                    return cls.find_method(tail[0])
+                return None
+            if head in module.functions and not tail:
+                return module.functions[head]
+            return None
+        return None
+
+    def in_package(self, dotted: str) -> bool:
+        head = dotted.split(".")[0]
+        return any(
+            mod == head or mod.startswith(head + ".") for mod in self.modules
+        )
+
+    def class_of(self, type_ref: "TypeRef | None") -> ClassInfo | None:
+        return type_ref if isinstance(type_ref, ClassInfo) else None
+
+
+# --------------------------------------------------------------------- #
+# Construction                                                          #
+# --------------------------------------------------------------------- #
+
+
+def module_fqn(model: ModuleModel) -> str:
+    """Dotted module name from the finding-relative path."""
+    rel = model.relpath
+    if rel.endswith("/__init__.py"):
+        rel = rel[: -len("/__init__.py")]
+    elif rel == "__init__.py":
+        rel = model.path.parent.name
+    elif rel.endswith(".py"):
+        rel = rel[: -len(".py")]
+    return rel.replace("/", ".")
+
+
+def _collect_all_imports(info: ModuleInfo) -> None:
+    """Every import binding, package-internal or not (the walker tracks
+    only the stdlib modules its rules care about)."""
+    for node in ast.walk(info.model.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    info.imports[alias.asname] = alias.name
+                else:
+                    top = alias.name.split(".")[0]
+                    info.imports[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = info.fqn.split(".")
+                # level 1 = the current package; each extra level climbs one.
+                cut = len(base_parts) - node.level
+                base = ".".join(base_parts[: max(cut, 0)])
+                target = f"{base}.{node.module}" if node.module else base
+            else:
+                target = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.imports[local] = (
+                    f"{target}.{alias.name}" if target else alias.name
+                )
+
+
+def _index_module(model: ModuleModel, program: ProgramModel) -> ModuleInfo:
+    fqn = module_fqn(model)
+    info = ModuleInfo(fqn=fqn, model=model)
+    _collect_all_imports(info)
+    for stmt in model.tree.body:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    info.global_names.add(target.id)
+    for node in ast.walk(model.tree):
+        if isinstance(node, ast.ClassDef):
+            qual = model.qualname(node)
+            cls_qual = f"{qual}.{node.name}" if qual != "<module>" else node.name
+            cls = ClassInfo(
+                fqn=f"{fqn}.{cls_qual}",
+                module=fqn,
+                name=node.name,
+                node=node,
+                model=model,
+                base_exprs=list(node.bases),
+            )
+            program.classes[cls.fqn] = cls
+            if qual == "<module>":
+                info.classes[node.name] = cls
+        elif isinstance(node, _FUNC_NODES):
+            qual = model.qualname(node)
+            fn_qual = f"{qual}.{node.name}" if qual != "<module>" else node.name
+            parent_scope = model.enclosing_scope(node)
+            fn = FunctionInfo(
+                fqn=f"{fqn}.{fn_qual}",
+                module=fqn,
+                qualname=fn_qual,
+                node=node,
+                model=model,
+            )
+            program.functions[fn.fqn] = fn
+            if qual == "<module>":
+                info.functions[node.name] = fn
+            if isinstance(parent_scope, ast.ClassDef):
+                fn._parent_class_node = parent_scope  # type: ignore[attr-defined]
+    return info
+
+
+def _link_methods(program: ProgramModel) -> None:
+    node_to_class = {cls.node: cls for cls in program.classes.values()}
+    for fn in program.functions.values():
+        parent = getattr(fn, "_parent_class_node", None)
+        if parent is not None:
+            cls = node_to_class.get(parent)
+            if cls is not None:
+                fn.cls = cls
+                cls.methods[fn.name] = fn
+
+
+def _resolve_symbol(
+    program: ProgramModel, module: ModuleInfo, dotted: str
+) -> FunctionInfo | ClassInfo | ModuleInfo | str | None:
+    """Resolve *dotted* (local spelling) in *module*'s environment.
+
+    Returns a program symbol, the string ``"external"``, or None (unknown).
+    """
+    parts = dotted.split(".")
+    head = parts[0]
+    if head in module.imports:
+        target = module.imports[head]
+        full = ".".join([target, *parts[1:]])
+        if program.in_package(target):
+            return program.lookup_dotted(full)
+        return EXTERNAL
+    if head in module.classes:
+        cls = module.classes[head]
+        if len(parts) == 1:
+            return cls
+        if len(parts) == 2:
+            return cls.find_method(parts[1])
+        return None
+    if head in module.functions and len(parts) == 1:
+        return module.functions[head]
+    if head in module.global_names:
+        return None  # a module-level value; its type may still be known
+    if hasattr(builtins, head):
+        return EXTERNAL
+    return None
+
+
+# --------------------------------------------------------------------- #
+# Type inference                                                        #
+# --------------------------------------------------------------------- #
+
+
+def annotation_type(
+    program: ProgramModel, module: ModuleInfo, ann: ast.expr | None
+) -> TypeRef | None:
+    """The type an annotation names, where we can prove it."""
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant):
+        if not isinstance(ann.value, str):
+            return None
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        # `T | None` (or `None | T`): take the non-None side.
+        for side in (ann.left, ann.right):
+            if not (isinstance(side, ast.Constant) and side.value is None):
+                result = annotation_type(program, module, side)
+                if result is not None:
+                    return result
+        return None
+    if isinstance(ann, ast.Subscript):
+        base_name = _dotted_text(ann.value)
+        kind = _annotation_kind(base_name)
+        if kind is None and base_name is not None:
+            # `Optional[T]` unwraps; unknown generics fall through.
+            stripped = base_name.rsplit(".", 1)[-1]
+            if stripped == "Optional":
+                return annotation_type(program, module, ann.slice)
+            base = annotation_type(program, module, ann.value)
+            return base if isinstance(base, (str, ContainerType)) else None
+        if kind is None:
+            return None
+        if kind == "object":
+            return _EXTERNAL_INSTANCE
+        slc = ann.slice
+        if kind == "dict":
+            if isinstance(slc, ast.Tuple) and len(slc.elts) == 2:
+                return ContainerType(
+                    "dict",
+                    elem=annotation_type(program, module, slc.elts[0]),
+                    value=annotation_type(program, module, slc.elts[1]),
+                )
+            return ContainerType("dict")
+        if kind == "tuple":
+            if isinstance(slc, ast.Tuple) and slc.elts:
+                homogeneous = len(slc.elts) == 2 and isinstance(
+                    slc.elts[1], ast.Constant
+                )  # tuple[T, ...]
+                elts = tuple(
+                    annotation_type(program, module, e) for e in slc.elts
+                )
+                if homogeneous:
+                    return ContainerType("tuple", elem=elts[0])
+                return ContainerType(
+                    "tuple",
+                    elem=elts[0],
+                    value=elts[1] if len(elts) > 1 else None,
+                    elts=elts,
+                )
+            return ContainerType(
+                "tuple", elem=annotation_type(program, module, slc)
+            )
+        elem_ann = slc.elts[0] if isinstance(slc, ast.Tuple) and slc.elts else slc
+        return ContainerType(kind, elem=annotation_type(program, module, elem_ann))
+    dotted = _dotted_text(ann)
+    if dotted is None:
+        return None
+    kind = _annotation_kind(dotted)
+    if kind is not None:
+        return kind
+    symbol = _resolve_symbol(program, module, dotted)
+    if isinstance(symbol, ClassInfo):
+        return symbol
+    if symbol == EXTERNAL:
+        return _EXTERNAL_INSTANCE
+    if symbol is None:
+        if dotted in module.global_types:
+            # A module-level alias (`Rng = random.Random`).
+            return module.global_types[dotted]
+        return _imported_global_type(program, module, dotted)
+    return None
+
+
+def _annotation_kind(name: str | None) -> str | None:
+    """Map an annotation head name to a builtin kind, if it is one."""
+    if name is None:
+        return None
+    stripped = name.rsplit(".", 1)[-1]
+    if stripped in _CONTAINER_KINDS or stripped in _BUILTIN_KINDS:
+        return stripped
+    return _TYPING_KINDS.get(stripped)
+
+
+def _dotted_text(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_text(node.value)
+        return f"{base}.{node.attr}" if base else None
+    return None
+
+
+def _value_type(
+    program: ProgramModel,
+    module: ModuleInfo,
+    fn: FunctionInfo | None,
+    expr: ast.expr,
+) -> TypeRef | None:
+    """Infer the type a value expression produces, where provable."""
+    if isinstance(expr, (ast.List, ast.ListComp)):
+        return ContainerType("list")
+    if isinstance(expr, (ast.Dict, ast.DictComp)):
+        return ContainerType("dict")
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return ContainerType("set")
+    if isinstance(expr, ast.Tuple):
+        return ContainerType("tuple")
+    if isinstance(expr, (ast.JoinedStr, ast.FormattedValue)):
+        return "str"
+    if isinstance(expr, ast.Constant):
+        kind = type(expr.value).__name__
+        return kind if kind in _BUILTIN_KINDS else None
+    if isinstance(expr, ast.Call):
+        return _call_result_type(program, module, fn, expr)
+    if isinstance(expr, ast.BoolOp):
+        # The `x or default()` idiom: all branches must agree.
+        branches = [_value_type(program, module, fn, v) for v in expr.values]
+        return _merge_types(branches)
+    if isinstance(expr, ast.IfExp):
+        return _merge_types(
+            [
+                _value_type(program, module, fn, expr.body),
+                _value_type(program, module, fn, expr.orelse),
+            ]
+        )
+    if isinstance(expr, (ast.Name, ast.Attribute, ast.Subscript)) and fn is not None:
+        return infer_expr_type(program, fn, expr)
+    return None
+
+
+def _merge_types(branches: list[TypeRef | None]) -> TypeRef | None:
+    """The common type of several branches, or None if they disagree.
+    ``None`` branches are ignored (the `x or default` idiom)."""
+    known = [t for t in branches if t is not None]
+    if not known:
+        return None
+    first = known[0]
+    for other in known[1:]:
+        if other == first:
+            continue
+        ka, kb = builtin_kind(first), builtin_kind(other)
+        if ka is not None and ka == kb:
+            # Same container kind; prefer the one with element types.
+            if isinstance(other, ContainerType) and not isinstance(
+                first, ContainerType
+            ):
+                first = other
+            continue
+        return None
+    return first
+
+
+def _call_result_type(
+    program: ProgramModel,
+    module: ModuleInfo,
+    fn: FunctionInfo | None,
+    call: ast.Call,
+) -> TypeRef | None:
+    origin = module.model.resolve_call(call)
+    if origin in _BUILTIN_CTORS:
+        return _BUILTIN_CTORS[origin]
+    dotted = _dotted_text(call.func)
+    if dotted is not None:
+        symbol = _resolve_symbol(program, module, dotted)
+        if isinstance(symbol, ClassInfo):
+            return symbol
+        if isinstance(symbol, FunctionInfo):
+            returns = getattr(symbol.node, "returns", None)
+            owner = program.modules.get(symbol.module)
+            if returns is not None and owner is not None:
+                return annotation_type(program, owner, returns)
+            return None
+        if symbol == EXTERNAL:
+            return _EXTERNAL_INSTANCE
+    if origin is not None:
+        # A resolved stdlib call we have no constructor mapping for.
+        return _EXTERNAL_INSTANCE
+    if isinstance(call.func, ast.Attribute) and fn is not None:
+        receiver = infer_expr_type(program, fn, call.func.value)
+        kind = builtin_kind(receiver)
+        if isinstance(receiver, ContainerType) and call.func.attr in (
+            "get",
+            "pop",
+            "setdefault",
+        ):
+            return receiver.value
+        if kind is not None:
+            # A method call on a builtin/external value yields another
+            # external value, not package state.
+            return _EXTERNAL_INSTANCE
+        cls = program.class_of(receiver)
+        if cls is not None:
+            method = cls.find_method(call.func.attr)
+            if method is not None:
+                returns = getattr(method.node, "returns", None)
+                owner = program.modules.get(method.module)
+                if returns is not None and owner is not None:
+                    return annotation_type(program, owner, returns)
+    return None
+
+
+def function_local_types(
+    program: ProgramModel, fn: FunctionInfo
+) -> dict[str, TypeRef]:
+    """Parameter/local name -> inferred type for *fn* (cached)."""
+    if fn.local_types is not None:
+        return fn.local_types
+    module = program.modules[fn.module]
+    env: dict[str, TypeRef] = {}
+    poisoned: set[str] = set()
+    args = fn.node.args
+    ordered = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+    if fn.cls is not None and ordered and ordered[0].arg in ("self", "cls"):
+        env[ordered[0].arg] = fn.cls
+        ordered = ordered[1:]
+    for arg in ordered:
+        inferred = annotation_type(program, module, arg.annotation)
+        if inferred is not None:
+            env[arg.arg] = inferred
+    fn.local_types = env  # set before inference so recursion terminates
+
+    def bind(name: str, inferred: TypeRef | None) -> None:
+        if name in poisoned:
+            return
+        if inferred is None:
+            if name in env:
+                poisoned.add(name)
+                env.pop(name, None)
+            return
+        current = env.get(name)
+        if current is None:
+            env[name] = inferred
+        elif current != inferred:
+            poisoned.add(name)
+            env.pop(name, None)
+
+    def bind_target(target: ast.expr, elem: TypeRef | None) -> None:
+        if isinstance(target, ast.Name):
+            bind(target.id, elem)
+        elif isinstance(target, ast.Tuple):
+            for i, elt in enumerate(target.elts):
+                if isinstance(elt, ast.Name):
+                    bind(elt.id, _tuple_elt_type(elem, i))
+
+    for stmt in walk_scope(fn.node):
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            inferred = annotation_type(program, module, stmt.annotation)
+            if inferred is not None:
+                env[stmt.target.id] = inferred
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                bind(target.id, _value_type(program, module, fn, stmt.value))
+            elif isinstance(target, ast.Tuple) and all(
+                isinstance(elt, ast.Name) for elt in target.elts
+            ):
+                # `a, b = f()` with `-> tuple[A, B]` binds elementwise.
+                value_t = _value_type(program, module, fn, stmt.value)
+                for i, elt in enumerate(target.elts):
+                    bind(elt.id, _tuple_elt_type(value_t, i))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            bind_target(stmt.target, _iteration_type(program, fn, stmt.iter))
+        elif isinstance(stmt, ast.comprehension):
+            # Comprehension variables technically live in their own scope,
+            # but calls on them are resolved against this function's env.
+            bind_target(stmt.target, _iteration_type(program, fn, stmt.iter))
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    bind(item.optional_vars.id, None)
+    return env
+
+
+def _parent_function(
+    program: ProgramModel, fn: FunctionInfo
+) -> FunctionInfo | None:
+    """The function *fn* is nested in, if any (for closure lookups)."""
+    if "." not in fn.qualname:
+        return None
+    parent_qual = fn.qualname.rsplit(".", 1)[0]
+    return program.functions.get(f"{fn.module}.{parent_qual}")
+
+
+def lookup_local(
+    program: ProgramModel, fn: FunctionInfo, name: str
+) -> TypeRef | None:
+    """*name* in *fn*'s env, falling back through enclosing functions
+    (closure variables keep the type of their defining scope)."""
+    probe: FunctionInfo | None = fn
+    while probe is not None:
+        env = function_local_types(program, probe)
+        if name in env:
+            return env[name]
+        probe = _parent_function(program, probe)
+    return None
+
+
+def _iteration_type(
+    program: ProgramModel, fn: FunctionInfo, iter_expr: ast.expr
+) -> TypeRef | None:
+    """What iterating *iter_expr* yields, where provable."""
+    if isinstance(iter_expr, ast.Call) and isinstance(
+        iter_expr.func, ast.Attribute
+    ):
+        receiver = infer_expr_type(program, fn, iter_expr.func.value)
+        if isinstance(receiver, ContainerType) and receiver.kind == "dict":
+            attr = iter_expr.func.attr
+            if attr == "items":
+                return ContainerType(
+                    "tuple", elem=receiver.elem, value=receiver.value
+                )
+            if attr == "keys":
+                return receiver.elem
+            if attr == "values":
+                return receiver.value
+    if isinstance(iter_expr, ast.Call):
+        origin = fn.model.resolve_call(iter_expr)
+        if origin in ("builtins.sorted", "builtins.list", "builtins.tuple"):
+            if iter_expr.args:
+                return _iteration_type(program, fn, iter_expr.args[0])
+            return None
+        if origin == "builtins.enumerate" and iter_expr.args:
+            inner = _iteration_type(program, fn, iter_expr.args[0])
+            return ContainerType("tuple", elem="int", value=inner)
+    inferred = infer_expr_type(program, fn, iter_expr)
+    if isinstance(inferred, ContainerType):
+        return inferred.elem
+    if builtin_kind(inferred) is not None:
+        return _EXTERNAL_INSTANCE if inferred != "str" else "str"
+    return None
+
+
+def _tuple_elt_type(elem: TypeRef | None, index: int) -> TypeRef | None:
+    """Element *index* of an unpacked tuple (items()/enumerate style)."""
+    if isinstance(elem, ContainerType) and elem.kind == "tuple":
+        if elem.elts is not None:
+            return elem.elts[index] if index < len(elem.elts) else None
+        return elem.elem if index == 0 else elem.value if index == 1 else None
+    return None
+
+
+def infer_expr_type(
+    program: ProgramModel, fn: FunctionInfo, expr: ast.expr
+) -> TypeRef | None:
+    """The type of *expr* inside *fn*, where provable."""
+    module = program.modules[fn.module]
+    if isinstance(expr, ast.Name):
+        local = lookup_local(program, fn, expr.id)
+        if local is not None:
+            return local
+        if expr.id in module.global_types:
+            return module.global_types[expr.id]
+        return _imported_global_type(program, module, expr.id)
+    if isinstance(expr, ast.Attribute):
+        base = infer_expr_type(program, fn, expr.value)
+        cls = program.class_of(base)
+        if cls is not None:
+            return program.virtual_attr_type(cls, expr.attr)
+        if builtin_kind(base) is not None:
+            # An attribute of an external/builtin value is itself external.
+            return _EXTERNAL_INSTANCE
+        dotted = _dotted_text(expr)
+        if dotted is not None:
+            symbol = _resolve_symbol(program, module, dotted)
+            if symbol == EXTERNAL:
+                return _EXTERNAL_INSTANCE
+        return None
+    if isinstance(expr, ast.Subscript):
+        base = infer_expr_type(program, fn, expr.value)
+        if isinstance(expr.slice, ast.Slice):
+            return base  # a slice keeps the container type
+        if isinstance(base, ContainerType):
+            if base.kind == "dict":
+                return base.value
+            if base.kind == "tuple" and base.elts is not None:
+                if (
+                    isinstance(expr.slice, ast.Constant)
+                    and isinstance(expr.slice.value, int)
+                    and 0 <= expr.slice.value < len(base.elts)
+                ):
+                    return base.elts[expr.slice.value]
+                return None
+            return base.elem
+        if base == _EXTERNAL_INSTANCE or base in ("str", "bytes"):
+            return _EXTERNAL_INSTANCE
+        return None
+    return _value_type(program, module, fn, expr)
+
+
+def _imported_global_type(
+    program: ProgramModel, module: ModuleInfo, name: str
+) -> TypeRef | None:
+    """The inferred type of a module-level value imported from another
+    package module (`from repro.core.fields import GLOBAL_FIELD_BITS`)."""
+    target = module.imports.get(name)
+    if target is None or not program.in_package(target):
+        return None
+    owner_fqn, _, member = target.rpartition(".")
+    owner = program.modules.get(owner_fqn)
+    if owner is not None:
+        return owner.global_types.get(member)
+    return None
+
+
+def _collect_module_global_types(program: ProgramModel) -> None:
+    for info in program.modules.values():
+        for stmt in info.model.tree.body:
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value, ann = stmt.targets[0], stmt.value, None
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value, ann = stmt.target, stmt.value, stmt.annotation
+            else:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            if ann is not None:
+                inferred = annotation_type(program, info, ann)
+            elif isinstance(value, (ast.Name, ast.Attribute)):
+                # Module-level alias: `Rng = random.Random`.
+                dotted = _dotted_text(value)
+                symbol = (
+                    _resolve_symbol(program, info, dotted) if dotted else None
+                )
+                if isinstance(symbol, (ClassInfo, FunctionInfo)):
+                    continue  # a callable alias, not an instance
+                inferred = _EXTERNAL_INSTANCE if symbol == EXTERNAL else None
+            else:
+                inferred = _value_type(program, info, None, value)
+            if inferred is not None:
+                info.global_types.setdefault(target.id, inferred)
+
+
+def _collect_class_attr_types(program: ProgramModel) -> None:
+    for cls in program.classes.values():
+        module = program.modules[cls.module]
+        # Dataclass fields / annotated or assigned class attributes.
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Name
+            ):
+                cls.attr_types[stmt.target.id] = annotation_type(
+                    program, module, stmt.annotation
+                )
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    cls.attr_types.setdefault(
+                        target.id,
+                        _value_type(program, module, None, stmt.value),
+                    )
+        # `self.x = ...` / `self.x: T = ...` in every method.
+        for method in list(cls.methods.values()):
+            args = method.node.args
+            ordered = [*args.posonlyargs, *args.args]
+            self_name = ordered[0].arg if ordered else None
+            if self_name is None:
+                continue
+            for stmt in walk_scope(method.node):
+                target = None
+                ann = None
+                value = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    target, value, ann = stmt.target, stmt.value, stmt.annotation
+                else:
+                    continue
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == self_name
+                ):
+                    continue
+                if ann is not None:
+                    inferred = annotation_type(program, module, ann)
+                elif value is not None:
+                    inferred = _value_type(program, module, method, value)
+                else:
+                    inferred = None
+                if target.attr not in cls.attr_types:
+                    cls.attr_types[target.attr] = inferred
+                elif ann is not None and inferred is not None:
+                    cls.attr_types[target.attr] = inferred
+
+
+def _refine_container_attrs(program: ProgramModel) -> None:
+    """Give element types to attrs initialized as empty containers by
+    looking at what the class's own methods put into them
+    (``self.xs.append(Edge(...))``, ``self.by_id[k] = Link(...)``)."""
+    conflicted: set[tuple[str, str]] = set()
+    refined: set[tuple[str, str]] = set()
+
+    def refine(cls: ClassInfo, attr: str, new: ContainerType) -> None:
+        """Fill missing element slots only.  A slot typed by annotation is
+        authoritative; disagreeing *refinements* clear the slot again."""
+        key = (cls.fqn, attr)
+        if key in conflicted:
+            return
+        current = cls.attr_types.get(attr)
+        if not isinstance(current, ContainerType):
+            return
+        if current.elem is None and current.value is None:
+            cls.attr_types[attr] = ContainerType(
+                current.kind, elem=new.elem, value=new.value
+            )
+            refined.add(key)
+            return
+        if key not in refined:
+            return  # annotated — leave it alone
+        if (new.elem and current.elem and new.elem != current.elem) or (
+            new.value and current.value and new.value != current.value
+        ):
+            conflicted.add(key)
+            cls.attr_types[attr] = ContainerType(current.kind)
+            return
+        cls.attr_types[attr] = ContainerType(
+            current.kind,
+            elem=current.elem or new.elem,
+            value=current.value or new.value,
+        )
+
+    for cls in program.classes.values():
+        module = program.modules[cls.module]
+        for method in cls.methods.values():
+            args = method.node.args
+            ordered = [*args.posonlyargs, *args.args]
+            if not ordered:
+                continue
+            self_name = ordered[0].arg
+            for node in walk_scope(method.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("append", "add", "appendleft")
+                    and node.args
+                    and isinstance(node.func.value, ast.Attribute)
+                    and isinstance(node.func.value.value, ast.Name)
+                    and node.func.value.value.id == self_name
+                ):
+                    elem = _value_type(program, module, method, node.args[0])
+                    if elem is not None:
+                        refine(
+                            cls,
+                            node.func.value.attr,
+                            ContainerType("list", elem=elem),
+                        )
+                elif (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Subscript)
+                ):
+                    sub = node.targets[0]
+                    if (
+                        isinstance(sub.value, ast.Attribute)
+                        and isinstance(sub.value.value, ast.Name)
+                        and sub.value.value.id == self_name
+                    ):
+                        key_t = _value_type(program, module, method, sub.slice)
+                        val_t = _value_type(program, module, method, node.value)
+                        if key_t is not None or val_t is not None:
+                            refine(
+                                cls,
+                                sub.value.attr,
+                                ContainerType("dict", elem=key_t, value=val_t),
+                            )
+
+
+def _resolve_bases(program: ProgramModel) -> None:
+    for cls in program.classes.values():
+        module = program.modules[cls.module]
+        for base in cls.base_exprs:
+            dotted = _dotted_text(base)
+            if dotted is None:
+                continue
+            symbol = _resolve_symbol(program, module, dotted)
+            if isinstance(symbol, ClassInfo):
+                cls.bases.append(symbol)
+
+
+# --------------------------------------------------------------------- #
+# Scope-local AST walking                                               #
+# --------------------------------------------------------------------- #
+
+
+def walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk *root*'s AST without descending into nested function/class
+    definitions.  Lambda bodies are included: a lambda's effects belong to
+    the function that created (and almost always runs) it."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (*_FUNC_NODES, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# --------------------------------------------------------------------- #
+# Call-site resolution                                                  #
+# --------------------------------------------------------------------- #
+
+
+def _callee_text(node: ast.expr) -> str:
+    dotted = _dotted_text(node)
+    if dotted is not None:
+        return dotted
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on 3.9+
+        return "<expr>"
+
+
+def _is_super_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "super"
+    )
+
+
+def _constructor_edge(
+    caller: str, cls: ClassInfo, call: ast.Call, text: str
+) -> CallEdge:
+    init = cls.find_method("__init__")
+    target = init.fqn if init is not None else cls.fqn
+    # A dataclass or default __init__ resolves to the class itself.
+    return CallEdge(
+        caller, RESOLVED, target, None, call.lineno, call.col_offset, text
+    )
+
+
+def resolve_call_site(
+    program: ProgramModel, fn: FunctionInfo, call: ast.Call
+) -> list[CallEdge]:
+    """Classify one call site.  Usually one edge; a polymorphic method
+    call on a base-typed receiver yields one edge per override."""
+    module = program.modules[fn.module]
+    func = call.func
+    text = _callee_text(func)
+
+    def edge(status, target=None, reason=None):
+        return [
+            CallEdge(
+                fn.fqn, status, target, reason, call.lineno, call.col_offset, text
+            )
+        ]
+
+    if isinstance(func, ast.Name):
+        if func.id == "super":
+            return edge(EXTERNAL)
+        local = lookup_local(program, fn, func.id)
+        if local is not None:
+            if builtin_kind(local) is not None:
+                return edge(EXTERNAL)
+            return edge(UNRESOLVED, reason="call-on-instance")
+        symbol = _resolve_symbol(program, module, func.id)
+        if isinstance(symbol, FunctionInfo):
+            return edge(RESOLVED, symbol.fqn)
+        if isinstance(symbol, ClassInfo):
+            return [_constructor_edge(fn.fqn, symbol, call, text)]
+        if symbol == EXTERNAL:
+            return edge(EXTERNAL)
+        # A function nested in this one, or a sibling nested function?
+        nested = program.functions.get(f"{fn.fqn}.{func.id}")
+        if nested is not None:
+            return edge(RESOLVED, nested.fqn)
+        parent_qual = fn.qualname.rsplit(".", 1)[0] if "." in fn.qualname else ""
+        if parent_qual:
+            sibling = program.functions.get(
+                f"{fn.module}.{parent_qual}.{func.id}"
+            )
+            if sibling is not None:
+                return edge(RESOLVED, sibling.fqn)
+        return edge(UNRESOLVED, reason="dynamic-callable")
+
+    if isinstance(func, ast.Attribute):
+        # super().m()
+        if _is_super_call(func.value):
+            if fn.cls is not None:
+                for base in fn.cls.bases:
+                    method = base.find_method(func.attr)
+                    if method is not None:
+                        return edge(RESOLVED, method.fqn)
+            return edge(UNRESOLVED, reason="super-unresolved")
+        dotted = _dotted_text(func)
+        if dotted is not None:
+            symbol = _resolve_symbol(program, module, dotted)
+            if isinstance(symbol, FunctionInfo):
+                return edge(RESOLVED, symbol.fqn)
+            if isinstance(symbol, ClassInfo):
+                return [_constructor_edge(fn.fqn, symbol, call, text)]
+            if symbol == EXTERNAL:
+                return edge(EXTERNAL)
+        receiver = infer_expr_type(program, fn, func.value)
+        if builtin_kind(receiver) is not None:
+            return edge(EXTERNAL)  # builtin container / external instance
+        cls = program.class_of(receiver)
+        if cls is not None:
+            methods = program.virtual_methods(cls, func.attr)
+            if methods:
+                return [
+                    CallEdge(
+                        fn.fqn,
+                        RESOLVED,
+                        m.fqn,
+                        None,
+                        call.lineno,
+                        call.col_offset,
+                        text,
+                    )
+                    for m in methods
+                ]
+            attr_ref = program.virtual_attr_type(cls, func.attr)
+            if builtin_kind(attr_ref) is not None:
+                return edge(EXTERNAL)
+            return edge(UNRESOLVED, reason="unknown-method")
+        origin = fn.model.resolve_call(call)
+        if origin is not None:
+            return edge(EXTERNAL)  # stdlib via the walker's aliases
+        if func.attr not in program.method_names():
+            # No package class defines a method with this name, so the
+            # call cannot land on package code whatever the receiver is.
+            return edge(EXTERNAL)
+        return edge(UNRESOLVED, reason="unknown-receiver")
+
+    return edge(UNRESOLVED, reason="dynamic-callable")
+
+
+def _callback_edges(
+    program: ProgramModel, fn: FunctionInfo, call: ast.Call
+) -> list[CallEdge]:
+    """Function references passed as arguments become callback edges."""
+    module = program.modules[fn.module]
+    out: list[CallEdge] = []
+    for arg in [*call.args, *(kw.value for kw in call.keywords)]:
+        target: FunctionInfo | None = None
+        if isinstance(arg, (ast.Name, ast.Attribute)):
+            dotted = _dotted_text(arg)
+            if dotted is not None:
+                symbol = _resolve_symbol(program, module, dotted)
+                if isinstance(symbol, FunctionInfo):
+                    target = symbol
+            if target is None and isinstance(arg, ast.Attribute):
+                receiver = infer_expr_type(program, fn, arg.value)
+                cls = program.class_of(receiver)
+                if cls is not None:
+                    target = cls.find_method(arg.attr)
+        if target is not None:
+            out.append(
+                CallEdge(
+                    fn.fqn,
+                    RESOLVED,
+                    target.fqn,
+                    None,
+                    arg.lineno,
+                    arg.col_offset,
+                    _callee_text(arg),
+                    callback=True,
+                )
+            )
+    return out
+
+
+def build_program(models: list[ModuleModel]) -> ProgramModel:
+    """Index *models*, infer types, and resolve every call site."""
+    program = ProgramModel(models=models)
+    for model in models:
+        info = _index_module(model, program)
+        program.modules[info.fqn] = info
+        program.models_by_path[model.relpath] = model
+    _link_methods(program)
+    _resolve_bases(program)
+    _collect_module_global_types(program)
+    _collect_class_attr_types(program)
+    _refine_container_attrs(program)
+    for fn in program.functions.values():
+        edges: list[CallEdge] = []
+        for node in walk_scope(fn.node):
+            if isinstance(node, ast.Call):
+                edges.extend(resolve_call_site(program, fn, node))
+                edges.extend(_callback_edges(program, fn, node))
+        program.edges[fn.fqn] = edges
+    return program

@@ -1,0 +1,334 @@
+"""Per-function effect inference over the call graph, to a fixpoint.
+
+Each function gets a set of *effect atoms* — the externally visible things
+running it may do:
+
+``global:{module}.{NAME}``
+    rebinds or mutates a module-level global;
+``attr:{ClassFQN}.{attr}``
+    mutates instance state of that class (assignment, augmented
+    assignment, ``del``, or an in-place mutator call on the attribute);
+``param:{name}``
+    mutates an argument in place (a caller-visible aliasing effect —
+    recorded, but *not* propagated, because the analyzer does not track
+    which object a caller passed);
+``rng:raw`` / ``rng:seeded`` / ``clock:wall``
+    nondeterminism sources, raw or through the blessed
+    :mod:`repro.core.determinism` seams;
+``channel:send`` / ``channel:recv`` / ``channel:admin`` / ``event-queue``
+  / ``epoch:advance`` / ``link:admin`` / ``trace:append``
+    sanctioned shard-boundary operations, substituted by the manifest.
+
+Direct effects come from each function's own AST (same scope discipline
+as the call-graph builder: nested defs excluded, lambdas included), then
+propagate caller-ward over the resolved call edges until nothing changes.
+Two kinds of edges are *masked* by the ownership manifest
+(:mod:`repro.analysis.static.shardmodel`) instead of propagated raw:
+
+* a call into the **channel API** contributes only its clean atom
+  (``channel:send`` …), not the channel's internal queue mutations —
+  that is exactly what "sanctioned boundary" means;
+* a call into a **provider** (``seeded_rng`` …) contributes the
+  provider's declared atom, hiding its ``random.Random`` internals.
+
+Callback edges (a function reference passed as an argument) propagate
+like calls: handing a mutator to ``Simulator.schedule`` gives the caller
+the mutator's effects, which is the sound assumption for hooks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.static.callgraph import (
+    RESOLVED,
+    FunctionInfo,
+    ProgramModel,
+    infer_expr_type,
+    walk_scope,
+)
+from repro.analysis.static.rules import _CLOCK_ORIGINS, _GLOBAL_RNG_FUNCS
+from repro.analysis.static.shardmodel import ShardManifest
+from repro.analysis.static.walker import (
+    MUTATOR_METHODS,
+    declares_global,
+    is_local_name,
+)
+
+#: Atoms that never propagate to callers: parameter mutation is visible
+#: to the *direct* caller only through the object it passed, which the
+#: analyzer does not track interprocedurally.
+_NON_PROPAGATING_PREFIX = "param:"
+
+#: RNG constructor origins: building an unseeded generator is a raw draw.
+_RAW_RNG_CTORS = frozenset({"random.Random", "random.SystemRandom"})
+
+
+@dataclass
+class EffectSite:
+    """One direct effect with its source location (rules anchor here)."""
+
+    atom: str
+    node: ast.AST
+
+    @property
+    def lineno(self) -> int:
+        return getattr(self.node, "lineno", 0)
+
+
+@dataclass
+class EffectTable:
+    """Direct and transitive effects for every function in the program."""
+
+    program: ProgramModel
+    manifest: ShardManifest
+    #: fn fqn -> direct effect sites, in source order.
+    direct: dict[str, list[EffectSite]] = field(default_factory=dict)
+    #: fn fqn -> full transitive atom set (fixpoint over the call graph).
+    transitive: dict[str, set[str]] = field(default_factory=dict)
+
+    def effects_of(self, fqn: str) -> set[str]:
+        return self.transitive.get(fqn, set())
+
+    def direct_atoms(self, fqn: str) -> set[str]:
+        return {site.atom for site in self.direct.get(fqn, [])}
+
+    def public_summary(self) -> dict[str, list[str]]:
+        """fqn -> sorted atoms, for every public API function."""
+        return {
+            fqn: sorted(self.transitive.get(fqn, ()))
+            for fqn, fn in sorted(self.program.functions.items())
+            if fn.is_public
+        }
+
+
+# --------------------------------------------------------------------- #
+# Direct effects                                                        #
+# --------------------------------------------------------------------- #
+
+
+def _param_names(fn: FunctionInfo) -> set[str]:
+    args = fn.node.args
+    return {
+        arg.arg
+        for arg in (
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *filter(None, (args.vararg, args.kwarg)),
+        )
+    }
+
+
+def _receiver_atom(
+    program: ProgramModel,
+    fn: FunctionInfo,
+    target: ast.expr,
+    params: set[str],
+) -> str | None:
+    """The effect atom for a mutation whose target expression is *target*.
+
+    ``self.x...`` in a method → ``attr:`` on the owning class; a typed
+    receiver (``link.queue.append``) → ``attr:`` on the receiver's class;
+    a bare parameter → ``param:``; a module global → ``global:``.
+    """
+    if isinstance(target, ast.Attribute):
+        base = target.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id in ("self", "cls")
+            and fn.cls is not None
+        ):
+            return f"attr:{fn.cls.fqn}.{target.attr}"
+        receiver = infer_expr_type(program, fn, base)
+        cls = program.class_of(receiver)
+        if cls is not None:
+            return f"attr:{cls.fqn}.{target.attr}"
+        if isinstance(base, ast.Name) and base.id in params:
+            return f"param:{base.id}"
+        return None
+    if isinstance(target, ast.Subscript):
+        return _receiver_atom(program, fn, _strip_subscripts(target), params)
+    if isinstance(target, ast.Name):
+        name = target.id
+        module = program.modules[fn.module]
+        if declares_global(fn.node, name) and name in module.global_names:
+            return f"global:{fn.module}.{name}"
+        if name in params:
+            return f"param:{name}"
+    return None
+
+
+def _strip_subscripts(node: ast.expr) -> ast.expr:
+    """``d[k]`` → ``d``; ``self.d[k]`` → ``self.d`` (one container layer:
+    mutating an element of an attribute still mutates the attribute)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node
+
+
+def _subscript_global_atom(
+    program: ProgramModel, fn: FunctionInfo, target: ast.expr
+) -> str | None:
+    """``GLOBAL[k] = v`` mutates the module global without a ``global``
+    declaration; catch the Name-root case the declared path misses."""
+    root = _strip_subscripts(target)
+    if not isinstance(root, ast.Name):
+        return None
+    name = root.id
+    module = program.modules[fn.module]
+    if name in module.global_names and not is_local_name(fn.node, name):
+        return f"global:{fn.module}.{name}"
+    return None
+
+
+def direct_effects(
+    program: ProgramModel, fn: FunctionInfo, manifest: ShardManifest
+) -> list[EffectSite]:
+    """Extract *fn*'s own effects from its AST (no propagation)."""
+    is_provider, provider_atom = manifest.provider_atom(fn.fqn)
+    if is_provider:
+        # The blessed seam: its declared atom is its whole contract.
+        return (
+            [EffectSite(provider_atom, fn.node)] if provider_atom else []
+        )
+
+    params = _param_names(fn) - {"self", "cls"}
+    sites: list[EffectSite] = []
+
+    def add(atom: str | None, node: ast.AST) -> None:
+        if atom is not None:
+            sites.append(EffectSite(atom, node))
+
+    for node in walk_scope(fn.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                for leaf in _unpack_targets(target):
+                    if isinstance(leaf, ast.Subscript):
+                        add(_subscript_global_atom(program, fn, leaf), node)
+                    add(_receiver_atom(program, fn, leaf, params), node)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript):
+                    add(_subscript_global_atom(program, fn, target), node)
+                add(_receiver_atom(program, fn, target, params), node)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            # In-place mutator methods: x.append(...), self.d.update(...)
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+            ):
+                if isinstance(func.value, ast.Subscript):
+                    add(
+                        _subscript_global_atom(program, fn, func.value), node
+                    )
+                add(_receiver_atom(program, fn, func.value, params), node)
+                if isinstance(func.value, ast.Name):
+                    module = program.modules[fn.module]
+                    name = func.value.id
+                    if name in module.global_names and not is_local_name(
+                        fn.node, name
+                    ):
+                        add(f"global:{fn.module}.{name}", node)
+            # Nondeterminism sources through the walker's stdlib aliases.
+            origin = fn.model.resolve_call(node)
+            if origin is not None:
+                head, _, tail = origin.partition(".")
+                if head == "random" and tail in _GLOBAL_RNG_FUNCS:
+                    add("rng:raw", node)
+                elif origin in _RAW_RNG_CTORS:
+                    add("rng:raw", node)
+                elif origin in _CLOCK_ORIGINS:
+                    add("clock:wall", node)
+    return sites
+
+
+def _unpack_targets(target: ast.expr):
+    """Flatten tuple/list unpacking into leaf target expressions."""
+    if isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _unpack_targets(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _unpack_targets(target.value)
+    else:
+        yield target
+
+
+# --------------------------------------------------------------------- #
+# Propagation                                                           #
+# --------------------------------------------------------------------- #
+
+
+def _callee_contribution(
+    table: EffectTable, callee_fqn: str
+) -> set[str]:
+    """What calling *callee_fqn* adds to the caller's effect set."""
+    manifest = table.manifest
+    atom = manifest.channel_atom(callee_fqn)
+    if atom is not None:
+        # Sanctioned boundary call: the clean atom, nothing else.
+        return {atom}
+    is_provider, provider_atom = manifest.provider_atom(callee_fqn)
+    if is_provider:
+        return {provider_atom} if provider_atom else set()
+    effects = table.transitive.get(callee_fqn)
+    if effects is None:
+        return set()
+    return {
+        a for a in effects if not a.startswith(_NON_PROPAGATING_PREFIX)
+    }
+
+
+def build_effect_table(
+    program: ProgramModel, manifest: ShardManifest
+) -> EffectTable:
+    """Direct extraction, then propagate over call edges to a fixpoint."""
+    table = EffectTable(program=program, manifest=manifest)
+    for fqn, fn in program.functions.items():
+        sites = direct_effects(program, fn, manifest)
+        table.direct[fqn] = sites
+        table.transitive[fqn] = {site.atom for site in sites}
+
+    # Reverse adjacency: callee -> callers, so one worklist pass per
+    # change instead of whole-graph sweeps.
+    callers_of: dict[str, set[str]] = {}
+    calls: dict[str, set[str]] = {}
+    for caller, edges in program.edges.items():
+        for edge in edges:
+            if edge.status != RESOLVED or edge.target is None:
+                continue
+            target = edge.target
+            if target not in program.functions:
+                # Constructor edge to a class without __init__: effect-free.
+                continue
+            calls.setdefault(caller, set()).add(target)
+            callers_of.setdefault(target, set()).add(caller)
+
+    worklist = list(program.functions)
+    pending = set(worklist)
+    while worklist:
+        fqn = worklist.pop()
+        pending.discard(fqn)
+        effects = table.transitive[fqn]
+        before = len(effects)
+        for callee in calls.get(fqn, ()):
+            effects |= _callee_contribution(table, callee)
+        if len(effects) != before:
+            for caller in callers_of.get(fqn, ()):
+                if caller not in pending:
+                    pending.add(caller)
+                    worklist.append(caller)
+    return table
+
+
+__all__ = [
+    "EffectSite",
+    "EffectTable",
+    "build_effect_table",
+    "direct_effects",
+]

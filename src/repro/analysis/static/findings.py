@@ -163,6 +163,9 @@ class SanReport:
     baseline_path: str | None = None
     #: Baseline entries no finding matched (candidates for pruning).
     stale_baseline: list[dict] = field(default_factory=list)
+    #: finding relpath -> repo-relative filesystem path, for output
+    #: formats that must anchor on real files (GitHub annotations).
+    path_map: dict[str, str] = field(default_factory=dict)
 
     @property
     def active(self) -> list[SanFinding]:
@@ -222,6 +225,29 @@ class SanReport:
                 f"{entry['path']} ({entry['scope']}) — prune it"
             )
         lines.append(self.summary())
+        return "\n".join(lines)
+
+    def format_github(self) -> str:
+        """Active findings as GitHub workflow commands, one per line:
+        ``::error file=…,line=…,col=…,title=RULE::message`` — the runner
+        renders these inline on the PR diff."""
+        level = {
+            SEVERITY_ERROR: "error",
+            SEVERITY_WARNING: "warning",
+            SEVERITY_INFO: "notice",
+        }
+        lines = []
+        for f in sorted(
+            self.active, key=lambda f: (f.path, f.line, f.rule)
+        ):
+            path = self.path_map.get(f.path, f.path)
+            message = f.message.replace("%", "%25").replace(
+                "\r", "%0D"
+            ).replace("\n", "%0A")
+            lines.append(
+                f"::{level[f.severity]} file={path},line={f.line},"
+                f"col={f.col},title={f.rule}::{message}"
+            )
         return "\n".join(lines)
 
 

@@ -23,6 +23,7 @@ import ast
 from repro.analysis.static.findings import (
     SEVERITY_ERROR,
     SEVERITY_WARNING,
+    SanRule,
     san_rule,
 )
 from repro.analysis.static.walker import (
@@ -119,7 +120,7 @@ def _calls(model: ModuleModel):
     fix_hint="draw from repro.core.determinism.seeded_rng(seed) / "
     "derive_rng(master, *labels) instead of the process-global RNG",
 )
-def check_unseeded_rng(model: ModuleModel, rule):
+def check_unseeded_rng(model: ModuleModel, rule: SanRule):
     """Process-global or unseeded randomness: ``random.random()`` and
     friends share one hidden global stream (any new caller perturbs every
     existing one), and ``random.Random()`` with no seed reads OS entropy.
@@ -153,7 +154,7 @@ def check_unseeded_rng(model: ModuleModel, rule):
     fix_hint="derive the value from the run's seed "
     "(repro.core.determinism.derive_seed) — never from OS entropy",
 )
-def check_entropy_source(model: ModuleModel, rule):
+def check_entropy_source(model: ModuleModel, rule: SanRule):
     """OS entropy can never be seeded: ``os.urandom``, ``uuid.uuid1/4``,
     ``random.SystemRandom`` and everything in ``secrets`` produce different
     bytes on every run, so any trace, id, or decision they touch diverges.
@@ -175,7 +176,7 @@ def check_entropy_source(model: ModuleModel, rule):
     "packet-step logical clock; benches may call "
     "repro.core.determinism.wall_clock()",
 )
-def check_wall_clock(model: ModuleModel, rule):
+def check_wall_clock(model: ModuleModel, rule: SanRule):
     """A wall-clock read outside the allowlisted clock module: anything it
     feeds — timestamps in payloads, timeouts, ordering — varies run to run
     and machine to machine.  Simulation time is ``network.sim.now``; the
@@ -196,7 +197,7 @@ def check_wall_clock(model: ModuleModel, rule):
     fix_hint="pass sort_keys=True so byte-identity cannot depend on dict "
     "insertion order",
 )
-def check_unsorted_json(model: ModuleModel, rule):
+def check_unsorted_json(model: ModuleModel, rule: SanRule):
     """``json.dumps``/``json.dump`` without ``sort_keys=True``: the byte
     output then depends on dict insertion order, which refactors silently
     change — and same-seed byte-identity (chaos reports, golden traces) is
@@ -253,7 +254,7 @@ def _is_constant_key_dict(model: ModuleModel, call: ast.Call, expr) -> bool:
     fix_hint="wrap the set in sorted(...) before its order can escape "
     "(membership tests and sorted/min/max/sum/len/any/all stay as-is)",
 )
-def check_unordered_iteration(model: ModuleModel, rule):
+def check_unordered_iteration(model: ModuleModel, rule: SanRule):
     """Iteration order of a set escapes into an ordered consumer (a for
     loop, list/dict comprehension, ``list``/``tuple``/``iter``/
     ``enumerate``/``str.join``): that order follows the hash seed, so it
@@ -304,7 +305,7 @@ def check_unordered_iteration(model: ModuleModel, rule):
     "id() values are allocation addresses and differ across runs and "
     "processes",
 )
-def check_id_identity(model: ModuleModel, rule):
+def check_id_identity(model: ModuleModel, rule: SanRule):
     """Builtin ``id()`` used outside a direct identity comparison: its
     value is an allocation address, so using it as a key, tag, or ordering
     input ties behaviour to the allocator — unreproducible across runs and
@@ -328,7 +329,7 @@ def check_id_identity(model: ModuleModel, rule):
     fix_hint="hash with hashlib (stable across processes) or sort on the "
     "value itself; builtin hash() of str/bytes changes with PYTHONHASHSEED",
 )
-def check_hash_order(model: ModuleModel, rule):
+def check_hash_order(model: ModuleModel, rule: SanRule):
     """Builtin ``hash()`` outside a ``__hash__`` definition: for str,
     bytes, and containers of them the result is salted per process
     (``PYTHONHASHSEED``), so bucketing, sort keys, or emitted values built
@@ -360,7 +361,7 @@ def check_hash_order(model: ModuleModel, rule):
     "module global mutated at runtime is per-process state the sharded "
     "simulator will silently fork",
 )
-def check_global_mutation(model: ModuleModel, rule):
+def check_global_mutation(model: ModuleModel, rule: SanRule):
     """A module-level mutable container mutated from inside a function or
     method: hidden global state.  Two engines in one process already share
     it accidentally; two shard processes each get a diverging copy.
@@ -431,7 +432,7 @@ def check_global_mutation(model: ModuleModel, rule):
     "dataclass field(default_factory=...)); a class-level container is one "
     "object shared by every instance",
 )
-def check_class_attr_aliasing(model: ModuleModel, rule):
+def check_class_attr_aliasing(model: ModuleModel, rule: SanRule):
     """A method mutates ``self.x`` where ``x`` is a class-level mutable
     container and no method ever rebinds ``self.x``: every instance aliases
     the *class's* single container, so per-flow state bleeds across
@@ -532,7 +533,7 @@ def _mutated_self_attr(node, self_name: str) -> str | None:
     fix_hint="default to None (or a tuple/frozenset) and create the "
     "container inside the function body",
 )
-def check_mutable_default(model: ModuleModel, rule):
+def check_mutable_default(model: ModuleModel, rule: SanRule):
     """A mutable default argument is evaluated once at def time and shared
     by every call — state leaks between calls within a process and forks
     between shard processes.  Immutable defaults (None, tuples,

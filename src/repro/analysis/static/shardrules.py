@@ -1,0 +1,475 @@
+"""Interprocedural rules: effect hygiene (EFF) and ownership (SHARD).
+
+Where the per-site ``DET``/``RACE`` rules judge one line, these judge a
+*function against the whole program*: its transitive effect set (from
+:mod:`repro.analysis.static.effects`) against the ownership manifest
+(:mod:`repro.analysis.static.shardmodel`).  They share the sanitizer's
+finding/suppression/baseline machinery — ``# repro: allow[SHARD001]``
+works on the flagged line, and ``shardcheck-baseline.json`` permits
+existing debt without letting it grow.
+
+Rule families:
+
+``EFF001`` undeclared-global-effect
+    a public API transitively mutates a module global that is not a
+    sanctioned registry — hidden process state a sharded run duplicates.
+``EFF002`` transitive-raw-rng
+    a public API transitively reaches the process-global RNG; per-site
+    DET001 catches the draw, this catches every entry point it leaks to.
+``EFF003`` effect-summary-drift
+    a public API's computed effect set differs from the committed
+    ``shardcheck-effects.json`` — the sharding contract changed without
+    being re-declared.
+``SHARD001`` crossing-state-mutation
+    shard-crossing state mutated outside its owning class and outside
+    the designated channel API — an unserialized cross-shard write.
+``SHARD002`` raw-entropy-in-shard
+    a shard-owned class method transitively reaches a raw RNG or wall
+    clock — per-shard code must draw from ``derive_seed``-derived
+    generators or the run diverges across workers.
+``SHARD003`` crossing-set-iteration
+    hash-order iteration over a set owned by shard-crossing state —
+    replay order would differ between processes.
+``SHARD004`` frozen-state-mutation
+    frozen (build-once, replicate-everywhere) state mutated outside its
+    declared builders — replicas silently diverge.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.analysis.static.callgraph import (
+    FunctionInfo,
+    ProgramModel,
+    builtin_kind,
+    infer_expr_type,
+    walk_scope,
+)
+from repro.analysis.static.effects import EffectTable
+from repro.analysis.static.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    SanFinding,
+    SanRule,
+)
+from repro.analysis.static.shardmodel import (
+    FROZEN,
+    SHARD_CROSSING,
+    SHARD_OWNED,
+    ShardManifest,
+)
+
+
+@dataclass
+class ShardContext:
+    """Everything an interprocedural rule may ask for."""
+
+    program: ProgramModel
+    manifest: ShardManifest
+    table: EffectTable
+    #: fqn -> sorted atoms from the committed effect summary (None when
+    #: no summary is committed yet — EFF003 stays silent then).
+    committed_effects: dict[str, list[str]] | None = None
+
+
+#: rule id -> SanRule for the interprocedural pass, in registration order.
+# repro: allow[RACE001] import-time rule registry, mutated only by decorators
+IPA_RULES: dict[str, SanRule] = {}
+
+
+def ipa_rule(
+    rule_id: str, name: str, severity: str, fix_hint: str = ""
+) -> Callable:
+    """Register an interprocedural check.
+
+    The decorated generator receives ``(ctx, rule)`` — a
+    :class:`ShardContext` and its own :class:`SanRule` — and yields
+    findings via ``rule.finding(fn.model, node, ...)``.
+    """
+
+    def register(func):
+        if rule_id in IPA_RULES:
+            raise ValueError(f"duplicate interprocedural rule id {rule_id!r}")
+        # repro: allow[RACE001] import-time rule registry
+        IPA_RULES[rule_id] = SanRule(
+            rule_id=rule_id,
+            name=name,
+            severity=severity,
+            doc=(func.__doc__ or "").strip(),
+            fix_hint=fix_hint,
+            func=func,
+        )
+        return func
+
+    return register
+
+
+# --------------------------------------------------------------------- #
+# Shared helpers                                                        #
+# --------------------------------------------------------------------- #
+
+
+def _split_attr_atom(atom: str) -> tuple[str, str] | None:
+    """``attr:{ClassFQN}.{attr}`` -> (ClassFQN, attr)."""
+    if not atom.startswith("attr:"):
+        return None
+    dotted = atom[len("attr:"):]
+    cls, _, attr = dotted.rpartition(".")
+    return (cls, attr) if cls else None
+
+
+def _is_method_of(fn: FunctionInfo, class_fqn: str) -> bool:
+    """Is *fn* a method of *class_fqn* or of one of its subclasses?
+    (Walking the method's own MRO covers both: a subclass method's MRO
+    contains the base.)"""
+    if fn.cls is None:
+        return False
+    return any(cls.fqn == class_fqn for cls in fn.cls._mro_walk())
+
+
+def _functions(ctx: ShardContext) -> Iterator[FunctionInfo]:
+    yield from ctx.program.functions.values()
+
+
+def _witness_chain(
+    ctx: ShardContext, start: str, atoms: frozenset[str], limit: int = 6
+) -> str:
+    """A shortest call chain from *start* to a function *directly*
+    carrying one of *atoms* — the "why" a transitive finding needs."""
+    from collections import deque
+
+    parents: dict[str, str | None] = {start: None}
+    queue = deque([start])
+    hit: str | None = None
+    if ctx.table.direct_atoms(start) & atoms:
+        hit = start
+    while queue and hit is None:
+        current = queue.popleft()
+        for edge in ctx.program.edges.get(current, ()):
+            target = edge.target
+            if (
+                target is None
+                or target in parents
+                or target not in ctx.program.functions
+            ):
+                continue
+            parents[target] = current
+            if ctx.table.direct_atoms(target) & atoms:
+                hit = target
+                break
+            queue.append(target)
+    if hit is None:
+        return ""
+    chain: list[str] = []
+    node: str | None = hit
+    while node is not None:
+        chain.append(node)
+        node = parents[node]
+    chain.reverse()
+    short = [part.split(".")[-1] for part in chain[:-1]]
+    short.append(".".join(chain[-1].split(".")[-2:]))
+    if len(short) > limit:
+        short = short[:2] + ["…"] + short[-(limit - 3):]
+    return " -> ".join(short)
+
+
+# --------------------------------------------------------------------- #
+# EFF: effect hygiene on the public surface                             #
+# --------------------------------------------------------------------- #
+
+
+@ipa_rule(
+    "EFF001",
+    "undeclared-global-effect",
+    SEVERITY_ERROR,
+    fix_hint="move the state onto an owned object, or declare the global "
+    "in the manifest's sanctioned_globals with a why",
+)
+def check_undeclared_global_effect(
+    ctx: ShardContext, rule: SanRule
+) -> Iterator[SanFinding]:
+    """A public API transitively mutates an unsanctioned module global.
+
+    Module globals are per-process: after sharding, each worker mutates
+    its own copy and the copies silently diverge.  Registries that are
+    only filled at import time are declared in the manifest instead.
+    """
+    for fn in _functions(ctx):
+        if not fn.is_public:
+            continue
+        bad = sorted(
+            atom
+            for atom in ctx.table.effects_of(fn.fqn)
+            if atom.startswith("global:")
+            and not ctx.manifest.is_sanctioned_global(
+                *atom[len("global:"):].rsplit(".", 1)
+            )
+        )
+        if bad:
+            chain = _witness_chain(ctx, fn.fqn, frozenset(bad))
+            via = f" (via {chain})" if chain else ""
+            yield rule.finding(
+                fn.model,
+                fn.node,
+                f"public API {fn.qualname} mutates module global(s) "
+                f"{', '.join(a[len('global:'):] for a in bad)}{via}",
+            )
+
+
+@ipa_rule(
+    "EFF002",
+    "transitive-raw-rng",
+    SEVERITY_ERROR,
+    fix_hint="thread a seeded generator (repro.core.determinism."
+    "derive_rng) down the call chain instead",
+)
+def check_transitive_raw_rng(
+    ctx: ShardContext, rule: SanRule
+) -> Iterator[SanFinding]:
+    """A public API transitively reaches the process-global RNG.
+
+    DET001 flags the draw itself; this names every public entry point
+    whose behaviour it contaminates, which is the list a sharding
+    refactor must re-seed.
+    """
+    atoms = frozenset({"rng:raw"})
+    for fn in _functions(ctx):
+        if not fn.is_public:
+            continue
+        if "rng:raw" in ctx.table.effects_of(fn.fqn):
+            chain = _witness_chain(ctx, fn.fqn, atoms)
+            via = f" via {chain}" if chain else ""
+            yield rule.finding(
+                fn.model,
+                fn.node,
+                f"public API {fn.qualname} reaches the process-global "
+                f"RNG{via}",
+            )
+
+
+@ipa_rule(
+    "EFF003",
+    "effect-summary-drift",
+    SEVERITY_WARNING,
+    fix_hint="review the new effects, then regenerate the summary with: "
+    "smartsouth shardcheck --write-effects",
+)
+def check_effect_summary_drift(
+    ctx: ShardContext, rule: SanRule
+) -> Iterator[SanFinding]:
+    """A public API's effect set drifted from the committed summary.
+
+    ``shardcheck-effects.json`` is the declared sharding contract; a
+    drift means an API gained or lost externally visible behaviour
+    without the contract being re-reviewed.  Only APIs present in the
+    committed summary are compared, so adding a function is not noise.
+    """
+    if ctx.committed_effects is None:
+        return
+    computed = ctx.table.public_summary()
+    for fqn, declared in sorted(ctx.committed_effects.items()):
+        actual = computed.get(fqn)
+        if actual is None or actual == sorted(declared):
+            continue
+        fn = ctx.program.functions[fqn]
+        gained = sorted(set(actual) - set(declared))
+        lost = sorted(set(declared) - set(actual))
+        parts = []
+        if gained:
+            parts.append("+" + ", +".join(gained))
+        if lost:
+            parts.append("-" + ", -".join(lost))
+        yield rule.finding(
+            fn.model,
+            fn.node,
+            f"effect summary drift on {fn.qualname}: {'; '.join(parts)}",
+        )
+
+
+# --------------------------------------------------------------------- #
+# SHARD: ownership                                                      #
+# --------------------------------------------------------------------- #
+
+
+@ipa_rule(
+    "SHARD001",
+    "crossing-state-mutation",
+    SEVERITY_ERROR,
+    fix_hint="go through the owning class's channel API (see "
+    "shardmodel.default_manifest) so the write can become a message",
+)
+def check_crossing_state_mutation(
+    ctx: ShardContext, rule: SanRule
+) -> Iterator[SanFinding]:
+    """Shard-crossing state is mutated outside its owner and channel API.
+
+    Every such write is an unserialized cross-shard side effect: correct
+    in-process today, lost or racy the day the object sits in another
+    worker.  Mutations inside the owning class (or a subclass) are its
+    own business, and the shard-crossing classes may mutate *each other*
+    — together they are the shared fabric that implements the boundary
+    (the simulator writing a link's delivery counters is the boundary
+    working, not code reaching across it).  Everything else must call
+    the channel API.
+    """
+    for fn in _functions(ctx):
+        if ctx.manifest.channel_atom(fn.fqn) is not None:
+            continue  # the designated API itself
+        if fn.cls is not None and (
+            ctx.manifest.ownership_of(fn.cls.fqn) == SHARD_CROSSING
+        ):
+            continue  # fabric-internal: the boundary implementing itself
+        for site in ctx.table.direct.get(fn.fqn, ()):
+            split = _split_attr_atom(site.atom)
+            if split is None:
+                continue
+            cls_fqn, attr = split
+            if ctx.manifest.ownership_of(cls_fqn) != SHARD_CROSSING:
+                continue
+            if _is_method_of(fn, cls_fqn):
+                continue
+            cls_name = cls_fqn.split(".")[-1]
+            yield rule.finding(
+                fn.model,
+                site.node,
+                f"{fn.qualname} mutates shard-crossing state "
+                f"{cls_name}.{attr} directly",
+            )
+
+
+@ipa_rule(
+    "SHARD002",
+    "raw-entropy-in-shard",
+    SEVERITY_ERROR,
+    fix_hint="derive the shard's generator with derive_seed/derive_rng "
+    "from the run's master seed; take time from the event loop",
+)
+def check_raw_entropy_in_shard(
+    ctx: ShardContext, rule: SanRule
+) -> Iterator[SanFinding]:
+    """A shard-owned class transitively reaches raw entropy or the wall
+    clock.
+
+    Shard-owned code runs replicated across workers: any draw from the
+    process-global RNG or a wall clock makes replicas diverge.  Seeded
+    generators (``rng:seeded``) are fine — their seeds are derived from
+    the run's master seed.
+    """
+    atoms = frozenset({"rng:raw", "clock:wall"})
+    for fn in _functions(ctx):
+        if fn.cls is None:
+            continue
+        owner = ctx.manifest.ownership_of(fn.cls.fqn)
+        if owner != SHARD_OWNED:
+            continue
+        reached = atoms & ctx.table.effects_of(fn.fqn)
+        if reached:
+            chain = _witness_chain(ctx, fn.fqn, atoms)
+            via = f" via {chain}" if chain else ""
+            yield rule.finding(
+                fn.model,
+                fn.node,
+                f"shard-owned {fn.qualname} reaches "
+                f"{', '.join(sorted(reached))}{via}",
+            )
+
+
+@ipa_rule(
+    "SHARD003",
+    "crossing-set-iteration",
+    SEVERITY_WARNING,
+    fix_hint="iterate sorted(...) so every shard replays the collection "
+    "in the same order",
+)
+def check_crossing_set_iteration(
+    ctx: ShardContext, rule: SanRule
+) -> Iterator[SanFinding]:
+    """Hash-order iteration over a set owned by shard-crossing state.
+
+    The per-site DET rules catch sets that *escape* a function; this one
+    catches iteration order itself when the set lives on shard-crossing
+    state, because two workers replaying the same events must visit
+    members in the same order for their traces to match.
+    """
+    for fn in _functions(ctx):
+        for node in walk_scope(fn.node):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for expr in iters:
+                finding = _crossing_set_iteration_finding(
+                    ctx, rule, fn, expr
+                )
+                if finding is not None:
+                    yield finding
+
+
+def _crossing_set_iteration_finding(
+    ctx: ShardContext,
+    rule: SanRule,
+    fn: FunctionInfo,
+    expr: ast.expr,
+) -> SanFinding | None:
+    if not isinstance(expr, ast.Attribute):
+        return None
+    attr_type = infer_expr_type(ctx.program, fn, expr)
+    # builtin_kind covers both `members: set[int]` (ContainerType) and a
+    # bare `members: set` annotation (the plain kind string).
+    if builtin_kind(attr_type) not in ("set", "frozenset"):
+        return None
+    receiver = infer_expr_type(ctx.program, fn, expr.value)
+    cls = ctx.program.class_of(receiver)
+    if cls is None or ctx.manifest.ownership_of(cls.fqn) != SHARD_CROSSING:
+        return None
+    return rule.finding(
+        fn.model,
+        expr,
+        f"{fn.qualname} iterates shard-crossing set "
+        f"{cls.name}.{expr.attr} in hash order",
+    )
+
+
+@ipa_rule(
+    "SHARD004",
+    "frozen-state-mutation",
+    SEVERITY_ERROR,
+    fix_hint="mutate only inside the declared builders (manifest "
+    "builders entry), or rebuild the object instead of patching it",
+)
+def check_frozen_state_mutation(
+    ctx: ShardContext, rule: SanRule
+) -> Iterator[SanFinding]:
+    """Frozen state is mutated outside its declared builders.
+
+    Frozen objects (the topology, compiled programs) are built once and
+    replicated into every shard; a post-build mutation changes one
+    replica and not the others.  ``__init__`` of a frozen class and the
+    manifest's ``builders`` are the only sanctioned writers.
+    """
+    for fn in _functions(ctx):
+        if ctx.manifest.is_builder(fn.fqn):
+            continue
+        for site in ctx.table.direct.get(fn.fqn, ()):
+            split = _split_attr_atom(site.atom)
+            if split is None:
+                continue
+            cls_fqn, attr = split
+            if ctx.manifest.ownership_of(cls_fqn) != FROZEN:
+                continue
+            cls_name = cls_fqn.split(".")[-1]
+            yield rule.finding(
+                fn.model,
+                site.node,
+                f"{fn.qualname} mutates frozen state "
+                f"{cls_name}.{attr} outside the build phase",
+            )
+
+
+__all__ = ["IPA_RULES", "ShardContext", "ipa_rule"]

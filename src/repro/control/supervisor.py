@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.core.engine import TraversalResult, make_engine
+from repro.core.engine import TraversalResult, _BaseEngine, make_engine
 from repro.core.epoch import EpochClock, EpochGate, watchdog_deadline
 from repro.core.fields import FIELD_EPOCH, FIELD_GID, FIELD_REPEAT, FIELD_SVC
 from repro.core.services.anycast import AnycastService
@@ -53,6 +53,7 @@ from repro.core.services.blackhole import (
 )
 from repro.core.services.critical import CRITICAL, FIELD_CRITICAL, CriticalNodeService
 from repro.core.services.snapshot import SnapshotService, decode_snapshot
+from repro.control.channel import ControlChannel
 from repro.net.simulator import Network
 from repro.net.trace import EventKind
 from repro.openflow.packet import LOCAL_PORT, Packet
@@ -184,7 +185,7 @@ def check_epoch_ledger(outcome: SupervisedOutcome) -> list[str]:
 
 
 def _result_watcher(
-    engine, mark_reports: int, mark_deliveries: int, epoch: int,
+    engine: _BaseEngine, mark_reports: int, mark_deliveries: int, epoch: int,
     accept_deliveries: bool,
 ):
     """Early-exit predicate: a current-epoch observable arrived."""
@@ -202,7 +203,7 @@ def _result_watcher(
     return done
 
 
-def _verdict_watcher(engine, mark_reports: int, epoch: int):
+def _verdict_watcher(engine: _BaseEngine, mark_reports: int, epoch: int):
     """Early-exit predicate: a current-epoch blackhole verdict arrived."""
 
     def done() -> bool:
@@ -233,7 +234,7 @@ class TraversalSupervisor:
         service: Service,
         mode: str = "interpreted",
         config: SupervisorConfig | None = None,
-        channel=None,
+        channel: "ControlChannel | None" = None,
         clock: EpochClock | None = None,
     ) -> None:
         self.network = network
@@ -532,7 +533,7 @@ class SupervisedRuntime:
         network: Network,
         mode: str = "interpreted",
         config: SupervisorConfig | None = None,
-        channel=None,
+        channel: "ControlChannel | None" = None,
     ) -> None:
         self.network = network
         self.mode = mode

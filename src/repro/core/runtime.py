@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.core.engine import TraversalResult, make_engine
+from repro.core.engine import TraversalResult, _BaseEngine, make_engine
 from repro.core.fields import FIELD_GID
 from repro.core.services.anycast import AnycastService, PriocastService
 from repro.core.services.base import PlainTraversalService, Service
@@ -86,13 +86,15 @@ class SmartSouthRuntime:
         #: Compiled-switch engine flag (None: the network's default); see
         #: :mod:`repro.openflow.fastpath` and docs/FASTPATH.md.
         self.fast_path = network.fast_path if fast_path is None else fast_path
-        self._engines: dict[str, object] = {}
+        self._engines: dict[str, _BaseEngine] = {}
 
     # ------------------------------------------------------------------ #
     # Engine management                                                  #
     # ------------------------------------------------------------------ #
 
-    def engine_for(self, service: Service, key: str | None = None):
+    def engine_for(
+        self, service: Service, key: str | None = None
+    ) -> _BaseEngine:
         """Build (or fetch) an engine running *service*.
 
         Engines are cached by *key* (default: the service name), so repeated

@@ -49,9 +49,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from typing import TYPE_CHECKING
+
 from repro.core.fields import FIELD_REPEAT, FIELD_SVC, FIELD_TTL
 from repro.core.services.base import HookContext, Service
 from repro.net.simulator import Network
+
+if TYPE_CHECKING:
+    from repro.core.engine import _BaseEngine
 from repro.openflow.packet import (
     CONTROLLER_PORT,
     LOCAL_PORT,
@@ -241,7 +246,7 @@ class SmartCounterBlackholeDetector:
     and `tests/test_blackhole_timing.py` shows what a too-small gap does.
     """
 
-    def __init__(self, engine) -> None:
+    def __init__(self, engine: "_BaseEngine") -> None:
         self.engine = engine
 
     @staticmethod
@@ -300,7 +305,7 @@ class TtlBinarySearchDetector:
     the offline stage and therefore knows every node's program.
     """
 
-    def __init__(self, engine) -> None:
+    def __init__(self, engine: "_BaseEngine") -> None:
         self.engine = engine
 
     def _probe(self, root: int, ttl: int):
@@ -479,7 +484,7 @@ class LossReport:
 class PacketLossMonitor:
     """End-to-end packet-loss monitoring with multi-prime smart counters."""
 
-    def __init__(self, engine, moduli: tuple[int, ...] = (5, 7)) -> None:
+    def __init__(self, engine: "_BaseEngine", moduli: tuple[int, ...] = (5, 7)) -> None:
         if not isinstance(engine.service, LossCheckService):
             raise TypeError("PacketLossMonitor needs a LossCheckService engine")
         self.engine = engine

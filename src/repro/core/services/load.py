@@ -20,12 +20,15 @@ Interpreted-engine only, like the packet-loss monitor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.services.base import HookContext
 from repro.core.services.blackhole import BH_DONE, FIELD_BH, LossCheckService
 from repro.net.link import Direction
 from repro.net.simulator import Network
+
+if TYPE_CHECKING:
+    from repro.core.engine import _BaseEngine
 from repro.openflow.packet import CONTROLLER_PORT, Packet
 from repro.core.fields import FIELD_SVC
 
@@ -109,7 +112,7 @@ class LoadReport:
 class LoadMonitor:
     """Traffic generation + in-band audit + CRT reconstruction."""
 
-    def __init__(self, engine) -> None:
+    def __init__(self, engine: "_BaseEngine") -> None:
         if not isinstance(engine.service, LoadAuditService):
             raise TypeError("LoadMonitor needs a LoadAuditService engine")
         self.engine = engine

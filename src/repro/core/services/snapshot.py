@@ -23,8 +23,13 @@ requester needs.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.fields import FIELD_RECCAP, FIELD_SNAP_DONE
 from repro.core.services.base import HookContext, Service
+
+if TYPE_CHECKING:
+    from repro.core.engine import _BaseEngine
 from repro.openflow.packet import (
     CONTROLLER_PORT,
     NO_PORT,
@@ -134,7 +139,7 @@ class ChunkedSnapshotService(SnapshotService):
 class ChunkedSnapshotCollector:
     """Controller side of the chunked snapshot: gather, resume, decode."""
 
-    def __init__(self, engine) -> None:
+    def __init__(self, engine: "_BaseEngine") -> None:
         if not isinstance(engine.service, ChunkedSnapshotService):
             raise TypeError("collector needs a ChunkedSnapshotService engine")
         self.engine = engine

@@ -385,7 +385,10 @@ def _ledger_problems(supervision) -> str | None:
     return "; ".join(problems) if problems else None
 
 
-def _classify_snapshot(runtime, network, root, channel) -> tuple[str, str, dict]:
+def _classify_snapshot(
+    runtime: SupervisedRuntime, network: Network, root: int,
+    channel: ControlChannel,
+) -> tuple[str, str, dict]:
     snap = runtime.snapshot(root)
     supervision = snap.supervision
     detail = {"nodes": sorted(snap.nodes), "links": len(snap.links)}
@@ -412,7 +415,7 @@ def _classify_snapshot(runtime, network, root, channel) -> tuple[str, str, dict]
 
 
 def _classify_anycast(
-    runtime, network, root, gid, groups
+    runtime: SupervisedRuntime, network: Network, root: int, gid: int, groups
 ) -> tuple[str, str, dict]:
     delivery = runtime.anycast(root, gid, groups)
     members = groups[gid]
@@ -432,7 +435,9 @@ def _classify_anycast(
     return DEGRADED_CORRECT, delivery.supervision.reason, detail
 
 
-def _classify_blackhole(runtime, network, root) -> tuple[str, str, dict]:
+def _classify_blackhole(
+    runtime: SupervisedRuntime, network: Network, root: int
+) -> tuple[str, str, dict]:
     result = runtime.detect_blackhole(root)
     dropping = _dropping_edges(network)
     detail: dict = {}
@@ -477,7 +482,8 @@ def _classify_blackhole(runtime, network, root) -> tuple[str, str, dict]:
 
 
 def _classify_critical(
-    runtime, network, root, critical_before
+    runtime: SupervisedRuntime, network: Network, root: int,
+    critical_before: bool,
 ) -> tuple[str, str, dict]:
     verdict = runtime.critical(root)
     detail = {"critical": verdict.critical}

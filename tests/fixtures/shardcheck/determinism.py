@@ -1,0 +1,30 @@
+"""Shardcheck corpus: a local stand-in for the determinism providers.
+
+The manifest matches providers on dotted suffixes, so this module's
+``determinism.seeded_rng`` hits the same entry as the real package's
+``repro.core.determinism.seeded_rng`` — which is exactly what lets the
+corpus exercise provider masking without importing the package.
+"""
+
+import random
+import time
+
+
+def seeded_rng(seed):
+    # Masked by the manifest: callers see `rng:seeded`, not the raw
+    # random.Random construction below.
+    return random.Random(seed)
+
+
+def derive_seed(seed, label):
+    return (seed * 1000003) ^ hash(label)
+
+
+def wall_clock():
+    # Masked to `clock:wall` — the one blessed door to real time.
+    return time.time()
+
+
+def good_seeded_consumer(seed):
+    # Public API whose only effect is rng:seeded — clean under EFF002.
+    return seeded_rng(seed).random()

@@ -1,0 +1,22 @@
+"""Shardcheck corpus: EFF003 (drift against the committed summary).
+
+``effects.json`` next to this corpus declares effect sets for the two
+APIs below: an empty set for ``bad_drifting_api`` (stale — the function
+has since gained a param mutation) and the accurate set for
+``good_stable_api``.  APIs absent from the committed file are never
+compared, so the rest of the corpus stays quiet under EFF003.
+"""
+
+
+def bad_drifting_api(items):  # expect[EFF003]
+    items.append("grew an effect the summary never re-declared")
+
+
+def good_stable_api(items):
+    # Same shape, but the committed summary declares param:items.
+    items.append("declared")
+
+
+def good_undeclared_api(items):
+    # Not in the committed summary at all: adding a function is not noise.
+    items.append("new")

@@ -1,0 +1,50 @@
+"""Shardcheck corpus: EFF001 (public APIs mutating module globals).
+
+Module globals are per-process state: after sharding, each worker
+mutates its own copy.  EFF001 anchors at the *public* entry point, so
+the markers ride the ``def`` lines, not the mutation sites.
+"""
+
+REGISTRY = {}
+_COUNTER = 0
+
+
+def bad_register(name, value):  # expect[EFF001]
+    REGISTRY[name] = value
+
+
+def bad_batch_register(pairs):  # expect[EFF001]
+    REGISTRY.update(pairs)
+
+
+def bad_lookup_with_stats(name):  # expect[EFF001]
+    # The mutation hides two calls down; the finding names this API and
+    # cites the witness chain to _bump.
+    _note(name)
+    return REGISTRY.get(name)
+
+
+def _note(name):
+    _bump()
+
+
+def _bump():
+    global _COUNTER
+    _COUNTER += 1
+
+
+def good_reads_global(name):
+    # Reading shared config is shard-safe; only writes diverge.
+    return REGISTRY.get(name)
+
+
+def good_local_shadow():
+    # A fresh local dict that happens to share the global's shape.
+    registry = {}
+    registry["k"] = "v"
+    return registry
+
+
+def good_mutates_param(registry, name, value):
+    # Caller-visible aliasing (param:) is tracked but is not a global.
+    registry[name] = value

@@ -1,0 +1,38 @@
+"""Shardcheck corpus: EFF002 (public APIs reaching the process RNG).
+
+DET001 flags the draw itself; EFF002 names every public entry point it
+contaminates, so the markers sit on the ``def`` lines.
+"""
+
+import random
+
+from determinism import seeded_rng
+
+
+def bad_jitter():  # expect[EFF002]
+    return random.random()
+
+
+def bad_sampled_ports(count):  # expect[EFF002]
+    # Raw entropy two frames down: the finding carries the chain
+    # bad_sampled_ports -> _pick -> _draw.
+    return [_pick() for _ in range(count)]
+
+
+def _pick():
+    return _draw()
+
+
+def _draw():
+    return random.randrange(64)
+
+
+def good_seeded_jitter(seed):
+    # The blessed seam: provider masking turns this into rng:seeded.
+    return seeded_rng(seed).random()
+
+
+def good_derived_stream(rng):
+    # Drawing from a caller-supplied generator is the threaded-seed
+    # pattern EFF002's fix hint asks for.
+    return rng.random()

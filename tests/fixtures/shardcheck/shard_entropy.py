@@ -1,0 +1,47 @@
+"""Shardcheck corpus: SHARD002 (raw entropy inside shard-owned code).
+
+``Switch`` is shard-owned, so its replicas must stay bit-identical:
+drawing from the process RNG or the wall clock makes them diverge.  The
+rule anchors at the offending method's ``def`` line.  Methods are
+private on purpose — public ones would (correctly) trip EFF002 too,
+which the EFF corpus already covers.
+"""
+
+import random
+import time
+
+from determinism import seeded_rng
+
+
+class Switch:
+    """Shard-owned: one worker's private world."""
+
+    def __init__(self, seed):
+        self.rng = seeded_rng(seed)
+        self.ports: list = []
+
+    def _bad_pick_port(self):  # expect[SHARD002]
+        return self.ports[random.randrange(len(self.ports))]
+
+    def _bad_timestamp(self):  # expect[SHARD002]
+        # Transitive: the wall-clock read hides in _now_ms.
+        return _now_ms()
+
+    def good_pick_port(self):
+        # Drawing from the seeded per-switch stream replays identically.
+        return self.ports[self.rng.randrange(len(self.ports))]
+
+    def good_step_counter(self, step):
+        # Logical time instead of wall time.
+        return step + 1
+
+
+def _now_ms():
+    return int(time.time() * 1000)
+
+
+class Dashboard:
+    """Unclassified: SHARD002 keeps out of non-shard code's entropy."""
+
+    def _good_refresh_jitter(self):
+        return random.random()

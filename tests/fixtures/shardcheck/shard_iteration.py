@@ -1,0 +1,61 @@
+"""Shardcheck corpus: SHARD003 (hash-order iteration of crossing sets).
+
+Two workers replaying the same events must visit members in the same
+order for their traces to match, so iterating a set owned by
+shard-crossing state (here: ``Network``) in hash order is flagged.  The
+rule anchors at the iterated attribute expression.
+"""
+
+
+class Network:
+    """Shard-crossing: every worker sees (a slice of) it."""
+
+    members: set
+    ordered: list
+
+    def __init__(self):
+        self.members = set()
+        self.ordered = []
+
+
+class Cluster:
+    """Unclassified look-alike with the same shape."""
+
+    members: set
+
+    def __init__(self):
+        self.members = set()
+
+
+def bad_member_total(net: Network):
+    total = 0
+    for member in net.members:  # expect[SHARD003]
+        total += member
+    return total
+
+
+def bad_member_tags(net: Network):
+    return {member: member * 2 for member in net.members}  # expect[SHARD003]
+
+
+def good_sorted_members(net: Network):
+    # Sorting pins replay order across shards.
+    total = 0
+    for member in sorted(net.members):
+        total += member
+    return total
+
+
+def good_ordered_iteration(net: Network):
+    # Lists replay in insertion order everywhere.
+    return [member for member in net.ordered]
+
+
+def good_unclassified_set(cluster: Cluster):
+    # Same iteration shape, but Cluster crosses no shard boundary.
+    return {member for member in cluster.members}
+
+
+def good_membership_test(net: Network, member):
+    # Containment checks are order-free.
+    return member in net.members

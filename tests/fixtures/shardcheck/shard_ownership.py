@@ -1,0 +1,83 @@
+"""Shardcheck corpus: SHARD001 (crossing-state writes) and SHARD004
+(frozen-state writes).
+
+The classes are *local* — the manifest keys ownership on bare class
+names, so this ``Link``/``ControlChannel``/``Topology`` inherit the real
+contract.  Both rules anchor at the mutation site, so the markers ride
+the mutating statements.
+"""
+
+
+class Link:
+    """Shard-crossing: both endpoints' workers touch it."""
+
+    def __init__(self):
+        self.up = True
+        self.queue: list = []
+
+    def set_blackhole(self, rate):
+        # Channel API (`Link.set_blackhole` -> link:admin): its own
+        # internals are the owner's business.
+        self.up = rate < 1.0
+
+
+class ControlChannel:
+    """Shard-crossing: the fabric may mutate fellow fabric state."""
+
+    def __init__(self, link: Link):
+        self.link = link
+
+    def good_fabric_write(self, link: Link):
+        # Crossing classes mutate each other: the boundary implementing
+        # itself, exempt by design.
+        link.up = False
+
+
+def bad_cut(link: Link):
+    link.up = False  # expect[SHARD001]
+
+
+def bad_queue_push(link: Link, packet):
+    link.queue.append(packet)  # expect[SHARD001]
+
+
+def good_admin_cut(link: Link):
+    # The designated door: callers inherit link:admin, not the write.
+    link.set_blackhole(1.0)
+
+
+def good_reads_crossing(link: Link):
+    return link.up and len(link.queue)
+
+
+class Topology:
+    """Frozen: built once, replicated into every shard."""
+
+    def __init__(self):
+        self.nodes = []
+        self.name = "unnamed"
+
+    def add_node(self, node):
+        # Declared builder: the sanctioned write path.
+        self.nodes.append(node)
+
+
+def bad_patch_topology(topo: Topology):
+    topo.name = "patched-after-build"  # expect[SHARD004]
+
+
+def bad_late_node(topo: Topology, node):
+    topo.nodes.append(node)  # expect[SHARD004]
+
+
+def good_grow_topology(topo: Topology, node):
+    # Going through the builder is fine even transitively: SHARD004
+    # judges direct writes, the builder owns its own.
+    topo.add_node(node)
+
+
+def good_rebuild_topology(nodes):
+    topo = Topology()
+    for node in nodes:
+        topo.add_node(node)
+    return topo

@@ -1,0 +1,588 @@
+"""The interprocedural effect & ownership analyzer, end to end.
+
+The corpus under ``tests/fixtures/shardcheck/`` pins precision *and*
+recall for the EFF/SHARD rules the same way the sancheck corpus does for
+the per-site rules: every line marked ``# expect[RULE]`` must be flagged
+by exactly that rule, and no unmarked line may be flagged at all.  The
+remaining tests cover call-graph edge resolution (the analyzer's load
+bearing wall), the effect fixpoint and its manifest masking, the gate on
+the repo itself (zero unbaselined findings, ≥90% resolution), and the
+CLI surface.
+"""
+
+import json
+import re
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.static import build_models
+from repro.analysis.static.baseline import SHARD_BASELINE_NAME
+from repro.analysis.static.callgraph import EXTERNAL, RESOLVED, UNRESOLVED
+from repro.analysis.static.runner import (
+    EFFECTS_NAME,
+    SanConfig,
+    analyze_program,
+    load_effects,
+    run_shardcheck,
+)
+from repro.analysis.static.shardrules import IPA_RULES
+
+FIXTURES = Path(__file__).parent / "fixtures" / "shardcheck"
+REPO_ROOT = Path(__file__).parent.parent
+
+_EXPECT_RE = re.compile(r"#\s*expect\[([A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)\]")
+
+
+def corpus_expectations() -> set[tuple[str, int, str]]:
+    """(file, line, rule) triples the corpus demands, from its markers."""
+    expected: set[tuple[str, int, str]] = set()
+    for path in sorted(FIXTURES.glob("*.py")):
+        for lineno, text in enumerate(path.read_text().splitlines(), 1):
+            match = _EXPECT_RE.search(text)
+            if match:
+                for rule in match.group(1).split(","):
+                    expected.add((path.name, lineno, rule.strip()))
+    return expected
+
+
+def corpus_findings() -> set[tuple[str, int, str]]:
+    models = build_models(FIXTURES, rel_base=FIXTURES)
+    committed = load_effects(FIXTURES / "effects.json")
+    findings, _, _, _ = analyze_program(models, committed_effects=committed)
+    return {(f.path, f.line, f.rule) for f in findings if f.active}
+
+
+def analyze_sources(tmp_path: Path, sources: dict[str, str], committed=None):
+    """Build a little program from (filename -> source) and analyze it."""
+    for name, text in sources.items():
+        (tmp_path / name).write_text(textwrap.dedent(text))
+    models = build_models(tmp_path, rel_base=tmp_path)
+    return analyze_program(models, committed_effects=committed)
+
+
+def edges_of(program, caller_fqn: str):
+    return list(program.edges.get(caller_fqn, []))
+
+
+class TestCorpus:
+    def test_recall_every_marked_line_is_caught(self):
+        missed = corpus_expectations() - corpus_findings()
+        assert not missed, f"true positives the analyzer missed: {sorted(missed)}"
+
+    def test_precision_no_benign_line_is_flagged(self):
+        extra = corpus_findings() - corpus_expectations()
+        assert not extra, f"benign look-alikes falsely flagged: {sorted(extra)}"
+
+    def test_corpus_exercises_every_registered_rule(self):
+        covered = {rule for _, _, rule in corpus_expectations()}
+        assert covered == set(IPA_RULES), (
+            "every interprocedural rule needs at least one true positive "
+            f"in the corpus; missing: {sorted(set(IPA_RULES) - covered)}"
+        )
+
+    def test_corpus_has_benign_lookalikes(self):
+        for path in sorted(FIXTURES.glob("*.py")):
+            assert "def good_" in path.read_text(), (
+                f"{path.name} has no benign look-alike functions"
+            )
+
+    def test_corpus_resolves_fully(self):
+        # The corpus is written to be statically resolvable: a parse or
+        # import regression shows up here as a resolution drop.
+        models = build_models(FIXTURES, rel_base=FIXTURES)
+        _, _, program, _ = analyze_program(models)
+        assert program.resolution_stats()["unresolved"] == 0
+
+
+class TestCallGraph:
+    def test_module_function_call_resolves(self, tmp_path):
+        _, _, program, _ = analyze_sources(
+            tmp_path,
+            {
+                "a.py": """
+                def callee():
+                    return 1
+
+                def caller():
+                    return callee()
+                """
+            },
+        )
+        edges = edges_of(program, "a.caller")
+        assert [(e.status, e.target) for e in edges] == [
+            (RESOLVED, "a.callee")
+        ]
+
+    def test_method_call_through_self_resolves(self, tmp_path):
+        _, _, program, _ = analyze_sources(
+            tmp_path,
+            {
+                "a.py": """
+                class C:
+                    def helper(self):
+                        return 1
+
+                    def run(self):
+                        return self.helper()
+                """
+            },
+        )
+        edges = edges_of(program, "a.C.run")
+        assert [(e.status, e.target) for e in edges] == [
+            (RESOLVED, "a.C.helper")
+        ]
+
+    def test_inherited_method_resolves_across_modules(self, tmp_path):
+        _, _, program, _ = analyze_sources(
+            tmp_path,
+            {
+                "base.py": """
+                class Base:
+                    def ping(self):
+                        return "pong"
+                """,
+                "child.py": """
+                from base import Base
+
+                class Child(Base):
+                    def run(self):
+                        return self.ping()
+                """,
+            },
+        )
+        edges = edges_of(program, "child.Child.run")
+        assert [(e.status, e.target) for e in edges] == [
+            (RESOLVED, "base.Base.ping")
+        ]
+
+    def test_imported_module_function_resolves(self, tmp_path):
+        _, _, program, _ = analyze_sources(
+            tmp_path,
+            {
+                "util.py": """
+                def helper():
+                    return 1
+                """,
+                "app.py": """
+                from util import helper
+
+                def go():
+                    return helper()
+                """,
+            },
+        )
+        edges = edges_of(program, "app.go")
+        assert [(e.status, e.target) for e in edges] == [
+            (RESOLVED, "util.helper")
+        ]
+
+    def test_typed_attr_method_call_resolves(self, tmp_path):
+        _, _, program, _ = analyze_sources(
+            tmp_path,
+            {
+                "a.py": """
+                class Engine:
+                    def start(self):
+                        return True
+
+                def boot(engine: Engine):
+                    return engine.start()
+                """
+            },
+        )
+        edges = edges_of(program, "a.boot")
+        assert [(e.status, e.target) for e in edges] == [
+            (RESOLVED, "a.Engine.start")
+        ]
+
+    def test_stdlib_call_is_external_not_unresolved(self, tmp_path):
+        _, _, program, _ = analyze_sources(
+            tmp_path,
+            {
+                "a.py": """
+                import math
+
+                def area(r):
+                    return math.pi * math.pow(r, 2)
+                """
+            },
+        )
+        statuses = {e.status for e in edges_of(program, "a.area")}
+        assert statuses == {EXTERNAL}
+        assert program.resolution_stats()["unresolved"] == 0
+
+    def test_dynamic_call_is_counted_not_dropped(self, tmp_path):
+        _, _, program, _ = analyze_sources(
+            tmp_path,
+            {
+                "a.py": """
+                def go(callbacks):
+                    return callbacks[0]()
+                """
+            },
+        )
+        stats = program.resolution_stats()
+        assert stats["unresolved"] == 1
+        sites = program.unresolved_sites()
+        assert len(sites) == 1
+        entry = sites[0].to_dict()
+        assert entry["caller"] == "a.go"
+        assert entry["status"] == UNRESOLVED
+        assert entry["reason"], "unresolved edges must say why"
+        assert entry["line"] > 0
+
+    def test_resolution_rate_counts_all_sites(self, tmp_path):
+        _, _, program, _ = analyze_sources(
+            tmp_path,
+            {
+                "a.py": """
+                def known():
+                    return 1
+
+                def go(handlers):
+                    known()
+                    return handlers[0]()
+                """
+            },
+        )
+        stats = program.resolution_stats()
+        assert stats["call_sites"] == 2
+        assert stats["resolved"] == 1
+        assert stats["unresolved"] == 1
+        assert stats["resolution_rate"] == pytest.approx(0.5)
+
+
+class TestEffects:
+    def test_global_mutation_propagates_to_fixpoint(self, tmp_path):
+        _, _, _, table = analyze_sources(
+            tmp_path,
+            {
+                "a.py": """
+                STATE = {}
+
+                def outer():
+                    return middle()
+
+                def middle():
+                    return inner()
+
+                def inner():
+                    STATE["k"] = 1
+                """
+            },
+        )
+        for fqn in ("a.inner", "a.middle", "a.outer"):
+            assert "global:a.STATE" in table.effects_of(fqn)
+
+    def test_param_mutation_is_recorded_but_not_propagated(self, tmp_path):
+        _, _, _, table = analyze_sources(
+            tmp_path,
+            {
+                "a.py": """
+                def fill(bucket):
+                    bucket.append(1)
+
+                def caller():
+                    items = []
+                    fill(items)
+                    return items
+                """
+            },
+        )
+        assert "param:bucket" in table.effects_of("a.fill")
+        assert not any(
+            atom.startswith("param:") for atom in table.effects_of("a.caller")
+        )
+
+    def test_provider_masking_hides_raw_internals(self, tmp_path):
+        _, _, _, table = analyze_sources(
+            tmp_path,
+            {
+                "determinism.py": """
+                import random
+
+                def seeded_rng(seed):
+                    return random.Random(seed)
+                """,
+                "app.py": """
+                from determinism import seeded_rng
+
+                def draw(seed):
+                    return seeded_rng(seed).random()
+                """,
+            },
+        )
+        assert table.effects_of("determinism.seeded_rng") == {"rng:seeded"}
+        assert table.effects_of("app.draw") == {"rng:seeded"}
+
+    def test_unblessed_rng_ctor_is_raw(self, tmp_path):
+        _, _, _, table = analyze_sources(
+            tmp_path,
+            {
+                "a.py": """
+                import random
+
+                def local_stream(seed):
+                    return random.Random(seed)
+                """
+            },
+        )
+        assert "rng:raw" in table.effects_of("a.local_stream")
+
+    def test_channel_call_contributes_only_its_atom(self, tmp_path):
+        _, _, _, table = analyze_sources(
+            tmp_path,
+            {
+                "a.py": """
+                class ControlChannel:
+                    def __init__(self):
+                        self.outbox: list = []
+
+                    def packet_out(self, packet):
+                        self.outbox.append(packet)
+
+                def send(channel: ControlChannel, packet):
+                    channel.packet_out(packet)
+                """
+            },
+        )
+        # The channel's internals stay its own business...
+        assert "attr:a.ControlChannel.outbox" in table.effects_of(
+            "a.ControlChannel.packet_out"
+        )
+        # ...while callers inherit exactly the sanctioned atom.
+        assert table.effects_of("a.send") == {"channel:send"}
+
+    def test_public_summary_lists_public_apis_only(self, tmp_path):
+        _, _, _, table = analyze_sources(
+            tmp_path,
+            {
+                "a.py": """
+                def api(items):
+                    items.append(1)
+
+                def _internal():
+                    return 2
+                """
+            },
+        )
+        summary = table.public_summary()
+        assert summary == {"a.api": ["param:items"]}
+
+
+class TestRegistry:
+    def test_rules_have_docs_severities_and_hints(self):
+        for rule in IPA_RULES.values():
+            assert rule.doc, f"{rule.rule_id} has no docstring"
+            assert rule.severity in ("error", "warning", "info")
+            assert rule.fix_hint, f"{rule.rule_id} has no fix hint"
+
+    def test_duplicate_rule_id_rejected(self):
+        from repro.analysis.static.shardrules import ipa_rule
+
+        with pytest.raises(ValueError, match="duplicate"):
+            @ipa_rule("EFF001", "dup", "error", fix_hint="x")
+            def dup(ctx, rule):  # pragma: no cover - never runs
+                yield
+
+    def test_disable_and_subset_configs(self, tmp_path):
+        findings, rules_run, _, _ = analyze_sources(
+            tmp_path,
+            {"a.py": "def f():\n    return 1\n"},
+        )
+        assert rules_run == list(IPA_RULES)
+        _, rules_run, _, _ = analyze_program(
+            build_models(tmp_path, rel_base=tmp_path),
+            SanConfig(disable=frozenset({"EFF001"})),
+        )
+        assert "EFF001" not in rules_run
+        _, rules_run, _, _ = analyze_program(
+            build_models(tmp_path, rel_base=tmp_path),
+            SanConfig(rules=("SHARD001",)),
+        )
+        assert rules_run == ["SHARD001"]
+
+
+class TestRepoGate:
+    def test_repo_has_zero_unbaselined_findings(self):
+        report = run_shardcheck()
+        assert report.exit_code == 0, (
+            "new interprocedural findings in the repo source:\n"
+            + report.format_text()
+        )
+
+    def test_repo_resolution_rate_meets_the_floor(self):
+        report = run_shardcheck()
+        rate = report.resolution["resolution_rate"]
+        assert rate >= 0.9, (
+            f"call-site resolution regressed to {rate:.1%}; "
+            "annotate the new receivers instead of lowering the gate"
+        )
+
+    def test_unresolved_sites_are_reported_not_dropped(self):
+        report = run_shardcheck()
+        assert len(report.unresolved) == report.resolution["unresolved"]
+        for entry in report.unresolved:
+            assert entry["caller"] and entry["reason"]
+
+    def test_committed_baseline_has_no_stale_entries(self):
+        report = run_shardcheck()
+        assert not report.stale_baseline, (
+            "shardcheck baseline entries whose sites are fixed — prune "
+            f"them: {report.stale_baseline}"
+        )
+
+    def test_effects_contract_is_committed_and_current(self):
+        report = run_shardcheck()
+        assert report.effects_path is not None, (
+            f"no {EFFECTS_NAME} found above the scan root"
+        )
+        committed = load_effects(Path(report.effects_path))
+        assert committed == report.effects, (
+            "shardcheck-effects.json drifted from the computed summary; "
+            "regenerate with: smartsouth shardcheck --write-effects"
+        )
+
+    def test_repo_scan_paths_are_package_relative(self):
+        report = run_shardcheck()
+        assert all(f.path.startswith("repro/") for f in report.findings)
+
+
+class TestCli:
+    def test_shardcheck_text_and_exit(self, capsys):
+        from repro.cli import main
+
+        assert main(["shardcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "shardcheck:" in out and "0 new" in out
+        assert "call sites resolved" in out
+
+    def test_shardcheck_json_carries_the_evidence(self, capsys):
+        from repro.cli import main
+
+        assert main(["shardcheck", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 0
+        assert payload["resolution"]["resolution_rate"] >= 0.9
+        assert len(payload["unresolved_sites"]) == payload["resolution"]["unresolved"]
+        assert payload["effects"]
+
+    def test_min_resolution_gate_fails_high_bar(self, capsys):
+        from repro.cli import main
+
+        assert main(["shardcheck", "--min-resolution", "0.999"]) == 1
+        assert "below the --min-resolution gate" in capsys.readouterr().out
+
+    def test_min_resolution_gate_passes_the_floor(self):
+        from repro.cli import main
+
+        assert main(["shardcheck", "--min-resolution", "0.9",
+                     "--fail-on-stale"]) == 0
+
+    def test_format_github_emits_annotations(self, capsys):
+        from repro.cli import main
+
+        # Without the baseline the three known EFF001 findings surface as
+        # workflow annotations.
+        assert main(["shardcheck", "--no-baseline", "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out and "title=EFF001" in out
+
+    def test_write_effects_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "mod.py"
+        target.write_text("def api(items):\n    items.append(1)\n")
+        effects = tmp_path / "shardcheck-effects.json"
+        assert main([
+            "shardcheck", "--root", str(target),
+            "--effects", str(effects), "--write-effects", "--no-baseline",
+        ]) == 0
+        assert load_effects(effects) == {"mod.api": ["param:items"]}
+        capsys.readouterr()
+        # With the contract committed, a rescan is clean; after an effect
+        # change, EFF003 reports the drift.
+        assert main([
+            "shardcheck", "--root", str(target),
+            "--effects", str(effects), "--no-baseline",
+        ]) == 0
+        target.write_text(
+            "STATE = {}\n\ndef api(items):\n    STATE['k'] = 1\n"
+        )
+        capsys.readouterr()
+        assert main([
+            "shardcheck", "--root", str(target),
+            "--effects", str(effects), "--no-baseline",
+        ]) == 1
+        assert "EFF003" in capsys.readouterr().out
+
+    def test_prune_baseline_ratchet(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "mod.py"
+        target.write_text("STATE = {}\n\ndef api():\n    STATE['k'] = 1\n")
+        baseline = tmp_path / SHARD_BASELINE_NAME
+        assert main([
+            "shardcheck", "--root", str(target), "--baseline", str(baseline),
+            "--no-effects", "--write-baseline",
+        ]) == 0
+        assert main([
+            "shardcheck", "--root", str(target), "--baseline", str(baseline),
+            "--no-effects", "--fail-on-stale",
+        ]) == 0
+        # Fix the site: the stale entry now fails the ratchet...
+        target.write_text("STATE = {}\n\ndef api():\n    return STATE\n")
+        capsys.readouterr()
+        assert main([
+            "shardcheck", "--root", str(target), "--baseline", str(baseline),
+            "--no-effects", "--fail-on-stale",
+        ]) == 1
+        # ...and pruning empties the baseline.
+        assert main([
+            "shardcheck", "--root", str(target), "--baseline", str(baseline),
+            "--no-effects", "--prune-baseline",
+        ]) == 0
+        assert json.loads(baseline.read_text())["findings"] == []
+
+    def test_sancheck_interprocedural_runs_both_passes(self, capsys):
+        from repro.cli import main
+
+        assert main(["sancheck", "--interprocedural"]) == 0
+        out = capsys.readouterr().out
+        assert "sancheck:" in out and "shardcheck:" in out
+
+    def test_root_is_repeatable(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "a.py").write_text("def api_a():\n    return 1\n")
+        (tmp_path / "b.py").write_text("def api_b():\n    return 2\n")
+        assert main([
+            "shardcheck", "--root", str(tmp_path / "a.py"),
+            "--root", str(tmp_path / "b.py"),
+            "--no-baseline", "--no-effects",
+        ]) == 0
+        assert "across 2 file(s)" in capsys.readouterr().out
+
+    def test_sancheck_fail_on_stale(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import random\n\ndef f():\n    return random.random()\n"
+        )
+        baseline = tmp_path / "sancheck-baseline.json"
+        assert main([
+            "sancheck", "--root", str(target),
+            "--baseline", str(baseline), "--write-baseline",
+        ]) == 0
+        target.write_text("def f():\n    return 4\n")
+        capsys.readouterr()
+        assert main([
+            "sancheck", "--root", str(target), "--baseline", str(baseline),
+        ]) == 0
+        assert main([
+            "sancheck", "--root", str(target), "--baseline", str(baseline),
+            "--fail-on-stale",
+        ]) == 1
