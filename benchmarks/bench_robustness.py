@@ -13,7 +13,9 @@ failures on 2-connected topologies and measures:
 
 from __future__ import annotations
 
+import json
 import random
+from pathlib import Path
 
 import pytest
 
@@ -25,6 +27,9 @@ from repro.net.topology import erdos_renyi, torus
 
 from conftest import fmt_row
 
+BASELINE_PATH = (
+    Path(__file__).parent / "baselines" / "robustness_baseline.json"
+)
 WIDTHS = (10, 10, 14, 14, 16)
 TRIALS = 30
 
@@ -231,3 +236,130 @@ def test_supervision_under_loss_sweep(benchmark, emit):
         assert sup >= bare
     # Loss-free, both complete every time.
     assert rows[0][1] == trials and rows[0][2] == trials
+
+
+def test_recovery_vs_control_loss_sweep(benchmark, emit, request):
+    """Experiment R-control: recovery cost as the *control channel* degrades.
+
+    Unlike ``test_supervision_under_loss_sweep`` (lossy data-plane links),
+    here the data plane is healthy and the management channel drops the
+    controller's own packet-outs.  Sweep the per-message loss probability
+    and measure, per loss level:
+
+    * the supervised snapshot's recovery time (simulator time to an
+      answer — retries and backoff included, so it grows with loss);
+    * attempts spent (the retry bill the channel extracts);
+    * after a full controller crash/restart, whether ``resynchronize``
+      converges and in how many handshake rounds.
+
+    All metrics are seeded-simulator quantities, not wall-clock, so the
+    committed baseline (``benchmarks/baselines/robustness_baseline.json``)
+    is machine-independent.  The gate fails if a loss level stops
+    recovering, stops converging, or its recovery time / attempt bill
+    grows more than 50% over baseline.  After an intentional supervisor
+    or channel change, regenerate with::
+
+        PYTHONPATH=src python -m pytest benchmarks/bench_robustness.py \\
+            --update-robustness-baseline
+    """
+    from repro.control.channel import ChannelFaultConfig, ControlChannel
+    from repro.control.supervisor import SupervisedRuntime, SupervisorConfig
+    from repro.net.topology import torus
+
+    topo = torus(3, 3)
+    trials = 12
+    losses = (0.0, 0.1, 0.2, 0.3)
+
+    def sweep():
+        rows = []
+        for loss in losses:
+            recovered = attempts = converged = rounds = 0
+            recovery_time = 0.0
+            for seed in range(trials):
+                net = Network(topo, seed=seed)
+                faults = ChannelFaultConfig(
+                    loss_prob=loss, delay=1.0,
+                    seed=seed * 13 + int(loss * 100),
+                )
+                channel = ControlChannel(
+                    net, faults=faults if faults.active else None
+                )
+                runtime = SupervisedRuntime(
+                    net, mode="compiled",
+                    config=SupervisorConfig(max_attempts=6),
+                    channel=channel,
+                )
+                started = net.sim.now
+                snap = runtime.snapshot(0)
+                if not snap.degraded:
+                    recovered += 1
+                attempts += snap.supervision.attempts_used
+                recovery_time += net.sim.now - started
+                # Crash the controller and resynchronize over the same
+                # lossy channel.
+                channel.fail_controller()
+                channel.restore_controller()
+                report = runtime.resynchronize(0)
+                if report.converged:
+                    converged += 1
+                rounds += report.rounds
+            rows.append({
+                "loss": loss,
+                "recovered": recovered,
+                "mean_attempts": attempts / trials,
+                "mean_recovery_time": recovery_time / trials,
+                "converged": converged,
+                "mean_resync_rounds": rounds / trials,
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    emit("\n=== R-control: supervised recovery vs control-channel loss, "
+         f"torus-3x3, {trials} trials ===")
+    emit(fmt_row(["loss", "recovered", "attempts", "rec. time",
+                  "resync rounds"], WIDTHS))
+    for row in rows:
+        emit(fmt_row([
+            row["loss"], f"{row['recovered']}/{trials}",
+            f"{row['mean_attempts']:.2f}",
+            f"{row['mean_recovery_time']:.1f}",
+            f"{row['mean_resync_rounds']:.1f} ({row['converged']}/{trials})",
+        ], WIDTHS))
+
+    if request.config.getoption("--update-robustness-baseline"):
+        baseline = json.loads(BASELINE_PATH.read_text())
+        baseline["control_loss_sweep"] = {
+            str(row["loss"]): {
+                "mean_attempts": round(row["mean_attempts"], 2),
+                "mean_recovery_time": round(row["mean_recovery_time"], 1),
+            }
+            for row in rows
+        }
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        return
+
+    baseline = json.loads(BASELINE_PATH.read_text())["control_loss_sweep"]
+    for row in rows:
+        level = f"loss={row['loss']}"
+        # Liveness gates: every level recovers and every resync converges.
+        assert row["recovered"] == trials, (
+            f"{level}: only {row['recovered']}/{trials} supervised "
+            "snapshots recovered a fresh exact answer"
+        )
+        assert row["converged"] == trials, (
+            f"{level}: only {row['converged']}/{trials} post-crash "
+            "resynchronizations converged"
+        )
+        # Cost gates: no >50% growth over the committed baseline.
+        base = baseline[str(row["loss"])]
+        for metric in ("mean_attempts", "mean_recovery_time"):
+            ceiling = base[metric] * 1.5
+            assert row[metric] <= ceiling, (
+                f"{level}: {metric} {row[metric]:.2f} exceeds 1.5x the "
+                f"committed baseline {base[metric]} — if intentional, "
+                "rerun with --update-robustness-baseline"
+            )
+    # The sweep tells the paper's story: a lossier channel costs strictly
+    # more retries than a fault-free one, but never correctness.
+    assert rows[-1]["mean_attempts"] > rows[0]["mean_attempts"]

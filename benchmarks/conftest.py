@@ -34,6 +34,14 @@ def pytest_addoption(parser):
         "the throughput measured in this run (use after an intentional "
         "change).",
     )
+    parser.addoption(
+        "--update-robustness-baseline",
+        action="store_true",
+        default=False,
+        help="Rewrite benchmarks/baselines/robustness_baseline.json with "
+        "the recovery metrics measured in this run (use after an "
+        "intentional change to the supervisor or channel).",
+    )
 
 
 @pytest.fixture

@@ -51,7 +51,19 @@ MC005     blackhole-localized       terminal  verdict names a healthy link
 MC006     failover-masks-failures   step      FF emits on a dead watched port
 MC007     delivery-correctness      terminal  anycast/priocast wrong receiver
 MC008     pipeline-integrity        step      missing table/group, bad goto
+MC009     epoch-at-most-once        terminal  an epoch yields >1 accepted result
+MC010     crash-at-most-once        terminal  stale epoch crosses a crash/resync
 ========  ========================  ========  =================================
+
+Controller crash scenarios (``CheckConfig.crash`` / ``--crash``) add a
+nondeterministic ``("crash",)`` transition to origin-reporting services:
+the restarted controller's epoch clock jumps past every in-flight epoch
+and the retried trigger runs under the new epoch, while the origin gate
+(:class:`repro.core.epoch.EpochGate`, modeled here as a squash of
+stale-epoch packets entering the root) must keep pre-crash stragglers
+from being accepted — verified by MC010.  Squashed packets surface as
+``"squashed"`` environment losses, and the minimizer never deletes the
+crash action (it only deletes failures and extra triggers).
 
 On violation the checker emits a **counterexample**: the shortest (BFS)
 action trace reaching the violation, greedily minimized by deleting failure
@@ -122,8 +134,10 @@ DEFAULT_STATE_BUDGET = 200_000
 DEFAULT_MAX_VIOLATIONS = 20
 
 #: Loss kinds that the *environment* (not the program) caused; they excuse
-#: the bounded-liveness invariant MC004.
-ENVIRONMENT_LOSSES = frozenset({"dead_port", "swallowed"})
+#: the bounded-liveness invariant MC004.  "squashed" is the origin epoch
+#: gate killing a stale-epoch packet after a controller crash/resync — the
+#: at-most-once mechanism working as designed, not a lost traversal.
+ENVIRONMENT_LOSSES = frozenset({"dead_port", "swallowed", "squashed"})
 
 
 # --------------------------------------------------------------------- #
@@ -140,6 +154,9 @@ class TriggerSpec:
     #: Only injectable once no packet is in flight (phase ordering — e.g.
     #: the blackhole verify trigger must not overtake the probe phase).
     at_quiescence: bool = False
+    #: Only injectable once the controller crash has happened (the
+    #: restarted controller's retry under the resynced epoch).
+    after_crash: bool = False
     label: str = "trigger"
 
     def field_dict(self) -> dict[str, int]:
@@ -163,6 +180,12 @@ class Scenario:
     allow_failures: bool = True
     #: The anycast/priocast group id this scenario requests (None others).
     gid: int | None = None
+    #: ``(pre_epoch, post_epoch)`` for a controller-crash scenario: the
+    #: origin gate starts at *pre_epoch*; the nondeterministic ``("crash",)``
+    #: transition jumps it to *post_epoch* (the restarted controller's
+    #: :meth:`EpochClock.resync <repro.core.epoch.EpochClock.resync>` jump).
+    #: ``None`` disables the crash machinery entirely.
+    crash: tuple[int, int] | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -174,6 +197,7 @@ class Scenario:
                     "root": t.root,
                     "fields": dict(t.fields),
                     "at_quiescence": t.at_quiescence,
+                    "after_crash": t.after_crash,
                     "label": t.label,
                 }
                 for t in self.triggers
@@ -181,6 +205,7 @@ class Scenario:
             "blackholes": sorted(self.blackholes),
             "allow_failures": self.allow_failures,
             "gid": self.gid,
+            "crash": list(self.crash) if self.crash else None,
         }
 
 
@@ -197,8 +222,43 @@ def _blackhole_placements(
     return placements
 
 
+#: The crash scenario's epoch pair: the first supervised attempt runs under
+#: epoch 1; the restarted controller resyncs past every in-flight epoch
+#: (margin 2, mirroring ``EpochClock.resync``) and retries under epoch 3.
+CRASH_EPOCHS = (1, 3)
+
+
+def _crash_scenario(name: str, root: int) -> Scenario:
+    """A controller crash/recovery scenario for an origin-reporting service.
+
+    The pre-crash trigger is tagged with the first epoch and admitted by the
+    origin gate; the ``("crash",)`` transition (available once the trigger is
+    in flight) jumps the gate to the post-crash epoch; the retry trigger —
+    injectable only after the crash — runs under that epoch.  The gate
+    squashes the stale straggler at the origin, and MC010 asserts no
+    pre-crash epoch is accepted after the crash.
+    """
+    pre, post = CRASH_EPOCHS
+    return Scenario(
+        f"{name}:crash",
+        name,
+        root,
+        (
+            TriggerSpec(root, ((FIELD_EPOCH, pre),), label="pre-crash"),
+            TriggerSpec(
+                root,
+                ((FIELD_EPOCH, post),),
+                after_crash=True,
+                label="post-crash-retry",
+            ),
+        ),
+        crash=(pre, post),
+    )
+
+
 def scenarios_for(
-    service, topology: Topology, root: int, max_failures: int = 1
+    service, topology: Topology, root: int, max_failures: int = 1,
+    crash: bool = False,
 ) -> list[Scenario]:
     """Build the scenario list the checker explores for *service*.
 
@@ -207,12 +267,20 @@ def scenarios_for(
     placements up to *max_failures* simultaneous silent-drop links (plus the
     clean run) with visible failures disabled — the paper's algorithms
     assume a stable topology during one detection run.
+
+    With *crash* set, origin-reporting services additionally get a
+    controller-crash scenario: an epoch-tagged trigger in flight, a
+    nondeterministic crash/resync that jumps the origin gate, and a
+    retried trigger under the new epoch (checked by MC010).
     """
     name = service.name
     if name in ("plain", "snapshot", "critical"):
-        return [
+        out = [
             Scenario(name, name, root, (TriggerSpec(root, label=name),))
         ]
+        if crash:
+            out.append(_crash_scenario(name, root))
+        return out
     if name == "snapshot_chunked":
         cap = int(getattr(service, "max_records", 16))
         return [
@@ -616,6 +684,9 @@ class GlobalState:
         "reports",
         "deliveries",
         "losses",
+        "gate_epoch",
+        "crash_left",
+        "crash_mark",
         "_key",
     )
 
@@ -631,6 +702,9 @@ class GlobalState:
         reports: tuple,
         deliveries: tuple,
         losses: tuple,
+        gate_epoch: int = 0,
+        crash_left: int = 0,
+        crash_mark: tuple[int, int] | None = None,
     ) -> None:
         self.packets = packets
         self.live = live
@@ -642,6 +716,12 @@ class GlobalState:
         self.reports = reports
         self.deliveries = deliveries
         self.losses = losses
+        # Crash-scenario state: the origin gate's admitted epoch (0 = no
+        # gate), whether the crash transition is still available, and the
+        # (reports, deliveries) lengths at crash time (for MC010).
+        self.gate_epoch = gate_epoch
+        self.crash_left = crash_left
+        self.crash_mark = crash_mark
         self._key: tuple | None = None
 
     def key(self) -> tuple:
@@ -657,6 +737,9 @@ class GlobalState:
                 self.reports,
                 self.deliveries,
                 self.losses,
+                self.gate_epoch,
+                self.crash_left,
+                self.crash_mark,
             )
         return self._key
 
@@ -1215,6 +1298,40 @@ def _check_epoch_at_most_once(ctx: ModelContext, state: GlobalState):
             )
 
 
+@invariant("MC010", "crash-at-most-once", "terminal")
+def _check_crash_acceptance(ctx: ModelContext, state: GlobalState):
+    """No pre-crash epoch may be accepted after a controller crash/resync.
+
+    In a crash scenario the restarted controller resyncs its epoch clock
+    past every in-flight epoch and retries under the new epoch; the origin
+    gate alone — one match rule in the data plane, no controller-side
+    filtering — must keep stale stragglers out.  Concretely: every report
+    recorded *after* the crash transition must carry epoch 0 (unsupervised)
+    or the post-crash epoch.  A violation means the data plane let a
+    pre-crash result cross the resync boundary, so even a restarted
+    controller that trusts every packet-in could double-accept — the
+    at-most-once contract would silently depend on controller soft state
+    that the crash just destroyed.
+
+    Vacuous (no checks) unless the scenario has a crash and the crash
+    actually happened in this interleaving.
+    """
+    crash = ctx.scenario.crash
+    if crash is None or state.crash_mark is None:
+        return
+    inv = INVARIANTS["MC010"]
+    _pre, post = crash
+    for node, fields, _stack in state.reports[state.crash_mark[0]:]:
+        epoch = dict(fields).get(FIELD_EPOCH, 0)
+        if epoch and epoch != post:
+            yield inv.violation(
+                f"report at node {node} tagged epoch {epoch} was accepted "
+                f"after the crash (restarted epoch is {post}); a stale "
+                f"result crossed the resync boundary",
+                node=node,
+            )
+
+
 # --------------------------------------------------------------------- #
 # The explorer                                                          #
 # --------------------------------------------------------------------- #
@@ -1231,6 +1348,10 @@ class CheckConfig:
     max_violations: int = DEFAULT_MAX_VIOLATIONS
     disable: set[str] = dataclass_field(default_factory=set)
     roots: Sequence[int] | None = None
+    #: Also explore controller crash/recovery scenarios (MC010) for
+    #: origin-reporting services.  Off by default: the crash machinery
+    #: roughly doubles the scenario count for those services.
+    crash: bool = False
 
 
 @dataclass
@@ -1269,6 +1390,8 @@ def format_action(action: tuple, topology: Topology | None = None) -> str:
         return f"fail link {edge_id}"
     if kind == "step":
         return f"step packet p{action[1]}"
+    if kind == "crash":
+        return "controller crashes and restarts (gate resyncs)"
     return repr(action)
 
 
@@ -1330,6 +1453,7 @@ class Explorer:
         budget = (
             self.config.max_failures if self.scenario.allow_failures else 0
         )
+        crash = self.scenario.crash
         return GlobalState(
             packets=(),
             live=self.ctx.all_edges,
@@ -1341,6 +1465,9 @@ class Explorer:
             reports=(),
             deliveries=(),
             losses=(),
+            gate_epoch=crash[0] if crash else 0,
+            crash_left=1 if crash else 0,
+            crash_mark=None,
         )
 
     def is_terminal(self, state: GlobalState) -> bool:
@@ -1354,8 +1481,12 @@ class Explorer:
         actions: list[tuple] = [("step", p.pid) for p in state.packets]
         if state.next_trigger < len(self.scenario.triggers):
             spec = self.scenario.triggers[state.next_trigger]
-            if not spec.at_quiescence or not state.packets:
+            if (not spec.at_quiescence or not state.packets) and (
+                not spec.after_crash or state.crash_left == 0
+            ):
                 actions.append(("inject", state.next_trigger))
+        if state.crash_left > 0 and state.next_trigger > 0:
+            actions.append(("crash",))
         if (
             state.extra_left > 0
             and self.scenario.triggers
@@ -1387,6 +1518,8 @@ class Explorer:
             spec = self.scenario.triggers[index]
             if spec.at_quiescence and state.packets:
                 return None
+            if spec.after_crash and state.crash_left > 0:
+                return None
             packet = PacketState(
                 state.next_pid,
                 spec.root,
@@ -1407,6 +1540,9 @@ class Explorer:
                     reports=state.reports,
                     deliveries=state.deliveries,
                     losses=state.losses,
+                    gate_epoch=state.gate_epoch,
+                    crash_left=state.crash_left,
+                    crash_mark=state.crash_mark,
                 ),
                 None,
             )
@@ -1433,6 +1569,34 @@ class Explorer:
                     reports=state.reports,
                     deliveries=state.deliveries,
                     losses=state.losses,
+                    gate_epoch=state.gate_epoch,
+                    crash_left=state.crash_left,
+                    crash_mark=state.crash_mark,
+                ),
+                None,
+            )
+        if kind == "crash":
+            # The controller dies and restarts: its epoch clock resyncs past
+            # every epoch that may still be in flight and the retry installs
+            # the origin gate for the new epoch.  The data plane is
+            # untouched — in-flight packets keep flying (the paper's point).
+            if state.crash_left <= 0 or self.scenario.crash is None:
+                return None
+            return (
+                GlobalState(
+                    packets=state.packets,
+                    live=state.live,
+                    cursors=state.cursors,
+                    failures_left=state.failures_left,
+                    next_trigger=state.next_trigger,
+                    extra_left=state.extra_left,
+                    next_pid=state.next_pid,
+                    reports=state.reports,
+                    deliveries=state.deliveries,
+                    losses=state.losses,
+                    gate_epoch=self.scenario.crash[1],
+                    crash_left=0,
+                    crash_mark=(len(state.reports), len(state.deliveries)),
                 ),
                 None,
             )
@@ -1456,6 +1620,9 @@ class Explorer:
                     reports=state.reports,
                     deliveries=state.deliveries,
                     losses=state.losses,
+                    gate_epoch=state.gate_epoch,
+                    crash_left=state.crash_left,
+                    crash_mark=state.crash_mark,
                 ),
                 None,
             )
@@ -1471,6 +1638,9 @@ class Explorer:
         self, state: GlobalState, packet: PacketState
     ) -> tuple[GlobalState, StepInfo]:
         node = packet.node
+        squashed = self._gate_squashes(state, packet)
+        if squashed is not None:
+            return squashed
         stepper = self.steppers[node]
         live = state.live
 
@@ -1560,6 +1730,9 @@ class Explorer:
             deliveries=state.deliveries + tuple(deliveries),
             losses=state.losses
             + tuple((k, n, p, e) for k, n, p, e, _ in losses),
+            gate_epoch=state.gate_epoch,
+            crash_left=state.crash_left,
+            crash_mark=state.crash_mark,
         )
         info = StepInfo(
             pid=packet.pid,
@@ -1568,6 +1741,50 @@ class Explorer:
             outcome=outcome,
             new_packets=new_packets,
             losses_added=losses,
+        )
+        return new_state, info
+
+    def _gate_squashes(
+        self, state: GlobalState, packet: PacketState
+    ) -> tuple[GlobalState, StepInfo] | None:
+        """Origin epoch gate: kill a stale-epoch packet entering the root.
+
+        Mirrors :class:`~repro.core.epoch.EpochGate` — after a crash/resync
+        the origin switch admits only tag 0 or the current epoch, so a
+        pre-crash straggler can neither report a duplicate result nor keep
+        traversing through the origin.  The squash is an environment loss
+        ("squashed"), not a program bug.
+        """
+        if not state.gate_epoch or packet.node != self.scenario.root:
+            return None
+        constraint = packet.cube.constraints.get(FIELD_EPOCH)
+        epoch = constraint[0] if constraint else 0
+        if epoch in (0, state.gate_epoch):
+            return None
+        node = packet.node
+        loss = ("squashed", node, packet.in_port, -1)
+        new_state = GlobalState(
+            packets=tuple(p for p in state.packets if p.pid != packet.pid),
+            live=state.live,
+            cursors=state.cursors,
+            failures_left=state.failures_left,
+            next_trigger=state.next_trigger,
+            extra_left=state.extra_left,
+            next_pid=state.next_pid,
+            reports=state.reports,
+            deliveries=state.deliveries,
+            losses=state.losses + (loss,),
+            gate_epoch=state.gate_epoch,
+            crash_left=state.crash_left,
+            crash_mark=state.crash_mark,
+        )
+        info = StepInfo(
+            pid=packet.pid,
+            node=node,
+            in_port=packet.in_port,
+            outcome=StepOutcome(),
+            new_packets=[],
+            losses_added=[loss + (None,)],
         )
         return new_state, info
 
@@ -1619,6 +1836,14 @@ class Explorer:
                     break
                 if state.packets:
                     action = ("step", state.packets[0].pid)
+                elif (
+                    state.crash_left > 0
+                    and state.next_trigger < len(self.scenario.triggers)
+                    and self.scenario.triggers[state.next_trigger].after_crash
+                ):
+                    # The pending trigger waits for the crash; fire it so
+                    # the closure can reach a terminal state.
+                    action = ("crash",)
                 else:
                     action = ("inject", state.next_trigger)
                 applied = self.apply(state, action)
@@ -1824,7 +2049,7 @@ def run_check(
     exhausted = False
     for root in roots:
         for scenario in scenarios_for(
-            service, topology, root, config.max_failures
+            service, topology, root, config.max_failures, crash=config.crash
         ):
             scenario_count += 1
             ctx = ModelContext(topology, service, scenario, widths)

@@ -114,6 +114,14 @@ def replay_counterexample(
     check.
     """
     scenario = counterexample.scenario
+    if any(a[0] == "crash" for a in counterexample.trace):
+        # Controller-crash traces (MC010) drive the origin epoch gate,
+        # which the simulator replay does not model yet; refusing beats a
+        # silently-divergent replay.
+        raise ValueError(
+            "crash counterexamples are not replayable; inspect the trace "
+            "with Counterexample.format() instead"
+        )
     network = Network(topology)
     engine = make_engine(network, service, "compiled")
     engine.install()

@@ -165,6 +165,22 @@ def default_manifest() -> ShardManifest:
             "ControlChannel.set_packet_in_handler": "channel:recv",
             "ControlChannel.disconnect": "channel:admin",
             "ControlChannel.reconnect": "channel:admin",
+            # The channel's seeded fault model: fault installation and the
+            # outage/partition switches are management-plane admin; the
+            # internal queue scheduler is the send path's machinery.
+            "ControlChannel.set_faults": "channel:admin",
+            "ControlChannel.fail_controller": "channel:admin",
+            "ControlChannel.restore_controller": "channel:admin",
+            "ControlChannel.partition_window": "channel:admin",
+            "ControlChannel.flap": "channel:admin",
+            "ControlChannel.outage_window": "channel:admin",
+            "ControlChannel._schedule": "channel:send",
+            "ControlChannel._deliver_out": "channel:send",
+            "ControlChannel._deliver_in": "channel:recv",
+            # Controller process lifecycle (crash/restart are control-plane
+            # admin events; a sharded run must broadcast them).
+            "Controller.crash": "channel:admin",
+            "Controller.restart": "channel:admin",
             # The event queue (a sharded run gives each worker a cursor).
             "Simulator.schedule": "event-queue",
             "Simulator.at": "event-queue",
@@ -176,8 +192,10 @@ def default_manifest() -> ShardManifest:
             "Network.set_handler": "channel:admin",
             "Network.set_controller_sink": "channel:admin",
             "Network.set_delivery_sink": "channel:admin",
-            # Epoch advancement is a barrier in a sharded run.
+            # Epoch advancement is a barrier in a sharded run; the
+            # post-crash resync jump is the same barrier, repeated.
             "EpochClock.advance": "epoch:advance",
+            "EpochClock.resync": "epoch:advance",
             # Fault injection / healing acts on the shared link fabric.
             # The module-level helpers in repro.net.failures are the
             # chaos campaigns' designated injection seam.
@@ -219,6 +237,13 @@ def default_manifest() -> ShardManifest:
             "determinism.derive_rng": "rng:seeded",
             "determinism.derive_seed": None,
             "determinism.wall_clock": "clock:wall",
+            # Packet-id allocation: an owned allocator object inside the
+            # provider (the paid-down ``_packet_ids`` EFF001 debt); a
+            # sharded run deals each worker its own id range here.
+            "determinism.next_packet_id": "packet-id",
+            "determinism.reset_packet_ids": "packet-id",
+            "determinism.PacketIdAllocator.allocate": "packet-id",
+            "determinism.PacketIdAllocator.reset": "packet-id",
         },
     )
 

@@ -471,6 +471,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         roots=tuple(int(r) for r in args.roots.split(","))
         if args.roots
         else None,
+        crash=args.crash,
     )
     report = check_engine(engine, config)
     if getattr(args, "json", False):
@@ -484,14 +485,22 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
-    from repro.net.chaos import ChaosConfig, run_campaign
+    from repro.net.chaos import (
+        CONTROL_PROFILES,
+        ChaosConfig,
+        check_outage_liveness,
+        run_campaign,
+    )
 
+    profiles = tuple(args.profiles.split(","))
+    if args.control:
+        profiles = CONTROL_PROFILES
     config = ChaosConfig(
         runs=args.runs,
         seed=args.seed,
         services=tuple(args.services.split(",")),
         topologies=tuple(args.topologies.split(",")),
-        profiles=tuple(args.profiles.split(",")),
+        profiles=profiles,
         max_attempts=args.max_attempts,
     )
     try:
@@ -499,6 +508,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise SystemExit(str(exc))
     report = run_campaign(config)
+    if args.control:
+        report.outage_liveness = {
+            topology: check_outage_liveness(config.seed, topology)
+            for topology in config.topologies
+        }
     if args.json_out:
         with open(args.json_out, "w") as handle:
             handle.write(report.to_json() + "\n")
@@ -766,6 +780,11 @@ def make_parser() -> argparse.ArgumentParser:
         "--roots", default=None,
         help="comma-separated roots to check from (default: 0)",
     )
+    p.add_argument(
+        "--crash", action="store_true",
+        help="also explore controller crash/recovery scenarios (MC010: "
+        "no stale epoch may be accepted across the resync boundary)",
+    )
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(
@@ -787,6 +806,11 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--profiles", default="lossy,partition,blackhole",
         help="comma-separated fault profiles",
+    )
+    p.add_argument(
+        "--control", action="store_true",
+        help="control-plane campaign: ctrl-* profiles plus the "
+             "full-outage liveness preflight (overrides --profiles)",
     )
     p.add_argument(
         "--max-attempts", type=int, default=6, dest="max_attempts",

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.control.controller import ControllerApp
+from repro.control.retry import DEFAULT_POLICY, RetryPolicy, retry_rounds
 from repro.core.smart_counter import counter_value
 from repro.openflow.group import GroupType
 from repro.openflow.switch import Switch
@@ -56,21 +57,40 @@ class CounterPollingDetector(ControllerApp):
             return port
         return None
 
-    def poll(self) -> PollResult:
-        """One group-stats sweep over all manageable switches."""
+    def poll(self, policy: RetryPolicy | None = None) -> PollResult:
+        """Group-stats sweep over all manageable switches, with retries.
+
+        Retry rounds (bounded by *policy*) re-poll only the switches that
+        were unreachable, so a flapping management partition costs extra
+        time but not missed switches; a fully reachable sweep stays one
+        round at the classic 2 messages per switch.
+        """
         controller = self.controller
         assert controller is not None
         result = PollResult()
-        for node, switch in self.switches.items():
-            if not controller.channel.connected(node):
-                result.switches_unreachable += 1
-                continue
-            result.switches_polled += 1
-            result.out_band_messages += 2  # stats request + reply
-            for group in switch.groups.groups():
-                if group.group_type is not GroupType.SELECT:
+        polled: set[int] = set()
+
+        def poll_round(index: int) -> None:
+            for node, switch in self.switches.items():
+                if node in polled:
                     continue
-                port = self._port_of_counter_group(switch, group.group_id)
-                if port is not None and counter_value(group) == 1:
-                    result.suspects.add((node, port))
+                if not controller.channel.connected(node):
+                    continue
+                polled.add(node)
+                result.switches_polled += 1
+                result.out_band_messages += 2  # stats request + reply
+                for group in switch.groups.groups():
+                    if group.group_type is not GroupType.SELECT:
+                        continue
+                    port = self._port_of_counter_group(switch, group.group_id)
+                    if port is not None and counter_value(group) == 1:
+                        result.suspects.add((node, port))
+
+        def pending() -> int:
+            return len(self.switches) - len(polled)
+
+        retry_rounds(
+            controller.network, policy or DEFAULT_POLICY, poll_round, pending
+        )
+        result.switches_unreachable = len(self.switches) - len(polled)
         return result

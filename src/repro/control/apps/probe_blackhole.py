@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.control.controller import Controller, ControllerApp
+from repro.control.retry import DEFAULT_POLICY, RetryPolicy, retry_rounds
 from repro.openflow.actions import Instructions, Output, SetField
 from repro.openflow.match import Match
 from repro.openflow.packet import CONTROLLER_PORT, Packet
@@ -74,8 +75,25 @@ class ProbeBlackholeDetector(ControllerApp):
         if packet.get(FIELD_PROBE) == 1:
             self._returned.add(packet.get(FIELD_PROBE_ID))
 
-    def check(self) -> ProbeResult:
-        """Probe all link directions once."""
+    def crashed(self) -> None:
+        """Probe bookkeeping is learned state: lose it with the process."""
+        self._returned.clear()
+        self._sent.clear()
+
+    def _returned_directions(self) -> set[tuple[int, int]]:
+        return {
+            self._sent[pid] for pid in self._returned if pid in self._sent
+        }
+
+    def check(self, policy: RetryPolicy | None = None) -> ProbeResult:
+        """Probe all link directions; re-probe the silent ones.
+
+        A direction is only reported silent once retry rounds (bounded by
+        *policy*) confirm it: a real blackhole eats the re-probe exactly
+        like the first probe, while a message lost on a faulty management
+        channel does not repeat.  A healthy fault-free network answers
+        every probe in round one, keeping the classic 2E message cost.
+        """
         controller = self.controller
         assert controller is not None
         network = controller.network
@@ -84,24 +102,36 @@ class ProbeBlackholeDetector(ControllerApp):
         self._returned.clear()
         self._sent.clear()
 
-        probe_id = 0
-        for edge in network.topology.edges():
-            for endpoint in (edge.a, edge.b):
-                probe_id += 1
-                self._sent[probe_id] = (endpoint.node, endpoint.port)
-                packet = Packet(
-                    fields={FIELD_PROBE: 1, FIELD_PROBE_ID: probe_id}
-                )
-                channel.packet_out_port(endpoint.node, endpoint.port, packet)
-        network.run()
+        directions = [
+            (endpoint.node, endpoint.port)
+            for edge in network.topology.edges()
+            for endpoint in (edge.a, edge.b)
+        ]
+        probe_count = 0
 
-        silent = {
-            location
-            for pid, location in self._sent.items()
-            if pid not in self._returned
-        }
+        def probe_round(index: int) -> None:
+            nonlocal probe_count
+            returned = self._returned_directions() if index else set()
+            for direction in directions:
+                if direction in returned:
+                    continue
+                probe_count += 1
+                self._sent[probe_count] = direction
+                packet = Packet(
+                    fields={FIELD_PROBE: 1, FIELD_PROBE_ID: probe_count}
+                )
+                channel.packet_out_port(direction[0], direction[1], packet)
+            network.run()
+
+        def pending() -> int:
+            return len(directions) - len(self._returned_directions())
+
+        retry_rounds(network, policy or DEFAULT_POLICY, probe_round, pending)
+
+        returned = self._returned_directions()
+        silent = {d for d in directions if d not in returned}
         return ProbeResult(
             silent=silent,
-            probes_sent=probe_id,
+            probes_sent=probe_count,
             out_band_messages=channel.out_band_messages - mark,
         )

@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.control.controller import Controller, ControllerApp
+from repro.control.retry import DEFAULT_POLICY, RetryPolicy, sim_sleep
 from repro.net.topology import Topology
 from repro.openflow.actions import Instructions, Output
 from repro.openflow.match import Match
@@ -52,6 +53,17 @@ class ReactiveAnycastRouting(ControllerApp):
         self._next_flow = 1
         self.rule_installs = 0
         self.recomputations = 0
+
+    def crashed(self) -> None:
+        """The routing view is soft state; the installed rules are not —
+        they live in the switches and keep forwarding during the outage."""
+        self.view = None
+
+    def restarted(self) -> None:
+        """Restart from static configuration: re-adopt the configured
+        topology (link liveness is still consulted per repair)."""
+        if self.controller is not None:
+            self.view = self.controller.network.topology
 
     def attached(self, controller: Controller) -> None:
         super().attached(controller)
@@ -98,7 +110,13 @@ class ReactiveAnycastRouting(ControllerApp):
     def install_path(
         self, src: int, gid: int, respect_failures: bool = False
     ) -> PathInstall | None:
-        """Compute and install a path from *src* to the nearest member."""
+        """Compute and install a path from *src* to the nearest member.
+
+        Returns None when no path exists — or when the controller has
+        crashed and not yet restarted (no view, no routing).
+        """
+        if self.view is None:
+            return None
         members = self.groups.get(gid, set())
         path = self._shortest_path(src, members, respect_failures)
         if path is None:
@@ -154,6 +172,41 @@ class ReactiveAnycastRouting(ControllerApp):
         network.run()
         network.set_delivery_sink(previous_sink)
         return delivered[0] if delivered else None
+
+    def send_with_retry(
+        self,
+        src: int,
+        gid: int,
+        install: PathInstall,
+        policy: RetryPolicy | None = None,
+    ) -> tuple[int | None, PathInstall]:
+        """Send with bounded reactive repair: on a silent failure, back
+        off, recompute against true liveness, reinstall and resend.
+
+        Returns ``(delivered_at, last install)``; ``delivered_at`` is None
+        when retries exhaust (the member really is unreachable).  A send
+        that succeeds first try costs exactly one packet, like
+        :meth:`send`.
+        """
+        controller = self.controller
+        assert controller is not None
+        policy = policy or DEFAULT_POLICY
+        policy.validate()
+        current: PathInstall | None = install
+        for index in range(policy.max_attempts):
+            if current is not None:
+                delivered = self.send(src, current)
+                if delivered is not None:
+                    return delivered, current
+            if index < policy.max_attempts - 1:
+                sim_sleep(
+                    controller.network,
+                    policy.backoff(index, controller.network.rng),
+                )
+                repaired, _messages = self.repair(src, gid)
+                if repaired is not None:
+                    current = repaired
+        return None, current if current is not None else install
 
     def repair(self, src: int, gid: int) -> tuple[PathInstall | None, int]:
         """Reactive repair after a failure: recompute against true liveness.

@@ -15,6 +15,7 @@ switch.  ``benchmarks/bench_baselines.py`` measures exactly this.
 from __future__ import annotations
 
 from repro.control.controller import Controller, ControllerApp
+from repro.control.retry import DEFAULT_POLICY, RetryPolicy, retry_rounds
 from repro.openflow.actions import Instructions, Output, SetField
 from repro.openflow.match import Match
 from repro.openflow.packet import CONTROLLER_PORT, Packet
@@ -79,13 +80,40 @@ class LldpTopologyService(ControllerApp):
         self.links.add(frozenset(((src, src_port), (node, in_port))))
         self.nodes_seen.update((src, node))
 
-    def discover(self) -> set[frozenset[tuple[int, int]]]:
-        """Run one full discovery round; returns the learned link set."""
+    def crashed(self) -> None:
+        """Everything LLDP knows, it learned from the network: lose it."""
+        self.links.clear()
+        self.nodes_seen.clear()
+
+    def _confirmed_ports(self) -> set[tuple[int, int]]:
+        """Ports already known to anchor a discovered link."""
+        return {endpoint for link in self.links for endpoint in link}
+
+    def discover(
+        self, policy: RetryPolicy | None = None
+    ) -> set[frozenset[tuple[int, int]]]:
+        """Run discovery to a fixed point; returns the learned link set.
+
+        The first round probes every port; retry rounds (bounded by
+        *policy*) re-probe only ports no discovered link anchors yet, so a
+        probe or its punt-back lost on a faulty channel gets another
+        chance, while a fault-free run that discovers everything in round
+        one sends exactly the classic 2E probes.
+        """
         controller = self.controller
         assert controller is not None
         network = controller.network
-        for node in network.topology.nodes():
-            for port in range(1, network.topology.degree(node) + 1):
+        targets = [
+            (node, port)
+            for node in network.topology.nodes()
+            for port in range(1, network.topology.degree(node) + 1)
+        ]
+
+        def probe_round(index: int) -> None:
+            confirmed = self._confirmed_ports() if index else set()
+            for node, port in targets:
+                if (node, port) in confirmed:
+                    continue
                 probe = Packet(
                     fields={
                         FIELD_LLDP: 1,
@@ -94,5 +122,11 @@ class LldpTopologyService(ControllerApp):
                     }
                 )
                 controller.channel.packet_out_port(node, port, probe)
-        network.run()
+            network.run()
+
+        def pending() -> int:
+            confirmed = self._confirmed_ports()
+            return sum(1 for target in targets if target not in confirmed)
+
+        retry_rounds(network, policy or DEFAULT_POLICY, probe_round, pending)
         return set(self.links)

@@ -1,35 +1,123 @@
-"""The out-of-band control channel, with per-switch disconnection.
+"""The out-of-band control channel: disconnection, loss, reorder, outage.
 
 The paper's motivation includes control-plane brittleness: "data plane
 elements may even lose connectivity to the control plane entirely" ([13]).
-:class:`ControlChannel` models exactly that failure mode — a set of switches
-whose management connection is down.  Packet-outs to them are lost, and
-their packet-ins never reach the controller.  Message accounting mirrors
-the paper's out-of-band message counts.
+:class:`ControlChannel` models that whole spectrum of failure, not just the
+binary per-switch disconnect of earlier revisions:
+
+* **Per-switch disconnect** — a set of switches whose management connection
+  is down.  Packet-outs to them are lost, their packet-ins never arrive.
+* **Whole-controller outage** — :meth:`fail_controller` severs *every*
+  management connection at once (the controller process is gone); the data
+  plane keeps running, which is exactly the situation the in-band services
+  are built for.
+* **Seeded message faults** — with a :class:`ChannelFaultConfig` installed,
+  every control message becomes a schedulable, droppable event on an
+  explicit in-order-by-default queue: per-message loss, duplication, and a
+  bounded extra delay that reorders messages relative to each other.
+
+The fault-free path is bit-for-bit the original synchronous channel: no RNG
+draw is ever made and no event is ever queued unless a fault config with at
+least one nonzero knob is installed, so golden traces are unchanged.
+
+Message accounting mirrors the paper's out-of-band message counts.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.determinism import Rng, seeded_rng
 from repro.net.simulator import Network
 from repro.openflow.packet import LOCAL_PORT, Packet
 
 #: Upcall delivered to the controller: (switch node, packet).
 PacketInHandler = Callable[[int, Packet], None]
 
+#: Queued-message kinds.
+PACKET_OUT = "packet-out"
+PACKET_OUT_PORT = "packet-out-port"
+PACKET_IN = "packet-in"
+
+
+@dataclass(frozen=True)
+class ChannelFaultConfig:
+    """Seeded fault knobs for the management network.
+
+    All-zero knobs (the default) mean the channel behaves exactly like the
+    fault-free synchronous channel — same code path, zero RNG draws.
+    """
+
+    #: Per-message drop probability (both directions).
+    loss_prob: float = 0.0
+    #: Per-message duplication probability (the copy is delivered too).
+    dup_prob: float = 0.0
+    #: Base management-network latency per message (simulated time units).
+    delay: float = 0.0
+    #: Extra uniform delay drawn per message.  Nonzero values reorder
+    #: messages relative to each other; zero keeps the queue strictly FIFO.
+    max_extra_delay: float = 0.0
+    #: Seed of the channel's private RNG (independent of ``network.rng`` so
+    #: installing faults never perturbs data-plane draws).
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.loss_prob < 1.0:
+            raise ValueError("loss_prob must be in [0, 1)")
+        if not 0.0 <= self.dup_prob <= 1.0:
+            raise ValueError("dup_prob must be in [0, 1]")
+        if self.delay < 0 or self.max_extra_delay < 0:
+            raise ValueError("delays must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        """True when any knob routes messages through the fault queue."""
+        return (
+            self.loss_prob > 0
+            or self.dup_prob > 0
+            or self.delay > 0
+            or self.max_extra_delay > 0
+        )
+
+
+@dataclass
+class ChannelMessage:
+    """One control message on the channel queue (telemetry/introspection)."""
+
+    kind: str
+    node: int
+    packet_id: int
+    sent_at: float
+    deliver_at: float
+    duplicate: bool = False
+    delivered: bool = False
+
 
 class ControlChannel:
     """Controller <-> switches management connectivity."""
 
-    def __init__(self, network: Network) -> None:
+    def __init__(
+        self, network: Network, faults: ChannelFaultConfig | None = None
+    ) -> None:
         self.network = network
         self._disconnected: set[int] = set()
+        self._controller_up = True
         self._packet_in_handler: PacketInHandler | None = None
+        self._faults: ChannelFaultConfig | None = None
+        self._fault_rng: Rng | None = None
+        #: Messages that went through the fault queue (in send order).
+        self.queue: list[ChannelMessage] = []
         self.packet_outs_sent = 0
         self.packet_outs_lost = 0
         self.packet_ins_received = 0
         self.packet_ins_lost = 0
+        #: Channel-fault casualties (distinct from disconnect/outage loss).
+        self.packet_outs_dropped = 0
+        self.packet_ins_dropped = 0
+        self.messages_duplicated = 0
+        if faults is not None:
+            self.set_faults(faults)
         network.set_controller_sink(self._on_packet_in)
 
     # -- connectivity -------------------------------------------------- #
@@ -42,28 +130,144 @@ class ControlChannel:
         self._disconnected.discard(node)
 
     def connected(self, node: int) -> bool:
-        return node not in self._disconnected
+        return self._controller_up and node not in self._disconnected
 
     def disconnected_switches(self) -> set[int]:
         return set(self._disconnected)
 
+    def fail_controller(self) -> None:
+        """Whole-controller outage: every management connection is down at
+        once, but per-switch disconnect state is preserved for restore."""
+        self._controller_up = False
+
+    def restore_controller(self) -> None:
+        self._controller_up = True
+
+    @property
+    def controller_up(self) -> bool:
+        return self._controller_up
+
+    # -- fault scheduling ------------------------------------------------ #
+
+    def set_faults(self, faults: ChannelFaultConfig | None) -> None:
+        """Install (or clear) the seeded message-fault model."""
+        if faults is not None:
+            faults.validate()
+            if not faults.active:
+                faults = None
+        self._faults = faults
+        self._fault_rng = seeded_rng(faults.seed) if faults is not None else None
+
+    def partition_window(self, node: int, start: float, duration: float) -> None:
+        """Schedule a management partition of *node* over one time window."""
+        if duration <= 0:
+            raise ValueError("partition duration must be positive")
+        self.network.sim.at(start, lambda: self.disconnect(node))
+        self.network.sim.at(start + duration, lambda: self.reconnect(node))
+
+    def flap(
+        self, node: int, start: float, down: float, up: float, cycles: int
+    ) -> None:
+        """Schedule *cycles* alternating down/up partition windows."""
+        if cycles < 1:
+            raise ValueError("flap needs at least one cycle")
+        at = start
+        for _ in range(cycles):
+            self.partition_window(node, at, down)
+            at += down + up
+
+    def outage_window(self, start: float, duration: float) -> None:
+        """Schedule a whole-controller outage over one time window."""
+        if duration <= 0:
+            raise ValueError("outage duration must be positive")
+        self.network.sim.at(start, self.fail_controller)
+        self.network.sim.at(start + duration, self.restore_controller)
+
+    def _schedule(
+        self,
+        kind: str,
+        node: int,
+        packet: Packet,
+        deliver: Callable[[Packet], None],
+    ) -> bool:
+        """Put one message on the fault queue: draw its fate, schedule its
+        delivery event(s).  Returns False when the loss draw killed it."""
+        faults = self._faults
+        rng = self._fault_rng
+        assert faults is not None and rng is not None
+        if faults.loss_prob > 0 and rng.random() < faults.loss_prob:
+            return False
+        copies = [packet]
+        if faults.dup_prob > 0 and rng.random() < faults.dup_prob:
+            # The duplicate is a distinct packet object: the twins must not
+            # share in-flight field rewrites once both enter the pipeline.
+            copies.append(packet.copy())
+            self.messages_duplicated += 1
+        for copy_index, copy in enumerate(copies):
+            extra = (
+                rng.random() * faults.max_extra_delay
+                if faults.max_extra_delay > 0
+                else 0.0
+            )
+            wait = faults.delay + extra
+            message = ChannelMessage(
+                kind=kind,
+                node=node,
+                packet_id=copy.packet_id,
+                sent_at=self.network.sim.now,
+                deliver_at=self.network.sim.now + wait,
+                duplicate=copy_index > 0,
+            )
+            self.queue.append(message)
+
+            def fire(message=message, copy=copy):
+                message.delivered = True
+                deliver(copy)
+
+            # Equal deliver-at times keep send order (the simulator's event
+            # queue is seq-stable), so the queue is in-order by default and
+            # only nonzero extra delay reorders.
+            self.network.sim.schedule(wait, fire)
+        return True
+
     # -- messaging ------------------------------------------------------ #
 
     def set_packet_in_handler(self, handler: PacketInHandler | None) -> None:
+        """Install the controller-side packet-in upcall.
+
+        Passing a handler (re)owns the network's controller sink — baselines
+        and SmartSouth engines may alternate on one network.  Passing
+        ``None`` *detaches* the channel: the handler is cleared and the sink
+        is released only if this channel still owns it, so a successor that
+        claimed the sink in the meantime is left undisturbed.
+        """
         self._packet_in_handler = handler
-        # (Re)own the network's controller sink: baselines and SmartSouth
-        # engines may alternate on one network.
-        self.network.set_controller_sink(self._on_packet_in)
+        if handler is not None:
+            self.network.set_controller_sink(self._on_packet_in)
+        elif self.network.controller_sink == self._on_packet_in:
+            self.network.set_controller_sink(None)
 
     def packet_out(self, node: int, packet: Packet, in_port: int = LOCAL_PORT) -> bool:
         """Inject *packet* at *node*; returns False if the switch is
-        unreachable (the message is lost, but still counted as sent)."""
+        unreachable or the channel dropped the message (lost messages are
+        still counted as sent)."""
         self.packet_outs_sent += 1
         if not self.connected(node):
             self.packet_outs_lost += 1
             return False
-        self.network.inject(node, packet, in_port=in_port, from_controller=True)
-        return True
+        if self._faults is None:
+            self.network.inject(node, packet, in_port=in_port, from_controller=True)
+            return True
+        delivered = self._schedule(
+            PACKET_OUT,
+            node,
+            packet,
+            lambda copy: self._deliver_out(node, copy, in_port),
+        )
+        if not delivered:
+            self.packet_outs_lost += 1
+            self.packet_outs_dropped += 1
+        return delivered
 
     def packet_out_port(self, node: int, port: int, packet: Packet) -> bool:
         """Packet-out with an explicit ``output:port`` action (no tables)."""
@@ -71,10 +275,44 @@ class ControlChannel:
         if not self.connected(node):
             self.packet_outs_lost += 1
             return False
-        self.network.transmit(node, port, packet, from_controller=True)
-        return True
+        if self._faults is None:
+            self.network.transmit(node, port, packet, from_controller=True)
+            return True
+        delivered = self._schedule(
+            PACKET_OUT_PORT,
+            node,
+            packet,
+            lambda copy: self.network.transmit(node, port, copy, from_controller=True),
+        )
+        if not delivered:
+            self.packet_outs_lost += 1
+            self.packet_outs_dropped += 1
+        return delivered
+
+    def _deliver_out(self, node: int, packet: Packet, in_port: int) -> None:
+        """A delayed packet-out reaches the switch and enters its pipeline."""
+        self.network.inject(node, packet, in_port=in_port, from_controller=True)
 
     def _on_packet_in(self, node: int, packet: Packet) -> None:
+        if not self.connected(node):
+            self.packet_ins_lost += 1
+            return
+        if self._faults is None:
+            self.packet_ins_received += 1
+            if self._packet_in_handler is not None:
+                self._packet_in_handler(node, packet)
+            return
+        delivered = self._schedule(
+            PACKET_IN, node, packet, lambda copy: self._deliver_in(node, copy)
+        )
+        if not delivered:
+            self.packet_ins_lost += 1
+            self.packet_ins_dropped += 1
+
+    def _deliver_in(self, node: int, packet: Packet) -> None:
+        """A delayed packet-in reaches the controller.  Outage is re-checked
+        at delivery time: a message in flight when the controller dies is
+        lost with it."""
         if not self.connected(node):
             self.packet_ins_lost += 1
             return
@@ -86,3 +324,8 @@ class ControlChannel:
     def out_band_messages(self) -> int:
         """Messages that used the management network (sent, incl. lost)."""
         return self.packet_outs_sent + self.packet_ins_received
+
+    @property
+    def pending_messages(self) -> int:
+        """Fault-queue messages scheduled but not yet delivered."""
+        return sum(1 for m in self.queue if not m.delivered)

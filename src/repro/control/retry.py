@@ -1,0 +1,103 @@
+"""Retry with timeout and exponential backoff for controller-app requests.
+
+:class:`~repro.control.supervisor.TraversalSupervisor` already retries the
+*in-band* services; this module gives the controller-driven baselines
+(:mod:`repro.control.apps`) the same discipline on the management plane.
+Every app request (a discovery round, a probe sweep, a stats poll, a path
+send) becomes a bounded **round loop**: run one round, measure what is
+still pending, and retry only the pending remainder after an exponential
+backoff with seeded jitter — stopping early at a *fixed point* (a round
+that made no progress), because on a fault-free channel the pending
+remainder is then genuinely unreachable (a dead link or a disconnected
+switch), not a lost message.
+
+On a fault-free channel where the first round fully succeeds, the loop
+runs exactly one round, draws no RNG, and advances no simulated time —
+bit-identical to the unsupervised behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.determinism import Rng
+from repro.net.simulator import Network
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff policy of one controller-app request."""
+
+    #: Total request rounds (first try + retries).
+    max_attempts: int = 3
+    #: First backoff (simulated time units).
+    base_backoff: float = 8.0
+    #: Backoff growth per retry.
+    backoff_factor: float = 2.0
+    #: Backoff ceiling.
+    max_backoff: float = 256.0
+    #: Max jitter, as a fraction of the backoff (uniform, seeded).
+    jitter: float = 0.5
+
+    def validate(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoffs must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff(self, retry_index: int, rng: Rng) -> float:
+        """Backoff before retry *retry_index* (0-based), jittered."""
+        delay = min(
+            self.max_backoff, self.base_backoff * self.backoff_factor**retry_index
+        )
+        return delay * (1.0 + self.jitter * rng.random())
+
+
+#: The apps' default: three rounds is enough to see a fixed point through
+#: moderate channel loss without distorting fault-free message counts.
+DEFAULT_POLICY = RetryPolicy()
+
+
+def sim_sleep(network: Network, duration: float) -> None:
+    """Advance simulated time by *duration* (in-flight events keep moving)."""
+    sim = network.sim
+    target = sim.now + duration
+    sim.at(target, lambda: None)
+    sim.run(until=target)
+
+
+def retry_rounds(
+    network: Network,
+    policy: RetryPolicy,
+    round_fn: Callable[[int], None],
+    pending_fn: Callable[[], int],
+) -> int:
+    """Drive request rounds under *policy*; returns the rounds used.
+
+    ``round_fn(index)`` performs one request round (index 0 is the base
+    round, later indices should re-request only the pending remainder) and
+    must drain the network before returning.  ``pending_fn()`` counts the
+    requests still unanswered.  The loop stops when nothing is pending,
+    when a round makes no progress (fixed point — the remainder is
+    unreachable, not lost), or when attempts exhaust.
+    """
+    policy.validate()
+    rounds = 0
+    previous_pending: int | None = None
+    for index in range(policy.max_attempts):
+        round_fn(index)
+        rounds += 1
+        pending = pending_fn()
+        if pending <= 0:
+            break
+        if previous_pending is not None and pending >= previous_pending:
+            break
+        previous_pending = pending
+        if index < policy.max_attempts - 1:
+            sim_sleep(network, policy.backoff(index, network.rng))
+    return rounds

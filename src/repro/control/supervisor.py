@@ -518,6 +518,46 @@ class SupervisedCritical:
     supervision: SupervisedOutcome
 
 
+#: Per-switch reconciliation outcomes.
+RESYNC_OK = "ok"
+RESYNC_REPROGRAMMED = "reprogrammed"
+RESYNC_UNREACHABLE = "unreachable"
+
+
+@dataclass
+class SwitchResync:
+    """Inventory-handshake outcome for one (switch, service) pair."""
+
+    node: int
+    service: str
+    status: str
+
+
+@dataclass
+class ResyncReport:
+    """What one post-restart resynchronization did (the chaos oracle's
+    evidence for *resync-convergence*)."""
+
+    converged: bool
+    rounds: int
+    #: Epoch clock before and after the post-crash jump.
+    epoch_before: int
+    epoch_after: int
+    #: Nodes the in-band re-learning traversal reached.
+    relearned_nodes: set[int]
+    relearned_links: set[frozenset[tuple[int, int]]]
+    #: True when the re-learning snapshot itself had to degrade.
+    topology_degraded: bool
+    #: Final-round handshake entries (the fixed point when ``converged``).
+    switches: list[SwitchResync] = field(default_factory=list)
+    #: Nodes reprogrammed in *any* round, in reprogramming order.
+    reprogrammed_nodes: list[int] = field(default_factory=list)
+
+    @property
+    def unreachable_nodes(self) -> list[int]:
+        return [s.node for s in self.switches if s.status == RESYNC_UNREACHABLE]
+
+
 class SupervisedRuntime:
     """All four case studies, supervised: the resilient runtime facade.
 
@@ -534,11 +574,16 @@ class SupervisedRuntime:
         mode: str = "interpreted",
         config: SupervisorConfig | None = None,
         channel: "ControlChannel | None" = None,
+        in_band: bool = False,
     ) -> None:
         self.network = network
         self.mode = mode
         self.config = config or SupervisorConfig()
         self.channel = channel
+        #: In-band triggering: the origin switch injects its own triggers
+        #: (``from_controller=False``), so a dead management plane cannot
+        #: stop a service — the paper's full-outage operating mode.
+        self.in_band = in_band
         self.clock = EpochClock()
         self._supervisors: dict[str, TraversalSupervisor] = {}
         #: gid -> confirmed members (delivery evidence), most recent last.
@@ -558,11 +603,104 @@ class SupervisedRuntime:
             self._supervisors[key] = supervisor
         return supervisor
 
+    # -- post-restart resynchronization ----------------------------------- #
+
+    def resynchronize(
+        self, root: int, margin: int = 2, max_rounds: int = 3
+    ) -> ResyncReport:
+        """Resynchronize after a controller crash/restart.
+
+        A restarted controller keeps only static configuration (the service
+        definitions and the compiler); everything learned is gone.  Three
+        steps rebuild it, all through the supervised machinery so loss and
+        partitions produce retries and honest degradation, never hangs:
+
+        1. **Epoch jump.**  :meth:`EpochClock.resync` burns *margin*
+           epochs, so any attempt that was in flight when the controller
+           died is strictly stale — the existing origin
+           :class:`~repro.core.epoch.EpochGate` squashes its survivors the
+           moment a new supervised call installs a gate.
+        2. **In-band topology re-learning.**  One supervised snapshot
+           traversal from *root* re-learns nodes and links — the paper's
+           point: re-learning needs management connectivity to a *single*
+           switch, not to all of them.
+        3. **Inventory handshake, to a fixed point.**  Every switch of
+           every supervised engine reports its
+           :meth:`~repro.openflow.switch.Switch.inventory_digest`; the
+           controller recompiles the expected program from static config
+           and reprograms any switch whose digest disagrees (a crash during
+           programming, or state garbled while unsupervised).  Rounds
+           repeat until one reprograms nothing; ``converged`` is False only
+           when *max_rounds* of reprogramming never reached that fixed
+           point.
+        """
+        from repro.core.compiler import compile_service
+
+        epoch_before = self.clock.current
+        epoch_after = self.clock.resync(margin)
+        snap = self.snapshot(root)
+        report = ResyncReport(
+            converged=False,
+            rounds=0,
+            epoch_before=epoch_before,
+            epoch_after=epoch_after,
+            relearned_nodes=set(snap.nodes),
+            relearned_links=set(snap.links),
+            topology_degraded=snap.degraded,
+        )
+        for _round in range(max_rounds):
+            report.rounds += 1
+            entries: list[SwitchResync] = []
+            reprogrammed = 0
+            for key in sorted(self._supervisors):
+                supervisor = self._supervisors[key]
+                engine = supervisor.engine
+                installed = getattr(engine, "switches", None)
+                if not installed:
+                    # Interpreted engines keep no switch-side flow state to
+                    # reconcile; (re)binding happens on the next call.
+                    continue
+                service = supervisor.service
+                for node in sorted(installed):
+                    if self.channel is not None and not self.channel.connected(
+                        node
+                    ):
+                        entries.append(
+                            SwitchResync(node, service.name, RESYNC_UNREACHABLE)
+                        )
+                        continue
+                    expected = compile_service(
+                        self.network,
+                        node,
+                        service,
+                        fast_path=getattr(engine, "fast_path", None),
+                    )
+                    if (
+                        installed[node].inventory_digest()
+                        == expected.inventory_digest()
+                    ):
+                        entries.append(
+                            SwitchResync(node, service.name, RESYNC_OK)
+                        )
+                        continue
+                    installed[node] = expected
+                    self.network.set_handler(node, expected.process)
+                    entries.append(
+                        SwitchResync(node, service.name, RESYNC_REPROGRAMMED)
+                    )
+                    report.reprogrammed_nodes.append(node)
+                    reprogrammed += 1
+            report.switches = entries
+            if reprogrammed == 0:
+                report.converged = True
+                break
+        return report
+
     # -- snapshot -------------------------------------------------------- #
 
     def snapshot(self, root: int) -> SupervisedSnapshot:
         supervisor = self._supervisor(SnapshotService(), "snapshot")
-        outcome = supervisor.supervise(root)
+        outcome = supervisor.supervise(root, from_controller=not self.in_band)
         if outcome.ok and outcome.result and outcome.result.reports:
             reporter, packet = outcome.result.reports[-1]
             nodes, links = decode_snapshot(packet)
@@ -688,7 +826,9 @@ class SupervisedRuntime:
                 supervisor._run_window(deadline)
 
             probe = supervisor._inject(
-                root, {FIELD_REPEAT: REPEAT_PROBE, FIELD_EPOCH: epoch}, True
+                root,
+                {FIELD_REPEAT: REPEAT_PROBE, FIELD_EPOCH: epoch},
+                not self.in_band,
             )
             if probe is None:
                 attempt.outcome = PACKET_OUT_LOST
@@ -701,7 +841,9 @@ class SupervisedRuntime:
             supervisor._run_window(deadline)
 
             verify = supervisor._inject(
-                root, {FIELD_REPEAT: REPEAT_VERIFY, FIELD_EPOCH: epoch}, True
+                root,
+                {FIELD_REPEAT: REPEAT_VERIFY, FIELD_EPOCH: epoch},
+                not self.in_band,
             )
             if verify is None:
                 attempt.outcome = PACKET_OUT_LOST
@@ -805,7 +947,7 @@ class SupervisedRuntime:
 
     def critical(self, node: int) -> SupervisedCritical:
         supervisor = self._supervisor(CriticalNodeService(), "critical")
-        outcome = supervisor.supervise(node)
+        outcome = supervisor.supervise(node, from_controller=not self.in_band)
         if outcome.ok and outcome.result:
             verdict = any(
                 pkt.get(FIELD_CRITICAL) == CRITICAL

@@ -69,6 +69,50 @@ def derive_rng(master: int, *labels: object) -> Rng:
     return seeded_rng(derive_seed(master, *labels))
 
 
+class PacketIdAllocator:
+    """Sequential id allocation behind an owned object, not a module global.
+
+    Packet ids are bookkeeping, never matched on — but they appear in
+    traces, so byte-identical replay needs a resettable, deterministic
+    source.  Owning the cursor as instance state (instead of rebinding a
+    module-level ``itertools.count``, the old EFF001 debt in
+    ``shardcheck-baseline.json``) keeps the mutation inside one object the
+    sharded simulator can place per worker or proxy across the channel.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._next = start
+
+    def allocate(self) -> int:
+        """Hand out the next id (sequential from the configured start)."""
+        value = self._next
+        self._next = value + 1
+        return value
+
+    def reset(self, start: int = 1) -> None:
+        """Restart the sequence (test/bench support for golden traces)."""
+        self._next = start
+
+
+#: The process-wide allocator instance behind :func:`next_packet_id`.
+_PACKET_IDS = PacketIdAllocator()
+
+
+def next_packet_id() -> int:
+    """Allocate the next packet id (the provider seam traces rely on)."""
+    return _PACKET_IDS.allocate()
+
+
+def reset_packet_ids(start: int = 1) -> None:
+    """Restart the packet-id sequence at *start*.
+
+    Runs that must produce byte-identical traces (the fast-path
+    differential suite, the golden-trace corpus, chaos campaigns) call
+    this before each scenario.
+    """
+    _PACKET_IDS.reset(start)
+
+
 def wall_clock() -> float:
     """The explicit wall-clock escape hatch (``time.perf_counter``).
 

@@ -52,6 +52,21 @@ class EpochClock:
         self._current = nxt
         return nxt
 
+    def resync(self, margin: int = 2) -> int:
+        """Post-crash jump: burn *margin* epochs so anything allocated before
+        the controller died — including an attempt that was mid-flight when
+        the crash hit — is strictly stale under the new clock.
+
+        The jump is wrap-aware (it reuses :meth:`advance`), and *margin* is
+        bounded by the epoch space: jumping a full revolution would alias
+        the in-flight epoch instead of retiring it.
+        """
+        if not 1 <= margin < EPOCH_SPACE:
+            raise ValueError(f"resync margin {margin} out of range")
+        for _ in range(margin):
+            self.advance()
+        return self._current
+
 
 @dataclass
 class EpochGate:

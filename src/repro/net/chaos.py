@@ -34,8 +34,9 @@ from typing import Callable
 
 from repro.core.determinism import Rng, seeded_rng
 
-from repro.control.channel import ControlChannel
+from repro.control.channel import ChannelFaultConfig, ControlChannel
 from repro.control.supervisor import (
+    ResyncReport,
     SupervisedRuntime,
     SupervisorConfig,
     check_epoch_ledger,
@@ -84,6 +85,21 @@ class FaultProfile:
     jitter: float = 0.0
     #: Sever the origin's controller connection mid-run (reconnects later).
     disconnect: bool = False
+    # -- control-plane knobs (the management network itself misbehaves) -- #
+    #: Per-control-message loss probability upper bound (draws are uniform
+    #: in [0.05, channel_loss]); routed through the channel's fault queue.
+    channel_loss: float = 0.0
+    #: Per-control-message duplication probability.
+    channel_dup: float = 0.0
+    #: Base management-network latency per control message.
+    channel_delay: float = 0.0
+    #: Extra uniform per-message delay (reorders control messages).
+    channel_jitter: float = 0.0
+    #: Flap the origin's management connection (down/up partition cycles).
+    flap_channel: bool = False
+    #: Crash the whole controller mid-traversal; it restarts after a drawn
+    #: outage and must resynchronize (the resync-convergence oracle).
+    crash: bool = False
 
 
 #: The three stock profiles of the CI campaign matrix.
@@ -99,7 +115,25 @@ PROFILES: dict[str, FaultProfile] = {
         name="blackhole", lossy_links=1, max_loss=0.2, mid_failures=1,
         blackholes=1, directional=True, jitter=0.25,
     ),
+    # Control-plane profiles: the data plane is (mostly) healthy and the
+    # management network is the thing that fails — the paper's motivating
+    # scenario turned into a campaign matrix.
+    "ctrl-lossy": FaultProfile(
+        name="ctrl-lossy", channel_loss=0.3, channel_dup=0.1,
+        channel_delay=1.0, channel_jitter=4.0,
+    ),
+    "ctrl-flap": FaultProfile(
+        name="ctrl-flap", flap_channel=True, channel_delay=1.0,
+        lossy_links=1, max_loss=0.1,
+    ),
+    "ctrl-crash": FaultProfile(
+        name="ctrl-crash", crash=True, channel_loss=0.1, lossy_links=1,
+        max_loss=0.1,
+    ),
 }
+
+#: The control-plane campaign matrix (the ``chaos --control`` profile set).
+CONTROL_PROFILES = ("ctrl-lossy", "ctrl-flap", "ctrl-crash")
 
 
 @dataclass
@@ -168,6 +202,9 @@ class CampaignReport:
 
     config: ChaosConfig
     records: list[RunRecord] = field(default_factory=list)
+    #: topology name -> outage-liveness violations; ``None`` when the
+    #: preflight (:func:`check_outage_liveness`) was not requested.
+    outage_liveness: dict[str, list[str]] | None = None
 
     def outcome_counts(self) -> dict[str, int]:
         counts = {RECOVERED: 0, DEGRADED_CORRECT: 0, WRONG_RESULT: 0, HUNG: 0}
@@ -177,9 +214,14 @@ class CampaignReport:
 
     @property
     def ok(self) -> bool:
-        """The acceptance bar: nothing hung, nothing lied."""
+        """The acceptance bar: nothing hung, nothing lied, and — when the
+        preflight ran — the full-outage liveness claim held."""
         counts = self.outcome_counts()
-        return counts[WRONG_RESULT] == 0 and counts[HUNG] == 0
+        if counts[WRONG_RESULT] or counts[HUNG]:
+            return False
+        if self.outage_liveness is not None:
+            return all(not v for v in self.outage_liveness.values())
+        return True
 
     def to_dict(self) -> dict:
         return {
@@ -193,6 +235,7 @@ class CampaignReport:
             },
             "summary": self.outcome_counts(),
             "ok": self.ok,
+            "outage_liveness": self.outage_liveness,
             "records": [record.to_dict() for record in self.records],
         }
 
@@ -216,6 +259,11 @@ class CampaignReport:
             bucket = per_service[service]
             parts = ", ".join(f"{k}={v}" for k, v in sorted(bucket.items()))
             lines.append(f"  {service:<10} {parts}")
+        if self.outage_liveness is not None:
+            for topology in sorted(self.outage_liveness):
+                problems = self.outage_liveness[topology]
+                status = "OK" if not problems else "; ".join(problems)
+                lines.append(f"  outage-liveness {topology}: {status}")
         lines.append(f"verdict: {'OK' if self.ok else 'FAILED'}")
         return "\n".join(lines)
 
@@ -285,6 +333,43 @@ def _plan_faults(
         reconnect_at = round(rng.uniform(100.0, 800.0), 1)
         network.sim.at(reconnect_at, lambda: channel.reconnect(root))
         faults.append(f"disconnect:{root}@step{step}:until{reconnect_at}")
+
+    channel_faulty = (
+        profile.channel_loss > 0
+        or profile.channel_dup > 0
+        or profile.channel_delay > 0
+        or profile.channel_jitter > 0
+    )
+    if channel_faulty and channel is not None:
+        loss = (
+            round(rng.uniform(0.05, profile.channel_loss), 3)
+            if profile.channel_loss
+            else 0.0
+        )
+        # Duplicating the trigger of a stateful verdict traversal is a
+        # semantics change, same as the link-level dup rule above.
+        dup = profile.channel_dup if service != "critical" else 0.0
+        channel.set_faults(
+            ChannelFaultConfig(
+                loss_prob=loss,
+                dup_prob=dup,
+                delay=profile.channel_delay,
+                max_extra_delay=profile.channel_jitter,
+                seed=rng.randrange(1 << 32),
+            )
+        )
+        faults.append(
+            f"channel:loss{loss}:dup{dup}"
+            f":delay{profile.channel_delay}+{profile.channel_jitter}"
+        )
+
+    if profile.flap_channel and channel is not None:
+        start = round(rng.uniform(5.0, 40.0), 1)
+        down = round(rng.uniform(20.0, 120.0), 1)
+        up = round(rng.uniform(20.0, 80.0), 1)
+        cycles = rng.randint(2, 4)
+        channel.flap(root, start, down, up, cycles)
+        faults.append(f"flap:{root}@{start}:down{down}:up{up}x{cycles}")
 
     return faults
 
@@ -367,7 +452,12 @@ def _any_faults_experienced(network: Network, channel) -> bool:
         if any(p > 0 for p in link.dup_prob.values()) or link.jitter:
             return True
     if channel is not None and (
-        channel.packet_outs_lost or channel.packet_ins_lost
+        channel.packet_outs_lost
+        or channel.packet_ins_lost
+        or channel.messages_duplicated
+        # Any message that went through the fault queue was delayed (and
+        # possibly reordered) relative to the synchronous channel.
+        or channel.queue
     ):
         return True
     return False
@@ -501,6 +591,117 @@ def _classify_critical(
 
 
 # --------------------------------------------------------------------- #
+# Control-plane oracles                                                 #
+# --------------------------------------------------------------------- #
+
+
+def resync_problems(report: ResyncReport) -> list[str]:
+    """The resync-convergence oracle, on one post-crash :class:`ResyncReport`.
+
+    A restarted controller must (a) jump its epoch clock past every epoch
+    that could still be in flight — otherwise a pre-crash straggler could be
+    accepted against a post-crash epoch — and (b) drive the inventory
+    handshake to a fixed point.  Returns human-readable violations.
+    """
+    problems: list[str] = []
+    if report.epoch_after == report.epoch_before:
+        problems.append("epoch clock did not jump past in-flight epochs")
+    if not report.converged:
+        problems.append(
+            f"inventory handshake did not converge in {report.rounds} rounds"
+        )
+    return problems
+
+
+def check_outage_liveness(
+    seed: int = 0, topology_name: str = "torus3x3"
+) -> list[str]:
+    """The paper's headline claim as an executable oracle.
+
+    With the controller process entirely gone (:meth:`fail_controller
+    <repro.control.channel.ControlChannel.fail_controller>`) and a clean
+    data plane, every in-band-triggered service must still produce an
+    *exact* answer — not a degraded one — and must do so without a single
+    message on the management network.  Returns human-readable violations
+    (empty = the claim holds for this seed/topology).
+    """
+    problems: list[str] = []
+    topology = TOPOLOGIES[topology_name]()
+    network = Network(topology, seed=seed)
+    channel = ControlChannel(network)
+    channel.fail_controller()
+    runtime = SupervisedRuntime(network, in_band=True)
+    rng = seeded_rng(seed ^ 0x5DEECE66D)
+    root = rng.randrange(topology.num_nodes)
+
+    snap = runtime.snapshot(root)
+    if _ledger_problems(snap.supervision):
+        problems.append("snapshot: epoch ledger violated")
+    if snap.degraded:
+        problems.append("snapshot degraded during outage")
+    elif snap.nodes != set(topology.nodes()):
+        problems.append("snapshot missed nodes during outage")
+    elif snap.links != network.live_port_pairs():
+        problems.append("snapshot not exact during outage")
+
+    gid = 1
+    others = [n for n in topology.nodes() if n != root]
+    groups = {gid: set(rng.sample(others, min(2, len(others))))}
+    delivery = runtime.anycast(root, gid, groups)
+    if _ledger_problems(delivery.supervision):
+        problems.append("anycast: epoch ledger violated")
+    if delivery.degraded:
+        problems.append("anycast degraded during outage")
+    elif delivery.delivered_at not in groups[gid]:
+        problems.append("anycast delivered to a non-member during outage")
+
+    blackhole = runtime.detect_blackhole(root)
+    if _ledger_problems(blackhole.supervision):
+        problems.append("blackhole: epoch ledger violated")
+    if blackhole.degraded:
+        problems.append("blackhole detection degraded during outage")
+    elif blackhole.verdict is None or blackhole.verdict.found:
+        problems.append("blackhole verdict wrong on a clean data plane")
+
+    verdict = runtime.critical(root)
+    if _ledger_problems(verdict.supervision):
+        problems.append("critical: epoch ledger violated")
+    if verdict.degraded:
+        problems.append("critical-node check degraded during outage")
+    elif verdict.critical != _is_articulation(network, root):
+        problems.append("critical-node verdict wrong during outage")
+
+    if channel.out_band_messages:
+        problems.append(
+            f"{channel.out_band_messages} messages used the dead "
+            "management network"
+        )
+    return problems
+
+
+def control_plane_config(runs: int = 216, seed: int = 0) -> ChaosConfig:
+    """The CI control-plane campaign: every service through every control
+    profile, well past the 200-run acceptance floor."""
+    return ChaosConfig(runs=runs, seed=seed, profiles=CONTROL_PROFILES)
+
+
+def run_control_campaign(runs: int = 216, seed: int = 0) -> "CampaignReport":
+    """The control-plane chaos campaign plus the full-outage preflight.
+
+    This is what the CI ``chaos-control-plane`` job runs: the
+    :func:`check_outage_liveness` oracle on every stock topology, then
+    *runs* seeded campaign runs over the control-plane profile matrix.  The
+    report's ``ok`` covers both."""
+    config = control_plane_config(runs=runs, seed=seed)
+    report = run_campaign(config)
+    report.outage_liveness = {
+        topology: check_outage_liveness(seed, topology)
+        for topology in config.topologies
+    }
+    return report
+
+
+# --------------------------------------------------------------------- #
 # The campaign driver                                                   #
 # --------------------------------------------------------------------- #
 
@@ -535,8 +736,31 @@ def run_one(
         critical_before = _is_articulation(network, root)
 
     faults = _plan_faults(network, profile, service, root, plan_rng, channel)
+
+    # Controller crash mid-traversal: the crash arms on a packet step (so it
+    # fires *inside* a traversal, the hard case) and schedules its own
+    # restore relative to the moment it actually fired.  The callback only
+    # flips flags and queues one event — never re-enters the event loop.
+    crash_log: list[float] = []
+    if profile.crash and channel is not None:
+        crash_step = plan_rng.randint(1, 40)
+        outage = round(plan_rng.uniform(60.0, 300.0), 1)
+
+        def _crash() -> None:
+            crash_log.append(network.sim.now)
+            channel.fail_controller()
+            network.sim.at(
+                network.sim.now + outage, channel.restore_controller
+            )
+
+        network.at_packet_step(crash_step, _crash)
+        faults.append(f"ctrl-crash@step{crash_step}:outage{outage}")
+
     config = SupervisorConfig(max_attempts=max_attempts)
-    runtime = SupervisedRuntime(network, config=config, channel=channel)
+    # Crash runs use compiled switches: the post-restart inventory
+    # handshake reconciles real per-switch flow state, not a no-op.
+    mode = "compiled" if profile.crash else "interpreted"
+    runtime = SupervisedRuntime(network, mode=mode, config=config, channel=channel)
 
     record = RunRecord(
         run_id=run_id,
@@ -568,6 +792,26 @@ def run_one(
         record.outcome = outcome
         record.reason = reason
         record.detail = detail
+        if crash_log and channel is not None:
+            # The controller actually died mid-run: it must come back and
+            # resynchronize, and the resync must converge (the
+            # resync-convergence oracle).  The scheduled restore may still
+            # be pending; restoring twice is idempotent.
+            channel.restore_controller()
+            resync = runtime.resynchronize(root)
+            record.detail["resync"] = {
+                "converged": resync.converged,
+                "rounds": resync.rounds,
+                "epoch_jump": [resync.epoch_before, resync.epoch_after],
+                "reprogrammed": list(resync.reprogrammed_nodes),
+                "unreachable": sorted(set(resync.unreachable_nodes)),
+                "relearned_nodes": len(resync.relearned_nodes),
+                "topology_degraded": resync.topology_degraded,
+            }
+            problems = resync_problems(resync)
+            if problems and record.outcome in (RECOVERED, DEGRADED_CORRECT):
+                record.outcome = WRONG_RESULT
+                record.reason = "resync: " + "; ".join(problems)
     except SimulationLimitError:
         record.outcome = HUNG
         record.reason = "event budget exhausted"

@@ -119,6 +119,12 @@ class Network:
     def set_controller_sink(self, sink: ControllerSink | None) -> None:
         self._controller_sink = sink
 
+    @property
+    def controller_sink(self) -> ControllerSink | None:
+        """The current packet-in sink (so a channel being detached can tell
+        whether it still owns the sink before releasing it)."""
+        return self._controller_sink
+
     def set_delivery_sink(self, sink: DeliverySink | None) -> None:
         self._delivery_sink = sink
 

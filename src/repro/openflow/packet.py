@@ -20,9 +20,10 @@ so they can never collide with physical port numbers (which are 1-based;
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
+
+from repro.core.determinism import next_packet_id, reset_packet_ids
 
 #: Reserved port: send the packet to the controller (out-of-band upcall).
 CONTROLLER_PORT = -1
@@ -41,18 +42,19 @@ _RESERVED_PORT_NAMES = {
     NO_PORT: "NONE",
 }
 
-_packet_ids = itertools.count(1)
-
-
-def reset_packet_ids(start: int = 1) -> None:
-    """Restart the global packet-id counter (test/bench support).
-
-    Packet ids are bookkeeping, never matched on — but they appear in
-    traces, so runs that must produce byte-identical traces (the fast-path
-    differential suite, the golden-trace corpus) reset the counter first.
-    """
-    global _packet_ids
-    _packet_ids = itertools.count(start)
+# Packet-id allocation lives in the determinism provider (an owned
+# allocator object, shard-ready); ``reset_packet_ids`` is re-exported here
+# because tests and benches historically import it from this module.
+__all__ = [
+    "CONTROLLER_PORT",
+    "IN_PORT",
+    "LOCAL_PORT",
+    "NO_PORT",
+    "Packet",
+    "is_physical_port",
+    "port_name",
+    "reset_packet_ids",
+]
 
 
 def port_name(port: int) -> str:
@@ -78,7 +80,7 @@ class Packet:
     fields: dict[str, int] = field(default_factory=dict)
     stack: list[tuple[Any, ...]] = field(default_factory=list)
     payload: Any = None
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    packet_id: int = field(default_factory=next_packet_id)
     hops: int = 0
 
     def get(self, name: str) -> int:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
@@ -226,6 +227,20 @@ class Switch:
         for table_id in sorted(self.tables):
             for entry in self.tables[table_id].entries():
                 yield table_id, entry
+
+    def inventory_digest(self) -> str:
+        """Digest of the installed flow/group configuration.
+
+        This is the switch side of the post-crash inventory handshake: a
+        restarted controller, having lost its soft state, asks each switch
+        for this digest and reprograms only the switches whose digest
+        disagrees with the expected program (OF 1.3 would use a multipart
+        flow/group-desc reply; one digest message models the same
+        information at the paper's message granularity).  The text form is
+        deterministic — tables sorted by id, entries in priority/seq order,
+        groups in insertion order — so equal configurations hash equally.
+        """
+        return hashlib.sha256(self.describe().encode()).hexdigest()
 
     def describe(self) -> str:
         """Multi-line dump of the installed configuration."""

@@ -43,7 +43,10 @@ class TestChaosConfig:
     def test_stock_menus_cover_the_paper(self):
         assert set(SERVICES) == {"snapshot", "anycast", "blackhole", "critical"}
         assert set(TOPOLOGIES) == {"torus3x3", "complete5"}
-        assert set(PROFILES) == {"lossy", "partition", "blackhole"}
+        assert set(PROFILES) == {
+            "lossy", "partition", "blackhole",
+            "ctrl-lossy", "ctrl-flap", "ctrl-crash",
+        }
 
 
 class TestRunOne:
@@ -144,3 +147,139 @@ class TestChaosCli:
     def test_cli_rejects_unknown_service(self):
         with pytest.raises(SystemExit):
             cli_main(["chaos", "--runs", "2", "--services", "nope"])
+
+
+class TestControlPlaneProfiles:
+    def test_ctrl_lossy_plans_channel_faults(self):
+        record = run_one(0, "snapshot", "torus3x3", "ctrl-lossy", run_seed=1)
+        assert any(f.startswith("channel:") for f in record.faults)
+        assert record.outcome in (RECOVERED, DEGRADED_CORRECT)
+
+    def test_ctrl_flap_plans_flap_windows(self):
+        record = run_one(0, "snapshot", "torus3x3", "ctrl-flap", run_seed=1)
+        assert any(f.startswith("flap:") for f in record.faults)
+
+    def test_ctrl_crash_runs_fire_resync(self):
+        # Over a seed sweep, at least one crash fires mid-run, and every
+        # fired crash produces a converged resync with an epoch jump.
+        fired = 0
+        for seed in range(12):
+            record = run_one(0, "snapshot", "torus3x3", "ctrl-crash", seed)
+            assert record.outcome in (RECOVERED, DEGRADED_CORRECT), (
+                record.reason
+            )
+            resync = record.detail.get("resync")
+            if resync is None:
+                continue
+            fired += 1
+            assert resync["converged"]
+            before, after = resync["epoch_jump"]
+            assert after != before
+        assert fired > 0
+
+    def test_anycast_is_control_plane_immune(self):
+        # Anycast delivery needs no management plane at all: a crash run
+        # cannot even schedule the crash (channel is None by construction).
+        for seed in range(6):
+            record = run_one(0, "anycast", "complete5", "ctrl-crash", seed)
+            assert not any(
+                f.startswith("ctrl-crash@") for f in record.faults
+            )
+
+    def test_control_runs_are_seed_deterministic(self):
+        for profile in ("ctrl-lossy", "ctrl-flap", "ctrl-crash"):
+            a = run_one(0, "snapshot", "torus3x3", profile, run_seed=7)
+            b = run_one(0, "snapshot", "torus3x3", profile, run_seed=7)
+            assert a.to_dict() == b.to_dict()
+
+
+class TestControlPlaneOracles:
+    def test_outage_liveness_holds_on_stock_topologies(self):
+        from repro.net.chaos import check_outage_liveness
+
+        for topology in ("torus3x3", "complete5"):
+            assert check_outage_liveness(0, topology) == []
+
+    def test_resync_problems_flags_missing_jump(self):
+        from repro.control.supervisor import ResyncReport
+        from repro.net.chaos import resync_problems
+
+        stuck = ResyncReport(
+            converged=True, rounds=1, epoch_before=5, epoch_after=5,
+            relearned_nodes={0}, relearned_links=set(),
+            topology_degraded=False,
+        )
+        assert any("epoch" in p for p in resync_problems(stuck))
+
+    def test_resync_problems_flags_divergence(self):
+        from repro.control.supervisor import ResyncReport
+        from repro.net.chaos import resync_problems
+
+        diverged = ResyncReport(
+            converged=False, rounds=3, epoch_before=5, epoch_after=8,
+            relearned_nodes={0}, relearned_links=set(),
+            topology_degraded=False,
+        )
+        assert any("converge" in p for p in resync_problems(diverged))
+        clean = ResyncReport(
+            converged=True, rounds=1, epoch_before=5, epoch_after=8,
+            relearned_nodes={0}, relearned_links=set(),
+            topology_degraded=False,
+        )
+        assert resync_problems(clean) == []
+
+
+class TestControlCampaign:
+    def test_small_control_campaign_meets_the_bar(self):
+        from repro.net.chaos import run_control_campaign
+
+        report = run_control_campaign(runs=24, seed=3)
+        counts = report.outcome_counts()
+        assert counts[WRONG_RESULT] == 0
+        assert counts[HUNG] == 0
+        assert report.outage_liveness is not None
+        assert all(not v for v in report.outage_liveness.values())
+        assert report.ok
+
+    def test_liveness_failure_flips_the_verdict(self):
+        from repro.net.chaos import ChaosConfig as _Config
+
+        report = CampaignReport(config=_Config(runs=1), records=[
+            RunRecord(0, "snapshot", "torus3x3", "lossy", 0, 0, [], RECOVERED),
+        ])
+        assert report.ok
+        report.outage_liveness = {"torus3x3": ["snapshot hung"]}
+        assert not report.ok
+        assert "outage-liveness" in report.format_summary()
+
+    def test_control_campaign_byte_identical(self):
+        from repro.net.chaos import run_control_campaign
+
+        assert (
+            run_control_campaign(runs=18, seed=4).to_json()
+            == run_control_campaign(runs=18, seed=4).to_json()
+        )
+
+
+class TestControlCli:
+    def test_cli_control_flag(self, capsys):
+        code = cli_main(["chaos", "--runs", "18", "--seed", "2", "--control"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "outage-liveness" in out
+        assert "verdict: OK" in out
+
+    def test_cli_control_json_carries_liveness(self, capsys):
+        code = cli_main([
+            "chaos", "--runs", "9", "--seed", "2", "--control", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert set(payload["outage_liveness"]) == {"torus3x3", "complete5"}
+        assert all(not v for v in payload["outage_liveness"].values())
+        from repro.net.chaos import CONTROL_PROFILES
+
+        assert {r["profile"] for r in payload["records"]} <= set(
+            CONTROL_PROFILES
+        )

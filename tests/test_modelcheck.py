@@ -607,3 +607,125 @@ class TestEpochAtMostOnce:
         snap = runtime.snapshot(0)
         assert snap.degraded
         assert check_epoch_ledger(snap.supervision) == []
+
+
+# --------------------------------------------------------------------- #
+# Controller crash scenarios (MC010)                                    #
+# --------------------------------------------------------------------- #
+
+
+class TestCrashScenarios:
+    """MC010: no stale epoch crosses a controller crash/resync boundary."""
+
+    def test_crash_flag_adds_scenarios(self):
+        topo = ring(4)
+        service = SnapshotService()
+        base = scenarios_for(service, topo, 0)
+        withc = scenarios_for(service, topo, 0, crash=True)
+        assert [s.name for s in base] == ["snapshot"]
+        assert [s.name for s in withc] == ["snapshot", "snapshot:crash"]
+        crash = withc[1]
+        assert crash.crash == (1, 3)
+        assert [t.after_crash for t in crash.triggers] == [False, True]
+        assert [dict(t.fields)["epoch"] for t in crash.triggers] == [1, 3]
+
+    def test_crash_scenarios_round_trip_json(self):
+        from repro.analysis.modelcheck import _crash_scenario
+
+        payload = _crash_scenario("snapshot", 0).to_dict()
+        assert payload["crash"] == [1, 3]
+        assert payload["triggers"][1]["after_crash"] is True
+        json.dumps(payload)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            pytest.param(SnapshotService, id="snapshot"),
+            pytest.param(PlainTraversalService, id="plain"),
+        ],
+    )
+    def test_real_gate_survives_the_crash(self, factory):
+        report = check_engine(
+            make_engine(Network(ring(4)), factory(), "compiled"),
+            CheckConfig(max_failures=0, crash=True),
+        )
+        assert report.exit_code == 0, report.format_text(ring(4))
+        assert report.scenarios == 2
+
+    def test_misplaced_gate_caught_by_mc010(self):
+        from repro.analysis.modelcheck import (
+            CRASH_EPOCHS,
+            Explorer,
+            ModelContext,
+            Scenario,
+            StatefulStepper,
+            TriggerSpec,
+            active_invariants,
+        )
+        from repro.analysis.symbolic import FieldWidths
+        from repro.core.fields import FIELD_EPOCH
+
+        topo = ring(4)
+        engine = compiled(topo, SnapshotService())
+        widths = FieldWidths.for_switches(engine.switches.values())
+        steppers = {
+            n: StatefulStepper(sw, widths)
+            for n, sw in engine.switches.items()
+        }
+        pre, post = CRASH_EPOCHS
+        # The gate guards node 2 while the traversal roots at node 0: the
+        # stale straggler reports at an unguarded origin.
+        scenario = Scenario(
+            "snapshot:crash-misplaced-gate",
+            "snapshot",
+            2,
+            (
+                TriggerSpec(0, ((FIELD_EPOCH, pre),), label="pre-crash"),
+                TriggerSpec(
+                    0, ((FIELD_EPOCH, post),), after_crash=True, label="retry"
+                ),
+            ),
+            crash=(pre, post),
+        )
+        ctx = ModelContext(topo, engine.service, scenario, widths)
+        explorer = Explorer(
+            steppers,
+            topo,
+            scenario,
+            ctx,
+            CheckConfig(max_failures=0, crash=True),
+            active_invariants(),
+        )
+        found, _explored, _exhausted = explorer.explore()
+        mc010 = [c for c in found if c.violation.invariant == "MC010"]
+        assert mc010, [c.violation.format() for c in found]
+        trace = mc010[0].trace
+        # The crash survives minimization (only failures and extra triggers
+        # are deletable) and renders readably.
+        assert ("crash",) in trace
+        from repro.analysis.modelcheck import format_action
+
+        assert "crash" in format_action(("crash",))
+
+    def test_crash_traces_refuse_replay(self):
+        from repro.analysis.modelcheck import Counterexample, Violation
+        from repro.analysis.modelcheck import _crash_scenario
+
+        cex = Counterexample(
+            scenario=_crash_scenario("snapshot", 0),
+            violation=Violation("MC010", "crash-at-most-once", "synthetic"),
+            trace=(("inject", 0), ("crash",), ("inject", 1)),
+        )
+        with pytest.raises(ValueError, match="crash"):
+            replay_counterexample(cex, ring(4), SnapshotService())
+
+    def test_cli_crash_flag(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "check", "--topology", "ring", "--nodes", "4",
+            "--service", "snapshot", "--crash",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 scenario(s)" in out

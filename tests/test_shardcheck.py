@@ -481,12 +481,23 @@ class TestCli:
         assert main(["shardcheck", "--min-resolution", "0.9",
                      "--fail-on-stale"]) == 0
 
+    def test_repo_scan_is_clean_without_baseline(self):
+        from repro.cli import main
+
+        # The ``_packet_ids`` EFF001 debts are paid down (the allocator
+        # lives in the determinism provider now), so the repo passes even
+        # with the baseline disabled.
+        assert main(["shardcheck", "--no-baseline"]) == 0
+
     def test_format_github_emits_annotations(self, capsys):
         from repro.cli import main
 
-        # Without the baseline the three known EFF001 findings surface as
-        # workflow annotations.
-        assert main(["shardcheck", "--no-baseline", "--format", "github"]) == 1
+        # The corpus EFF001 true positive surfaces as a workflow annotation.
+        fixture = str(FIXTURES / "eff_globals.py")
+        assert main([
+            "shardcheck", "--root", fixture, "--no-baseline", "--no-effects",
+            "--format", "github",
+        ]) == 1
         out = capsys.readouterr().out
         assert "::error file=" in out and "title=EFF001" in out
 
