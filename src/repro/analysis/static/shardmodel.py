@@ -184,12 +184,14 @@ def default_manifest() -> ShardManifest:
             # The event queue (a sharded run gives each worker a cursor).
             "Simulator.schedule": "event-queue",
             "Simulator.at": "event-queue",
+            "Simulator.schedule_arrival": "event-queue",
             "Simulator.run": "event-queue",
             "Network.run": "event-queue",
             "Network.inject": "event-queue",
             "Network.transmit": "event-queue",
             "Network.at_packet_step": "event-queue",
             "Network.set_handler": "channel:admin",
+            "Network.set_batch_handler": "channel:admin",
             "Network.set_controller_sink": "channel:admin",
             "Network.set_delivery_sink": "channel:admin",
             # Epoch advancement is a barrier in a sharded run; the

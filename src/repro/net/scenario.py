@@ -72,6 +72,18 @@ GOLDEN_SCENARIOS = (
     ("blackhole", "complete5", "partition", 7),
 )
 
+#: High-fan-out scenarios: a "-storm" service injects 8–16 simultaneous
+#: triggers (roots drawn with replacement, so several land on one switch in
+#: the same time bucket) and drains them in one event-loop run.  These are
+#: the corpus entries that actually exercise batched dispatch — the batched
+#: engine must reproduce them byte for byte, interleavings included.
+FANOUT_SCENARIOS = (
+    ("snapshot-storm", "torus3x3", "lossy", 11),
+    ("snapshot-storm", "complete5", "blackhole", 42),
+    ("anycast-storm", "complete5", "partition", 7),
+    ("priocast-storm", "torus3x3", "lossy", 42),
+)
+
 #: Mixed into the scenario seed for fault planning (the chaos harness's
 #: constant, so fault plans look like chaos campaign plans).
 _PLAN_SALT = 0x9E3779B9
@@ -101,6 +113,27 @@ def _build_run(service_name: str, topology, root: int, rng: Rng):
             ({FIELD_REPEAT: REPEAT_VERIFY}, True),
         ]
     raise ValueError(f"unknown scenario service {service_name!r}")
+
+
+def _build_storm(service_name: str, topology, root: int, rng: Rng):
+    """A "-storm" scenario: the base service, triggered many times at once.
+
+    Returns ``(service, triggers)`` where each trigger is
+    ``(root, fields, from_controller)``.  The base service's configuration
+    draws happen first (identical to the plain scenario), then 8–16 trigger
+    roots are drawn with replacement over all nodes.
+    """
+    base = service_name[: -len("-storm")]
+    if base not in ("snapshot", "anycast", "priocast"):
+        raise ValueError(f"unknown storm service {service_name!r}")
+    service, proto = _build_run(base, topology, root, rng)
+    count = 8 + rng.randrange(9)
+    triggers = []
+    for _ in range(count):
+        trigger_root = rng.randrange(topology.num_nodes)
+        for fields, from_controller in proto:
+            triggers.append((trigger_root, fields, from_controller))
+    return service, triggers
 
 
 def _packet_view(packet) -> dict:
@@ -162,27 +195,69 @@ def run_scenario(
     profile_name: str,
     seed: int,
     fast_path: bool,
+    batch: bool = False,
 ) -> dict:
-    """Run one seeded chaos scenario on one engine; return its observables."""
+    """Run one seeded chaos scenario on one engine; return its observables.
+
+    ``batch=True`` runs the same scenario through the batched drain mode
+    (grouped same-time arrivals, batched fast-path dispatch); the
+    observable dict is required to be byte-identical either way.
+    """
     reset_packet_ids()
+    storm = service_name.endswith("-storm")
     topology = TOPOLOGIES[topology_name]()
-    network = Network(topology, seed=seed, fast_path=fast_path)
+    network = Network(topology, seed=seed, fast_path=fast_path, batch=batch)
     plan_rng = seeded_rng(seed ^ _PLAN_SALT)
     root = plan_rng.randrange(topology.num_nodes)
     faults = _plan_faults(
         network, PROFILES[profile_name], service_name, root, plan_rng, None
     )
-    service, triggers = _build_run(service_name, topology, root, plan_rng)
-    engine = make_engine(network, service, "compiled", fast_path=fast_path)
+    if storm:
+        service, triggers = _build_storm(service_name, topology, root, plan_rng)
+    else:
+        service, triggers = _build_run(service_name, topology, root, plan_rng)
+    engine = make_engine(
+        network, service, "compiled", fast_path=fast_path, batch=batch
+    )
 
     results = []
     error = None
     try:
-        for fields, from_controller in triggers:
-            result = engine.trigger(
-                root, fields=dict(fields), from_controller=from_controller
+        if storm:
+            # All triggers enter the event queue before it drains once:
+            # simultaneous same-node arrivals form real batches.
+            trace = network.trace
+            mark_in = trace.in_band_messages
+            mark_out = trace.out_band_messages
+            for trigger_root, fields, from_controller in triggers:
+                engine.trigger(
+                    trigger_root,
+                    fields=dict(fields),
+                    from_controller=from_controller,
+                    run=False,
+                )
+            network.run()
+            results.append(
+                {
+                    "roots": [t[0] for t in triggers],
+                    "reports": [
+                        [node, _packet_view(packet)]
+                        for node, packet in engine.reports
+                    ],
+                    "deliveries": [
+                        [node, _packet_view(packet)]
+                        for node, packet in engine.deliveries
+                    ],
+                    "in_band_messages": trace.in_band_messages - mark_in,
+                    "out_band_messages": trace.out_band_messages - mark_out,
+                }
             )
-            results.append(_result_view(result))
+        else:
+            for fields, from_controller in triggers:
+                result = engine.trigger(
+                    root, fields=dict(fields), from_controller=from_controller
+                )
+                results.append(_result_view(result))
     except Exception as exc:  # noqa: BLE001 - errors are observables too
         error = [type(exc).__name__, str(exc)]
 
@@ -190,6 +265,9 @@ def run_scenario(
         switch.fast_path_enabled == fast_path
         for switch in engine.switches.values()
     ), "engine flag did not reach the switches"
+    assert engine.batch == batch and network.batch == batch, (
+        "batch flag did not reach the network"
+    )
 
     return {
         "scenario": {

@@ -210,6 +210,24 @@ class Switch:
                 )
             table_id = instructions.goto_table
 
+    def process_batch(self, items: list, deliver) -> None:
+        """Run a batch of ``(packet, in_port)`` arrivals through the pipeline.
+
+        ``deliver(index, outputs)`` is called once per item, in item order,
+        with outputs as raw ``(port, packet)`` tuples (the batch protocol
+        skips PacketOut records; outputs lists must not be retained by the
+        callback).  Observably identical to calling :meth:`process` once
+        per item: with the fast path enabled the compiled engine amortizes
+        lookups across the batch, otherwise this is a plain per-packet
+        loop over the interpreter.
+        """
+        if self._fast_path is not None:
+            self._fast_path.process_batch(items, deliver)
+            return
+        for index, (packet, in_port) in enumerate(items):
+            outputs = self.process(packet, in_port)
+            deliver(index, [(out.port, out.packet) for out in outputs])
+
     @staticmethod
     def _context(
         packet: Packet, in_port: int, metadata: int

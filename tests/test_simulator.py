@@ -12,6 +12,7 @@ from repro.openflow.packet import (
     CONTROLLER_PORT,
     LOCAL_PORT,
     Packet,
+    reset_packet_ids,
 )
 from repro.openflow.switch import PacketOut
 
@@ -207,6 +208,71 @@ class TestNetworkMotion:
         assert len(full) == 4
         net.fail_link(0, 1)
         assert len(net.live_port_pairs()) == 3
+
+
+class TestEventBudget:
+    """``max_events`` counts every arrival and timer identically in both
+    drain modes — a batched run of *n* arrivals consumes *n* of the budget,
+    and the limit error fires at exactly the same packet."""
+
+    def _spin(self, batch: bool, max_events: int) -> Network:
+        """Ring of forwarders with several concurrent packets: every node
+        bounces each arrival out port 1 forever, so the run only ends when
+        the event budget does."""
+        reset_packet_ids()
+        net = Network(ring(3), batch=batch)
+
+        def forward_batch(items, deliver):
+            for index, (packet, in_port) in enumerate(items):
+                deliver(index, [(1, packet)])
+
+        for node in net.topology.nodes():
+            net.set_handler(node, lambda p, i: [PacketOut(1, p)])
+            if batch:
+                net.set_batch_handler(node, forward_batch)
+        for _ in range(6):
+            net.inject(0, Packet())
+        with pytest.raises(SimulationLimitError):
+            net.run(max_events=max_events)
+        return net
+
+    def test_limit_fires_identically_across_modes(self):
+        scalar = self._spin(batch=False, max_events=40)
+        batched = self._spin(batch=True, max_events=40)
+        # Byte-identical traces: same packets processed, same hop order,
+        # same point of interruption.
+        assert scalar.trace.to_jsonl() == batched.trace.to_jsonl()
+        assert scalar.trace.count(EventKind.HOP) == batched.trace.count(
+            EventKind.HOP
+        )
+
+    def test_budget_counts_arrivals_not_batches(self):
+        # 6 same-time arrivals form one batch; if the batch consumed one
+        # budget unit instead of six, this run would survive max_events=6.
+        reset_packet_ids()
+        net = Network(ring(3), batch=True)
+
+        def forward_batch(items, deliver):
+            for index, (packet, in_port) in enumerate(items):
+                deliver(index, [(1, packet)])
+
+        for node in net.topology.nodes():
+            net.set_handler(node, lambda p, i: [PacketOut(1, p)])
+            net.set_batch_handler(node, forward_batch)
+        for _ in range(6):
+            net.inject(0, Packet())
+        with pytest.raises(SimulationLimitError):
+            net.run(max_events=6)
+
+    def test_budget_counts_timers_in_batch_mode(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        with pytest.raises(SimulationLimitError):
+            sim.run(max_events=100, batch=True)
 
 
 class TestLink:
