@@ -363,3 +363,130 @@ def test_recovery_vs_control_loss_sweep(benchmark, emit, request):
     # The sweep tells the paper's story: a lossier channel costs strictly
     # more retries than a fault-free one, but never correctness.
     assert rows[-1]["mean_attempts"] > rows[0]["mean_attempts"]
+
+
+def test_recovery_vs_switch_loss_sweep(benchmark, emit, request):
+    """Experiment R-switch: re-adoption cost as the *data plane* loses boxes.
+
+    The control-loss sweep above degrades the management channel; here the
+    switches themselves fail.  Sweep the number of simultaneously crashed
+    switches on a torus: each victim reboots *bare* (tables, groups and
+    fast-path state gone) with a seeded partial-install fault armed, and
+    ``readopt`` must repair the fleet.  Per loss level we measure:
+
+    * handshake rounds and interrupted pushes (the retry bill the fault
+      model extracts);
+    * whether re-adoption converged and the healed snapshot is exact.
+
+    All metrics are seeded quantities, so the committed baseline
+    (``switch_loss_sweep`` in ``robustness_baseline.json``) is
+    machine-independent.  The gate fails if a level stops converging or
+    healing, or if rounds / failed installs grow more than 50% over
+    baseline.  Regenerate after an intentional change with::
+
+        PYTHONPATH=src python -m pytest benchmarks/bench_robustness.py \\
+            --update-robustness-baseline
+    """
+    from repro.control.supervisor import (
+        READOPT_FAILED,
+        SupervisedRuntime,
+        SupervisorConfig,
+    )
+    from repro.openflow.switch import SwitchFaultConfig
+
+    topo = torus(3, 3)
+    trials = 12
+    loss_levels = (1, 2, 3)
+
+    def sweep():
+        rows = []
+        for victims in loss_levels:
+            converged = healed = rounds = failed = 0
+            for seed in range(trials):
+                rng = random.Random(seed * 101 + victims)
+                net = Network(topo, seed=seed)
+                runtime = SupervisedRuntime(
+                    net, mode="compiled",
+                    config=SupervisorConfig(max_attempts=6),
+                )
+                assert runtime.snapshot(0).ok
+                lost = rng.sample(range(1, topo.num_nodes), victims)
+                for node in lost:
+                    for switch in runtime.switches_at(node):
+                        switch.crash()
+                        switch.reboot()
+                        switch.set_faults(SwitchFaultConfig(
+                            partial_install_prob=0.6,
+                            fail_budget=1,
+                            seed=seed * 977 + node,
+                        ))
+                report = runtime.readopt()
+                if report.converged:
+                    converged += 1
+                rounds += report.rounds
+                failed += sum(
+                    1 for attempt in report.attempts
+                    if attempt.status == READOPT_FAILED
+                )
+                snap = runtime.snapshot(0)
+                if snap.ok and snap.links == net.live_port_pairs():
+                    healed += 1
+            rows.append({
+                "victims": victims,
+                "converged": converged,
+                "healed": healed,
+                "mean_rounds": rounds / trials,
+                "mean_failed_installs": failed / trials,
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    emit("\n=== R-switch: re-adoption vs crashed switches, torus-3x3, "
+         f"{trials} trials ===")
+    emit(fmt_row(["victims", "converged", "healed", "rounds",
+                  "failed inst."], WIDTHS))
+    for row in rows:
+        emit(fmt_row([
+            row["victims"], f"{row['converged']}/{trials}",
+            f"{row['healed']}/{trials}",
+            f"{row['mean_rounds']:.2f}",
+            f"{row['mean_failed_installs']:.2f}",
+        ], WIDTHS))
+
+    if request.config.getoption("--update-robustness-baseline"):
+        baseline = json.loads(BASELINE_PATH.read_text())
+        baseline["switch_loss_sweep"] = {
+            str(row["victims"]): {
+                "mean_rounds": round(row["mean_rounds"], 2),
+                "mean_failed_installs": round(
+                    row["mean_failed_installs"], 2
+                ),
+            }
+            for row in rows
+        }
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        return
+
+    baseline = json.loads(BASELINE_PATH.read_text())["switch_loss_sweep"]
+    for row in rows:
+        level = f"victims={row['victims']}"
+        assert row["converged"] == trials, (
+            f"{level}: only {row['converged']}/{trials} re-adoptions "
+            "converged"
+        )
+        assert row["healed"] == trials, (
+            f"{level}: only {row['healed']}/{trials} healed snapshots "
+            "were exact"
+        )
+        base = baseline[str(row["victims"])]
+        for metric in ("mean_rounds", "mean_failed_installs"):
+            ceiling = base[metric] * 1.5
+            assert row[metric] <= ceiling, (
+                f"{level}: {metric} {row[metric]:.2f} exceeds 1.5x the "
+                f"committed baseline {base[metric]} — if intentional, "
+                "rerun with --update-robustness-baseline"
+            )
+    # More lost boxes cost strictly more interrupted pushes to repair.
+    assert (rows[-1]["mean_failed_installs"]
+            > rows[0]["mean_failed_installs"])

@@ -53,6 +53,7 @@ MC007     delivery-correctness      terminal  anycast/priocast wrong receiver
 MC008     pipeline-integrity        step      missing table/group, bad goto
 MC009     epoch-at-most-once        terminal  an epoch yields >1 accepted result
 MC010     crash-at-most-once        terminal  stale epoch crosses a crash/resync
+MC011     switch-crash-under-claims terminal  a crashed switch fabricates results
 ========  ========================  ========  =================================
 
 Controller crash scenarios (``CheckConfig.crash`` / ``--crash``) add a
@@ -64,6 +65,15 @@ stale-epoch packets entering the root) must keep pre-crash stragglers
 from being accepted — verified by MC010.  Squashed packets surface as
 ``"squashed"`` environment losses, and the minimizer never deletes the
 crash action (it only deletes failures and extra triggers).
+
+Switch crash scenarios (``CheckConfig.switch_crash`` / ``--switch-crash``)
+instead crash a *data-plane* node: ``("sw-crash", v)`` takes the victim
+down (packets arriving there drop as ``"sw_down"`` losses) and
+``("sw-reboot", v)`` brings it back *bare* — tables, groups and fast-path
+state gone, so traffic miss-drops there as ``"sw_bare"`` losses until
+re-adoption.  Both are environment losses; MC011 asserts the crash can
+only ever under-claim (a lost traversal, a partial snapshot), never
+fabricate a result.
 
 On violation the checker emits a **counterexample**: the shortest (BFS)
 action trace reaching the violation, greedily minimized by deleting failure
@@ -137,7 +147,13 @@ DEFAULT_MAX_VIOLATIONS = 20
 #: the bounded-liveness invariant MC004.  "squashed" is the origin epoch
 #: gate killing a stale-epoch packet after a controller crash/resync — the
 #: at-most-once mechanism working as designed, not a lost traversal.
-ENVIRONMENT_LOSSES = frozenset({"dead_port", "swallowed", "squashed"})
+#: "sw_down" is a packet arriving at a crashed switch (dropped on the
+#: floor); "sw_bare" is a packet arriving at a rebooted-but-not-yet-
+#: readopted switch, whose empty table 0 miss-drops it.  Both are the
+#: switch crash destroying traffic — under-claims, never wrong results.
+ENVIRONMENT_LOSSES = frozenset(
+    {"dead_port", "swallowed", "squashed", "sw_down", "sw_bare"}
+)
 
 
 # --------------------------------------------------------------------- #
@@ -157,6 +173,9 @@ class TriggerSpec:
     #: Only injectable once the controller crash has happened (the
     #: restarted controller's retry under the resynced epoch).
     after_crash: bool = False
+    #: Only injectable once the victim switch has crashed *and* rebooted
+    #: (the supervisor's retry against a network holding one bare switch).
+    after_reboot: bool = False
     label: str = "trigger"
 
     def field_dict(self) -> dict[str, int]:
@@ -186,6 +205,12 @@ class Scenario:
     #: :meth:`EpochClock.resync <repro.core.epoch.EpochClock.resync>` jump).
     #: ``None`` disables the crash machinery entirely.
     crash: tuple[int, int] | None = None
+    #: The victim node of a *switch*-crash scenario: the nondeterministic
+    #: ``("sw-crash", node)`` transition takes it down (in-flight packets
+    #: arriving there are dropped) and ``("sw-reboot", node)`` brings it
+    #: back *bare* — flow tables, groups and fast-path state all gone,
+    #: miss-dropping traffic until re-adoption.  ``None`` disables it.
+    sw_crash: int | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -198,6 +223,7 @@ class Scenario:
                     "fields": dict(t.fields),
                     "at_quiescence": t.at_quiescence,
                     "after_crash": t.after_crash,
+                    "after_reboot": t.after_reboot,
                     "label": t.label,
                 }
                 for t in self.triggers
@@ -206,6 +232,7 @@ class Scenario:
             "allow_failures": self.allow_failures,
             "gid": self.gid,
             "crash": list(self.crash) if self.crash else None,
+            "sw_crash": self.sw_crash,
         }
 
 
@@ -256,9 +283,53 @@ def _crash_scenario(name: str, root: int) -> Scenario:
     )
 
 
+#: The switch-crash scenario's epoch pair: the pre-crash attempt and the
+#: supervisor's post-reboot retry carry distinct epoch tags so MC009 can
+#: hold them to at-most-once individually (no origin gate is involved —
+#: a switch crash does not resync the controller's clock).
+SW_CRASH_EPOCHS = (1, 2)
+
+
+def _switch_crash_scenarios(
+    name: str, root: int, topology: Topology
+) -> list[Scenario]:
+    """Switch crash/reboot scenarios: one per non-root victim node.
+
+    Each scenario puts a trigger in flight, lets the nondeterministic
+    ``("sw-crash", victim)`` transition take the victim down anywhere in
+    the interleaving (dropping traffic that arrives there), lets
+    ``("sw-reboot", victim)`` bring it back *bare*, and then retries the
+    traversal against the half-recovered network.  In-run link failures
+    are disabled: the crash is the failure under study, and composing it
+    with the link-failure budget explodes the state space without adding
+    to the MC011 claim.
+    """
+    pre, post = SW_CRASH_EPOCHS
+    return [
+        Scenario(
+            f"{name}:sw-crash:{victim}",
+            name,
+            root,
+            (
+                TriggerSpec(root, ((FIELD_EPOCH, pre),), label="pre-sw-crash"),
+                TriggerSpec(
+                    root,
+                    ((FIELD_EPOCH, post),),
+                    after_reboot=True,
+                    label="post-reboot-retry",
+                ),
+            ),
+            allow_failures=False,
+            sw_crash=victim,
+        )
+        for victim in topology.nodes()
+        if victim != root
+    ]
+
+
 def scenarios_for(
     service, topology: Topology, root: int, max_failures: int = 1,
-    crash: bool = False,
+    crash: bool = False, switch_crash: bool = False,
 ) -> list[Scenario]:
     """Build the scenario list the checker explores for *service*.
 
@@ -272,6 +343,11 @@ def scenarios_for(
     controller-crash scenario: an epoch-tagged trigger in flight, a
     nondeterministic crash/resync that jumps the origin gate, and a
     retried trigger under the new epoch (checked by MC010).
+
+    With *switch_crash* set, they additionally get one switch-crash
+    scenario per non-root victim: the victim crashes mid-traversal, comes
+    back bare, and the retry runs against the half-recovered network
+    (checked by MC011).
     """
     name = service.name
     if name in ("plain", "snapshot", "critical"):
@@ -280,6 +356,8 @@ def scenarios_for(
         ]
         if crash:
             out.append(_crash_scenario(name, root))
+        if switch_crash:
+            out.extend(_switch_crash_scenarios(name, root, topology))
         return out
     if name == "snapshot_chunked":
         cap = int(getattr(service, "max_records", 16))
@@ -687,6 +765,10 @@ class GlobalState:
         "gate_epoch",
         "crash_left",
         "crash_mark",
+        "down",
+        "rebooted",
+        "sw_crash_left",
+        "sw_mark",
         "_key",
     )
 
@@ -705,6 +787,10 @@ class GlobalState:
         gate_epoch: int = 0,
         crash_left: int = 0,
         crash_mark: tuple[int, int] | None = None,
+        down: frozenset[int] = frozenset(),
+        rebooted: frozenset[int] = frozenset(),
+        sw_crash_left: int = 0,
+        sw_mark: tuple[int, int] | None = None,
     ) -> None:
         self.packets = packets
         self.live = live
@@ -722,6 +808,14 @@ class GlobalState:
         self.gate_epoch = gate_epoch
         self.crash_left = crash_left
         self.crash_mark = crash_mark
+        # Switch-crash scenario state: nodes currently down, nodes back up
+        # but still bare (not re-adopted), whether the sw-crash transition
+        # is still available, and the (reports, deliveries) lengths at
+        # sw-crash time (for MC011).
+        self.down = down
+        self.rebooted = rebooted
+        self.sw_crash_left = sw_crash_left
+        self.sw_mark = sw_mark
         self._key: tuple | None = None
 
     def key(self) -> tuple:
@@ -740,8 +834,41 @@ class GlobalState:
                 self.gate_epoch,
                 self.crash_left,
                 self.crash_mark,
+                self.down,
+                self.rebooted,
+                self.sw_crash_left,
+                self.sw_mark,
             )
         return self._key
+
+    def evolve(self, **changes) -> "GlobalState":
+        """A copy with *changes* applied (every other field carried over).
+
+        The transition functions build successors through this so a new
+        piece of scenario state (e.g. the switch-crash fields) cannot be
+        silently dropped by a constructor call that predates it.
+        """
+        kwargs = {
+            "packets": self.packets,
+            "live": self.live,
+            "cursors": self.cursors,
+            "failures_left": self.failures_left,
+            "next_trigger": self.next_trigger,
+            "extra_left": self.extra_left,
+            "next_pid": self.next_pid,
+            "reports": self.reports,
+            "deliveries": self.deliveries,
+            "losses": self.losses,
+            "gate_epoch": self.gate_epoch,
+            "crash_left": self.crash_left,
+            "crash_mark": self.crash_mark,
+            "down": self.down,
+            "rebooted": self.rebooted,
+            "sw_crash_left": self.sw_crash_left,
+            "sw_mark": self.sw_mark,
+        }
+        kwargs.update(changes)
+        return GlobalState(**kwargs)
 
 
 #: Observables: (node, ((field, value), ...), stack) for reports,
@@ -1332,6 +1459,85 @@ def _check_crash_acceptance(ctx: ModelContext, state: GlobalState):
             )
 
 
+@invariant("MC011", "switch-crash-under-claims", "terminal")
+def _check_switch_crash(ctx: ModelContext, state: GlobalState):
+    """A switch crash may silently under-claim, never fabricate.
+
+    In a switch-crash scenario the victim node goes down mid-interleaving
+    (arriving packets drop) and later reboots *bare* — tables, groups and
+    fast-path state gone — so traffic through it miss-drops until
+    re-adoption.  Both effects are honest degradation: the traversal may
+    fail to complete (MC004 excuses the environment loss), but no
+    observable recorded after the crash may be *wrong*:
+
+    - the dead or bare victim must never produce a report or delivery
+      (its stale pipeline must not run — the model mirrors
+      :meth:`Switch.reboot <repro.openflow.switch.Switch.reboot>`, which
+      empties the tables and invalidates the compiled fast path exactly so
+      no pre-crash rule can fire post-reboot);
+    - a snapshot report that does arrive must describe only links and
+      nodes that truly exist — a partial map is an under-claim, a map
+      with invented edges is a wrong result;
+    - the crash machinery must only ever touch the configured victim.
+
+    Vacuous unless the scenario has a switch crash and the crash actually
+    happened in this interleaving.
+    """
+    victim = ctx.scenario.sw_crash
+    if victim is None or state.sw_mark is None:
+        return
+    inv = INVARIANTS["MC011"]
+    report_mark, delivery_mark = state.sw_mark
+    for node, _fields, _stack in state.reports[report_mark:]:
+        if node == victim:
+            yield inv.violation(
+                f"crashed switch {victim} produced a report after its "
+                f"crash; a dead or bare switch must stay silent",
+                node=node,
+            )
+    for node, _fields in state.deliveries[delivery_mark:]:
+        if node == victim:
+            yield inv.violation(
+                f"crashed switch {victim} produced a delivery after its "
+                f"crash; a dead or bare switch must stay silent",
+                node=node,
+            )
+    for kind, node, _port, _edge in state.losses:
+        if kind in ("sw_down", "sw_bare") and node != victim:
+            yield inv.violation(
+                f"switch-crash loss ({kind}) at node {node} although the "
+                f"scenario's victim is {victim}",
+                node=node,
+            )
+    if ctx.service.name in ("snapshot", "snapshot_chunked"):
+        from repro.core.services.snapshot import (
+            SnapshotDecodeError,
+            decode_snapshot,
+        )
+
+        true_nodes = set(ctx.topology.nodes())
+        true_links = ctx.topology.port_pair_set()
+        for node, fields, stack in state.reports:
+            if not dict(fields).get(FIELD_SNAP_DONE):
+                continue
+            try:
+                nodes, links = decode_snapshot(list(stack))
+            except SnapshotDecodeError:
+                continue  # MC002T reports the malformed stream
+            ghost_nodes = set(nodes) - true_nodes
+            ghost_links = links - true_links
+            if ghost_nodes or ghost_links:
+                sample = sorted(ghost_nodes) or sorted(
+                    tuple(sorted(pair)) for pair in ghost_links
+                )
+                yield inv.violation(
+                    f"snapshot after a switch crash claims nonexistent "
+                    f"topology elements, e.g. {sample[0]} — a wrong "
+                    f"result, not an under-claim",
+                    node=node,
+                )
+
+
 # --------------------------------------------------------------------- #
 # The explorer                                                          #
 # --------------------------------------------------------------------- #
@@ -1352,6 +1558,10 @@ class CheckConfig:
     #: origin-reporting services.  Off by default: the crash machinery
     #: roughly doubles the scenario count for those services.
     crash: bool = False
+    #: Also explore switch crash/reboot scenarios (MC011) for
+    #: origin-reporting services — one scenario per non-root victim node,
+    #: each with in-run link failures disabled.  Off by default.
+    switch_crash: bool = False
 
 
 @dataclass
@@ -1392,6 +1602,10 @@ def format_action(action: tuple, topology: Topology | None = None) -> str:
         return f"step packet p{action[1]}"
     if kind == "crash":
         return "controller crashes and restarts (gate resyncs)"
+    if kind == "sw-crash":
+        return f"switch {action[1]} crashes (in-flight packets there drop)"
+    if kind == "sw-reboot":
+        return f"switch {action[1]} reboots bare (tables and groups lost)"
     return repr(action)
 
 
@@ -1468,6 +1682,7 @@ class Explorer:
             gate_epoch=crash[0] if crash else 0,
             crash_left=1 if crash else 0,
             crash_mark=None,
+            sw_crash_left=1 if self.scenario.sw_crash is not None else 0,
         )
 
     def is_terminal(self, state: GlobalState) -> bool:
@@ -1481,12 +1696,25 @@ class Explorer:
         actions: list[tuple] = [("step", p.pid) for p in state.packets]
         if state.next_trigger < len(self.scenario.triggers):
             spec = self.scenario.triggers[state.next_trigger]
-            if (not spec.at_quiescence or not state.packets) and (
-                not spec.after_crash or state.crash_left == 0
+            if (
+                (not spec.at_quiescence or not state.packets)
+                and (not spec.after_crash or state.crash_left == 0)
+                and (
+                    not spec.after_reboot
+                    or (state.sw_crash_left == 0 and not state.down)
+                )
             ):
                 actions.append(("inject", state.next_trigger))
         if state.crash_left > 0 and state.next_trigger > 0:
             actions.append(("crash",))
+        if (
+            state.sw_crash_left > 0
+            and self.scenario.sw_crash is not None
+            and state.next_trigger > 0
+        ):
+            actions.append(("sw-crash", self.scenario.sw_crash))
+        for node in sorted(state.down):
+            actions.append(("sw-reboot", node))
         if (
             state.extra_left > 0
             and self.scenario.triggers
@@ -1520,6 +1748,8 @@ class Explorer:
                 return None
             if spec.after_crash and state.crash_left > 0:
                 return None
+            if spec.after_reboot and (state.sw_crash_left > 0 or state.down):
+                return None
             packet = PacketState(
                 state.next_pid,
                 spec.root,
@@ -1529,20 +1759,10 @@ class Explorer:
                 0,
             )
             return (
-                GlobalState(
+                state.evolve(
                     packets=state.packets + (packet,),
-                    live=state.live,
-                    cursors=state.cursors,
-                    failures_left=state.failures_left,
                     next_trigger=state.next_trigger + 1,
-                    extra_left=state.extra_left,
                     next_pid=state.next_pid + 1,
-                    reports=state.reports,
-                    deliveries=state.deliveries,
-                    losses=state.losses,
-                    gate_epoch=state.gate_epoch,
-                    crash_left=state.crash_left,
-                    crash_mark=state.crash_mark,
                 ),
                 None,
             )
@@ -1558,20 +1778,10 @@ class Explorer:
                 0,
             )
             return (
-                GlobalState(
+                state.evolve(
                     packets=state.packets + (packet,),
-                    live=state.live,
-                    cursors=state.cursors,
-                    failures_left=state.failures_left,
-                    next_trigger=state.next_trigger,
                     extra_left=state.extra_left - 1,
                     next_pid=state.next_pid + 1,
-                    reports=state.reports,
-                    deliveries=state.deliveries,
-                    losses=state.losses,
-                    gate_epoch=state.gate_epoch,
-                    crash_left=state.crash_left,
-                    crash_mark=state.crash_mark,
                 ),
                 None,
             )
@@ -1583,20 +1793,43 @@ class Explorer:
             if state.crash_left <= 0 or self.scenario.crash is None:
                 return None
             return (
-                GlobalState(
-                    packets=state.packets,
-                    live=state.live,
-                    cursors=state.cursors,
-                    failures_left=state.failures_left,
-                    next_trigger=state.next_trigger,
-                    extra_left=state.extra_left,
-                    next_pid=state.next_pid,
-                    reports=state.reports,
-                    deliveries=state.deliveries,
-                    losses=state.losses,
+                state.evolve(
                     gate_epoch=self.scenario.crash[1],
                     crash_left=0,
                     crash_mark=(len(state.reports), len(state.deliveries)),
+                ),
+                None,
+            )
+        if kind == "sw-crash":
+            # The victim box dies: packets that arrive there are dropped on
+            # the floor (sw_down losses when stepped) until it reboots.
+            node = action[1]
+            if (
+                state.sw_crash_left <= 0
+                or self.scenario.sw_crash != node
+                or node in state.down
+            ):
+                return None
+            return (
+                state.evolve(
+                    down=state.down | {node},
+                    sw_crash_left=state.sw_crash_left - 1,
+                    sw_mark=state.sw_mark
+                    or (len(state.reports), len(state.deliveries)),
+                ),
+                None,
+            )
+        if kind == "sw-reboot":
+            # The victim comes back up *bare*: flow tables, groups and
+            # fast-path state are gone, so until re-adoption every packet
+            # arriving there miss-drops (sw_bare losses when stepped).
+            node = action[1]
+            if node not in state.down:
+                return None
+            return (
+                state.evolve(
+                    down=state.down - {node},
+                    rebooted=state.rebooted | {node},
                 ),
                 None,
             )
@@ -1609,20 +1842,9 @@ class Explorer:
             ):
                 return None
             return (
-                GlobalState(
-                    packets=state.packets,
+                state.evolve(
                     live=state.live - {edge_id},
-                    cursors=state.cursors,
                     failures_left=state.failures_left - 1,
-                    next_trigger=state.next_trigger,
-                    extra_left=state.extra_left,
-                    next_pid=state.next_pid,
-                    reports=state.reports,
-                    deliveries=state.deliveries,
-                    losses=state.losses,
-                    gate_epoch=state.gate_epoch,
-                    crash_left=state.crash_left,
-                    crash_mark=state.crash_mark,
                 ),
                 None,
             )
@@ -1638,6 +1860,9 @@ class Explorer:
         self, state: GlobalState, packet: PacketState
     ) -> tuple[GlobalState, StepInfo]:
         node = packet.node
+        dropped = self._switch_drops(state, packet)
+        if dropped is not None:
+            return dropped
         squashed = self._gate_squashes(state, packet)
         if squashed is not None:
             return squashed
@@ -1718,21 +1943,14 @@ class Explorer:
             )
 
         remaining = tuple(p for p in state.packets if p.pid != packet.pid)
-        new_state = GlobalState(
+        new_state = state.evolve(
             packets=remaining + tuple(new_packets),
-            live=state.live,
             cursors=tuple(sorted(cursors.items())),
-            failures_left=state.failures_left,
-            next_trigger=state.next_trigger,
-            extra_left=state.extra_left,
             next_pid=next_pid,
             reports=state.reports + tuple(reports),
             deliveries=state.deliveries + tuple(deliveries),
             losses=state.losses
             + tuple((k, n, p, e) for k, n, p, e, _ in losses),
-            gate_epoch=state.gate_epoch,
-            crash_left=state.crash_left,
-            crash_mark=state.crash_mark,
         )
         info = StepInfo(
             pid=packet.pid,
@@ -1763,20 +1981,46 @@ class Explorer:
             return None
         node = packet.node
         loss = ("squashed", node, packet.in_port, -1)
-        new_state = GlobalState(
+        new_state = state.evolve(
             packets=tuple(p for p in state.packets if p.pid != packet.pid),
-            live=state.live,
-            cursors=state.cursors,
-            failures_left=state.failures_left,
-            next_trigger=state.next_trigger,
-            extra_left=state.extra_left,
-            next_pid=state.next_pid,
-            reports=state.reports,
-            deliveries=state.deliveries,
             losses=state.losses + (loss,),
-            gate_epoch=state.gate_epoch,
-            crash_left=state.crash_left,
-            crash_mark=state.crash_mark,
+        )
+        info = StepInfo(
+            pid=packet.pid,
+            node=node,
+            in_port=packet.in_port,
+            outcome=StepOutcome(),
+            new_packets=[],
+            losses_added=[loss + (None,)],
+        )
+        return new_state, info
+
+    def _switch_drops(
+        self, state: GlobalState, packet: PacketState
+    ) -> tuple[GlobalState, StepInfo] | None:
+        """A crashed or rebooted-bare switch destroys an arriving packet.
+
+        Down switch: the box is dead, the frame falls on the floor
+        ("sw_down").  Rebooted-but-bare switch: the box is up but its flow
+        tables are empty — table 0 miss-drops everything ("sw_bare",
+        mirroring :meth:`Switch.reboot <repro.openflow.switch.Switch.reboot>`
+        semantics before re-adoption).  Both are environment losses: a
+        switch crash may silently under-claim, never fabricate.  The
+        stepper — which still holds the pre-crash program — is never
+        consulted, exactly as the simulator's down/bare switch never runs
+        its stale pipeline.
+        """
+        node = packet.node
+        if node in state.down:
+            kind = "sw_down"
+        elif node in state.rebooted:
+            kind = "sw_bare"
+        else:
+            return None
+        loss = (kind, node, packet.in_port, -1)
+        new_state = state.evolve(
+            packets=tuple(p for p in state.packets if p.pid != packet.pid),
+            losses=state.losses + (loss,),
         )
         info = StepInfo(
             pid=packet.pid,
@@ -1844,6 +2088,18 @@ class Explorer:
                     # The pending trigger waits for the crash; fire it so
                     # the closure can reach a terminal state.
                     action = ("crash",)
+                elif (
+                    state.sw_crash_left > 0
+                    and state.next_trigger < len(self.scenario.triggers)
+                    and self.scenario.triggers[state.next_trigger].after_reboot
+                ):
+                    # Likewise for a pending post-reboot retry: crash the
+                    # victim, then (next iteration) reboot it.
+                    action = ("sw-crash", self.scenario.sw_crash)
+                elif state.down and state.next_trigger < len(
+                    self.scenario.triggers
+                ):
+                    action = ("sw-reboot", min(state.down))
                 else:
                     action = ("inject", state.next_trigger)
                 applied = self.apply(state, action)
@@ -2049,7 +2305,8 @@ def run_check(
     exhausted = False
     for root in roots:
         for scenario in scenarios_for(
-            service, topology, root, config.max_failures, crash=config.crash
+            service, topology, root, config.max_failures,
+            crash=config.crash, switch_crash=config.switch_crash,
         ):
             scenario_count += 1
             ctx = ModelContext(topology, service, scenario, widths)

@@ -208,6 +208,8 @@ def default_manifest() -> ShardManifest:
             "failures.fail_link_after_steps": "link:admin",
             "failures.isolate_node": "link:admin",
             "failures.fail_region": "link:admin",
+            "failures.restore_node": "link:admin",
+            "failures.restore_region": "link:admin",
             "Link.set_blackhole": "link:admin",
             "Link.set_loss": "link:admin",
             "Link.set_duplication": "link:admin",

@@ -472,6 +472,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         if args.roots
         else None,
         crash=args.crash,
+        switch_crash=args.switch_crash,
     )
     report = check_engine(engine, config)
     if getattr(args, "json", False):
@@ -485,16 +486,40 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
     from repro.net.chaos import (
         CONTROL_PROFILES,
+        SWITCH_PROFILES,
         ChaosConfig,
         check_outage_liveness,
+        replay_run,
         run_campaign,
     )
+
+    if args.replay is not None:
+        if args.run is None:
+            raise SystemExit("--replay needs --run <index>")
+        with open(args.replay) as handle:
+            report_dict = json.load(handle)
+        try:
+            record, mismatches = replay_run(report_dict, args.run)
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        if mismatches:
+            print(f"replay DIVERGED from {args.replay} run {args.run}:")
+            for line in mismatches:
+                print(f"  {line}")
+            return 1
+        print(f"replay of {args.replay} run {args.run} matched the record")
+        return 0
 
     profiles = tuple(args.profiles.split(","))
     if args.control:
         profiles = CONTROL_PROFILES
+    if args.switch:
+        profiles = SWITCH_PROFILES
     config = ChaosConfig(
         runs=args.runs,
         seed=args.seed,
@@ -785,6 +810,11 @@ def make_parser() -> argparse.ArgumentParser:
         help="also explore controller crash/recovery scenarios (MC010: "
         "no stale epoch may be accepted across the resync boundary)",
     )
+    p.add_argument(
+        "--switch-crash", action="store_true", dest="switch_crash",
+        help="also explore switch crash/reboot scenarios (MC011: a "
+        "crashed switch may under-claim, never fabricate a result)",
+    )
     p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser(
@@ -813,8 +843,23 @@ def make_parser() -> argparse.ArgumentParser:
              "full-outage liveness preflight (overrides --profiles)",
     )
     p.add_argument(
+        "--switch", action="store_true",
+        help="switch-plane campaign: sw-crash/sw-flap/table-pressure "
+             "profiles with the switch-recovery oracle (overrides "
+             "--profiles)",
+    )
+    p.add_argument(
         "--max-attempts", type=int, default=6, dest="max_attempts",
         help="supervisor retry budget per call",
+    )
+    p.add_argument(
+        "--replay", default=None, metavar="REPORT.json",
+        help="re-run one recorded run from a campaign report and "
+             "byte-compare it against the record (needs --run)",
+    )
+    p.add_argument(
+        "--run", type=int, default=None,
+        help="run_id to replay from the --replay report",
     )
     p.add_argument("--json", action="store_true",
                    help="print the full campaign report as JSON")

@@ -76,6 +76,7 @@ def retry_rounds(
     policy: RetryPolicy,
     round_fn: Callable[[int], None],
     pending_fn: Callable[[], int],
+    stop_on_no_progress: bool = True,
 ) -> int:
     """Drive request rounds under *policy*; returns the rounds used.
 
@@ -85,6 +86,11 @@ def retry_rounds(
     requests still unanswered.  The loop stops when nothing is pending,
     when a round makes no progress (fixed point — the remainder is
     unreachable, not lost), or when attempts exhaust.
+
+    ``stop_on_no_progress=False`` disables the fixed-point early stop:
+    switch re-adoption uses it because a transiently faulting install can
+    leave pending unchanged for a round and still succeed on the next —
+    there, only the attempt budget bounds the loop.
     """
     policy.validate()
     rounds = 0
@@ -95,7 +101,11 @@ def retry_rounds(
         pending = pending_fn()
         if pending <= 0:
             break
-        if previous_pending is not None and pending >= previous_pending:
+        if (
+            stop_on_no_progress
+            and previous_pending is not None
+            and pending >= previous_pending
+        ):
             break
         previous_pending = pending
         if index < policy.max_attempts - 1:

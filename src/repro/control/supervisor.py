@@ -54,8 +54,10 @@ from repro.core.services.blackhole import (
 from repro.core.services.critical import CRITICAL, FIELD_CRITICAL, CriticalNodeService
 from repro.core.services.snapshot import SnapshotService, decode_snapshot
 from repro.control.channel import ControlChannel
+from repro.control.retry import RetryPolicy, retry_rounds
 from repro.net.simulator import Network
 from repro.net.trace import EventKind
+from repro.openflow.errors import InstallError
 from repro.openflow.packet import LOCAL_PORT, Packet
 
 #: Attempt outcomes recorded in the epoch ledger.
@@ -523,6 +525,50 @@ RESYNC_OK = "ok"
 RESYNC_REPROGRAMMED = "reprogrammed"
 RESYNC_UNREACHABLE = "unreachable"
 
+#: Per-switch re-adoption outcomes (see :meth:`SupervisedRuntime.readopt`).
+READOPT_OK = "ok"
+READOPT_REPROGRAMMED = "reprogrammed"
+READOPT_DARK = "dark"
+READOPT_UNREACHABLE = "unreachable"
+READOPT_FAILED = "install-failed"
+
+
+@dataclass
+class ReadoptAttempt:
+    """One audited per-switch decision in the re-adoption ledger.
+
+    Every round records one attempt per (switch, service) pair — matches
+    (``ok``), pushes (``reprogrammed``), interrupted pushes
+    (``install-failed``), and honest skips (``dark`` / ``unreachable``) —
+    so the ledger shows exactly which retry repaired which switch and why
+    earlier rounds did not.
+    """
+
+    round_index: int
+    node: int
+    service: str
+    status: str
+
+
+@dataclass
+class ReadoptReport:
+    """What one switch re-adoption sweep did (the chaos oracle's evidence
+    for *switch-recovery*)."""
+
+    converged: bool
+    rounds: int
+    #: Full per-round, per-(switch, service) audit trail.
+    attempts: list[ReadoptAttempt] = field(default_factory=list)
+    #: Nodes reprogrammed in *any* round, in reprogramming order.
+    reprogrammed_nodes: list[int] = field(default_factory=list)
+    #: Final-round honest-degradation sets: switches that are crashed
+    #: (dark) or management-disconnected are reported, not awaited.
+    dark_nodes: list[int] = field(default_factory=list)
+    unreachable_nodes: list[int] = field(default_factory=list)
+    #: Reachable, up switches whose digest still disagreed after the final
+    #: round (non-empty only when ``converged`` is False).
+    drifted_nodes: list[int] = field(default_factory=list)
+
 
 @dataclass
 class SwitchResync:
@@ -694,6 +740,160 @@ class SupervisedRuntime:
             if reprogrammed == 0:
                 report.converged = True
                 break
+        return report
+
+    # -- switch re-adoption ----------------------------------------------- #
+
+    def switches_at(self, node: int) -> list:
+        """Every installed Switch object currently serving *node*.
+
+        Walks the cached compiled engines in deterministic (service-key)
+        order; interpreted engines contribute nothing.  The chaos harness
+        uses this to aim switch-level faults at whatever box is actually
+        bound to a node, and tests use it to poke switch state directly.
+        """
+        switches = []
+        for key in sorted(self._supervisors):
+            engine = self._supervisors[key].engine
+            installed = getattr(engine, "switches", None)
+            if installed and node in installed:
+                switches.append(installed[node])
+        return switches
+
+    def readopt(self, max_rounds: int = 4) -> ReadoptReport:
+        """Re-adopt rebooted (or otherwise drifted) switches.
+
+        The switch-side mirror of :meth:`resynchronize`: there the
+        *controller* lost its soft state; here a *switch* did.  Each round
+        walks every switch of every supervised compiled engine and runs the
+        inventory handshake — the switch reports its
+        :meth:`~repro.openflow.switch.Switch.inventory_digest` (which
+        covers flow entries, group buckets and FF watch ports), the
+        controller recompiles the expected program from static
+        configuration, and any disagreeing switch gets the program pushed
+        back entry by entry via
+        :meth:`~repro.openflow.switch.Switch.adopt_program`.  The push
+        mutates the installed switch **in place**, so an interrupted push
+        (an active :class:`~repro.openflow.switch.SwitchFaultConfig`)
+        leaves honest drift behind for the next round to detect.
+
+        Rounds are driven by :func:`repro.control.retry.retry_rounds` with
+        the fixed-point early stop disabled: under transient install
+        faults a no-progress round is not evidence of unreachability, so
+        only the attempt budget (*max_rounds*) and the backoff policy
+        bound the loop.  Crashed switches (``dark``) and
+        management-disconnected switches (``unreachable``) are reported,
+        never awaited — honest degradation while the box is gone.
+        ``converged`` means every *reachable, up* switch matched its
+        expected digest in the final sweep.
+        """
+        from repro.core.compiler import compile_service
+
+        report = ReadoptReport(converged=False, rounds=0)
+        pending = {"drifted": 0}
+
+        def sweep(round_index: int) -> None:
+            drifted = 0
+            dark: list[int] = []
+            unreachable: list[int] = []
+            still_drifted: list[int] = []
+            for key in sorted(self._supervisors):
+                supervisor = self._supervisors[key]
+                engine = supervisor.engine
+                installed = getattr(engine, "switches", None)
+                if not installed:
+                    # Interpreted engines keep no switch-side flow state.
+                    continue
+                service = supervisor.service
+                for node in sorted(installed):
+                    switch = installed[node]
+                    if self.channel is not None and not self.channel.connected(
+                        node
+                    ):
+                        report.attempts.append(
+                            ReadoptAttempt(
+                                round_index, node, service.name,
+                                READOPT_UNREACHABLE,
+                            )
+                        )
+                        if node not in unreachable:
+                            unreachable.append(node)
+                        continue
+                    if switch.down:
+                        report.attempts.append(
+                            ReadoptAttempt(
+                                round_index, node, service.name, READOPT_DARK
+                            )
+                        )
+                        if node not in dark:
+                            dark.append(node)
+                        continue
+                    expected = compile_service(
+                        self.network,
+                        node,
+                        service,
+                        fast_path=getattr(engine, "fast_path", None),
+                    )
+                    if (
+                        switch.inventory_digest()
+                        == expected.inventory_digest()
+                    ):
+                        report.attempts.append(
+                            ReadoptAttempt(
+                                round_index, node, service.name, READOPT_OK
+                            )
+                        )
+                        continue
+                    try:
+                        switch.adopt_program(expected)
+                    except InstallError:
+                        report.attempts.append(
+                            ReadoptAttempt(
+                                round_index, node, service.name,
+                                READOPT_FAILED,
+                            )
+                        )
+                        drifted += 1
+                        if node not in still_drifted:
+                            still_drifted.append(node)
+                        continue
+                    report.attempts.append(
+                        ReadoptAttempt(
+                            round_index, node, service.name,
+                            READOPT_REPROGRAMMED,
+                        )
+                    )
+                    report.reprogrammed_nodes.append(node)
+                    # A completed push matches by construction, but a
+                    # paranoid controller re-verifies the digest rather
+                    # than trusting its own bookkeeping.
+                    if (
+                        switch.inventory_digest()
+                        != expected.inventory_digest()
+                    ):
+                        drifted += 1
+                        if node not in still_drifted:
+                            still_drifted.append(node)
+            pending["drifted"] = drifted
+            report.dark_nodes = dark
+            report.unreachable_nodes = unreachable
+            report.drifted_nodes = still_drifted
+
+        policy = RetryPolicy(
+            max_attempts=max_rounds,
+            base_backoff=self.config.base_backoff,
+            backoff_factor=self.config.backoff_factor,
+            max_backoff=self.config.max_backoff,
+            jitter=self.config.jitter,
+        )
+        report.rounds = retry_rounds(
+            self.network,
+            policy,
+            sweep,
+            lambda: pending["drifted"],
+            stop_on_no_progress=False,
+        )
+        report.converged = pending["drifted"] == 0
         return report
 
     # -- snapshot -------------------------------------------------------- #

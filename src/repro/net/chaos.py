@@ -36,6 +36,7 @@ from repro.core.determinism import Rng, seeded_rng
 
 from repro.control.channel import ChannelFaultConfig, ControlChannel
 from repro.control.supervisor import (
+    ReadoptReport,
     ResyncReport,
     SupervisedRuntime,
     SupervisorConfig,
@@ -46,6 +47,10 @@ from repro.net.link import Direction
 from repro.net.simulator import Network, SimulationLimitError
 from repro.net.topology import Topology, complete, torus
 from repro.net.trace import EventKind
+from repro.openflow.errors import TableFullError
+from repro.openflow.match import Match
+from repro.openflow.actions import Instructions
+from repro.openflow.switch import SwitchFaultConfig
 
 #: Outcome classes.
 RECOVERED = "recovered"
@@ -100,6 +105,21 @@ class FaultProfile:
     #: Crash the whole controller mid-traversal; it restarts after a drawn
     #: outage and must resynchronize (the resync-convergence oracle).
     crash: bool = False
+    # -- switch-plane knobs (the switches themselves misbehave) ---------- #
+    #: Crash one victim switch mid-traversal; it reboots *bare* after a
+    #: drawn outage and must be re-adopted (the switch-recovery oracle).
+    sw_crash: bool = False
+    #: Crash/reboot the victim switch through several cycles (a flapping
+    #: box); each reboot loses all flow state again.
+    sw_flap: bool = False
+    #: Install this many junk entries into a capacity-bounded private table
+    #: on the victim mid-run, exercising deterministic eviction and
+    #: TABLE_FULL errors plus inventory drift (never packet semantics: the
+    #: pressure table is unreachable by any goto chain).
+    table_pressure: int = 0
+    #: Partial-install interruption probability during re-adoption pushes
+    #: (a :class:`~repro.openflow.switch.SwitchFaultConfig` on the victim).
+    install_fail: float = 0.0
 
 
 #: The three stock profiles of the CI campaign matrix.
@@ -130,10 +150,31 @@ PROFILES: dict[str, FaultProfile] = {
         name="ctrl-crash", crash=True, channel_loss=0.1, lossy_links=1,
         max_loss=0.1,
     ),
+    # Switch-plane profiles: the boxes themselves crash, flap, or run out
+    # of table space — the data-plane mirror of the control profiles.
+    "sw-crash": FaultProfile(
+        name="sw-crash", sw_crash=True, lossy_links=1, max_loss=0.1,
+        install_fail=0.4,
+    ),
+    "sw-flap": FaultProfile(
+        name="sw-flap", sw_flap=True, install_fail=0.4,
+    ),
+    "table-pressure": FaultProfile(
+        name="table-pressure", table_pressure=24, lossy_links=1,
+        max_loss=0.1, install_fail=0.25,
+    ),
 }
 
 #: The control-plane campaign matrix (the ``chaos --control`` profile set).
 CONTROL_PROFILES = ("ctrl-lossy", "ctrl-flap", "ctrl-crash")
+
+#: The switch-plane campaign matrix (the ``chaos --switch`` profile set).
+SWITCH_PROFILES = ("sw-crash", "sw-flap", "table-pressure")
+
+#: Table id of the chaos pressure table: far above every compiled service
+#: block and never the target of a goto, so junk installed there can drift
+#: the inventory digest without ever touching packet semantics.
+PRESSURE_TABLE = 200
 
 
 @dataclass
@@ -613,6 +654,29 @@ def resync_problems(report: ResyncReport) -> list[str]:
     return problems
 
 
+def readopt_problems(report: ReadoptReport) -> list[str]:
+    """The switch-recovery oracle, on one post-run :class:`ReadoptReport`.
+
+    The campaign driver forces every crashed victim back up before
+    re-adopting, so a converged report with no dark switches is the only
+    acceptable end state: every reachable switch's inventory digest reached
+    the compiled fixed point despite partial-install interruptions (the
+    attempt ledger in the report audits each retry).  Returns
+    human-readable violations.
+    """
+    problems: list[str] = []
+    if not report.converged:
+        problems.append(
+            f"switch re-adoption did not converge in {report.rounds} rounds "
+            f"(still drifted: {sorted(report.drifted_nodes)})"
+        )
+    if report.dark_nodes:
+        problems.append(
+            f"switches dark after forced reboot: {sorted(report.dark_nodes)}"
+        )
+    return problems
+
+
 def check_outage_liveness(
     seed: int = 0, topology_name: str = "torus3x3"
 ) -> list[str]:
@@ -683,6 +747,23 @@ def control_plane_config(runs: int = 216, seed: int = 0) -> ChaosConfig:
     """The CI control-plane campaign: every service through every control
     profile, well past the 200-run acceptance floor."""
     return ChaosConfig(runs=runs, seed=seed, profiles=CONTROL_PROFILES)
+
+
+def switch_plane_config(runs: int = 216, seed: int = 0) -> ChaosConfig:
+    """The CI switch-plane campaign: every service through every switch
+    profile, well past the 200-run acceptance floor."""
+    return ChaosConfig(runs=runs, seed=seed, profiles=SWITCH_PROFILES)
+
+
+def run_switch_campaign(runs: int = 216, seed: int = 0) -> "CampaignReport":
+    """The switch-plane chaos campaign (the CI ``chaos-switch`` job).
+
+    Every run with a switch-fault profile finishes with a forced reboot of
+    the victim and a full re-adoption sweep, judged by
+    :func:`readopt_problems`; a failed recovery flips the run to
+    wrong-result, so the report's ``ok`` covers switch recovery too.
+    """
+    return run_campaign(switch_plane_config(runs=runs, seed=seed))
 
 
 def run_control_campaign(runs: int = 216, seed: int = 0) -> "CampaignReport":
@@ -756,11 +837,100 @@ def run_one(
         network.at_packet_step(crash_step, _crash)
         faults.append(f"ctrl-crash@step{crash_step}:outage{outage}")
 
+    # Smart-counter blackhole detection builds a fresh engine per attempt
+    # (the counters must start from zero), so there is no persistent switch
+    # whose crash and recovery the oracle could observe — switch faults are
+    # withheld from the blackhole service, same as visible mid-failures.
+    switch_faulted = (
+        profile.sw_crash or profile.sw_flap or profile.table_pressure > 0
+    ) and service != "blackhole"
+
     config = SupervisorConfig(max_attempts=max_attempts)
-    # Crash runs use compiled switches: the post-restart inventory
+    # Crash and switch-fault runs use compiled switches: the inventory
     # handshake reconciles real per-switch flow state, not a no-op.
-    mode = "compiled" if profile.crash else "interpreted"
+    mode = "compiled" if profile.crash or switch_faulted else "interpreted"
     runtime = SupervisedRuntime(network, mode=mode, config=config, channel=channel)
+
+    # Switch-plane faults: the victim box crashes mid-traversal (possibly
+    # through several flap cycles) or comes under table pressure.  All
+    # durations and the victim are drawn at plan time; the armed callbacks
+    # only flip switch flags and queue timer events — they never re-enter
+    # the event loop.  Switch objects are resolved at fire time (the
+    # engines compile lazily on the first supervised call).
+    victim = -1
+    install_seed = 0
+    pressure_stats: dict = {}
+    if switch_faulted:
+        victim = plan_rng.randrange(topology.num_nodes)
+        install_seed = plan_rng.randrange(1 << 32)
+        if profile.sw_crash or profile.sw_flap:
+            crash_step = plan_rng.randint(1, 40)
+            cycles = plan_rng.randint(2, 3) if profile.sw_flap else 1
+            outages = [
+                round(plan_rng.uniform(40.0, 200.0), 1) for _ in range(cycles)
+            ]
+            gaps = [
+                round(plan_rng.uniform(30.0, 90.0), 1) for _ in range(cycles)
+            ]
+
+            def _sw_crash() -> None:
+                switches = runtime.switches_at(victim)
+
+                def _crash_all() -> None:
+                    for sw in switches:
+                        sw.crash()
+
+                def _reboot_all() -> None:
+                    for sw in switches:
+                        sw.reboot()
+
+                _crash_all()
+                now = network.sim.now
+                offset = 0.0
+                for index in range(cycles):
+                    network.sim.at(now + offset + outages[index], _reboot_all)
+                    offset += outages[index] + gaps[index]
+                    if index + 1 < cycles:
+                        network.sim.at(now + offset, _crash_all)
+
+            network.at_packet_step(crash_step, _sw_crash)
+            kind = "sw-flap" if profile.sw_flap else "sw-crash"
+            cycle_tags = ",".join(
+                f"down{outage}+up{gap}" for outage, gap in zip(outages, gaps)
+            )
+            faults.append(f"{kind}:{victim}@step{crash_step}:{cycle_tags}")
+        if profile.table_pressure:
+            pressure_step = plan_rng.randint(1, 30)
+            capacity = plan_rng.randint(6, 10)
+            junk = [
+                plan_rng.randint(0, 5) for _ in range(profile.table_pressure)
+            ]
+
+            def _pressure() -> None:
+                for sw in runtime.switches_at(victim):
+                    table = sw.table(PRESSURE_TABLE)
+                    table.set_capacity(capacity, evict=True)
+                    rejected = 0
+                    for position, priority in enumerate(junk):
+                        try:
+                            table.install(
+                                Match(junk=position),
+                                Instructions(),
+                                priority=priority,
+                                cookie=f"chaos-junk-{position}",
+                            )
+                        except TableFullError:
+                            rejected += 1
+                    pressure_stats["capacity"] = capacity
+                    pressure_stats["installed"] = len(table)
+                    pressure_stats["rejected"] = rejected
+                    pressure_stats["evicted"] = table.evictions
+
+            network.at_packet_step(pressure_step, _pressure)
+            faults.append(
+                f"table-pressure:{victim}@step{pressure_step}"
+                f":cap{capacity}x{profile.table_pressure}"
+            )
 
     record = RunRecord(
         run_id=run_id,
@@ -812,6 +982,40 @@ def run_one(
             if problems and record.outcome in (RECOVERED, DEGRADED_CORRECT):
                 record.outcome = WRONG_RESULT
                 record.reason = "resync: " + "; ".join(problems)
+        if switch_faulted:
+            # The switch-recovery oracle: force any still-dark victim back
+            # up (rebooting an up switch is a no-op), arm the seeded
+            # partial-install fault model, and drive re-adoption to the
+            # inventory-digest fixed point.  A recovery that fails to
+            # converge — or leaves switches dark — flips the run.
+            for sw in runtime.switches_at(victim):
+                sw.reboot()
+                if profile.install_fail:
+                    sw.set_faults(
+                        SwitchFaultConfig(
+                            partial_install_prob=profile.install_fail,
+                            fail_budget=2,
+                            seed=install_seed,
+                        )
+                    )
+            readopt = runtime.readopt()
+            ledger: dict[str, int] = {}
+            for attempt in readopt.attempts:
+                ledger[attempt.status] = ledger.get(attempt.status, 0) + 1
+            record.detail["readopt"] = {
+                "converged": readopt.converged,
+                "rounds": readopt.rounds,
+                "reprogrammed": list(readopt.reprogrammed_nodes),
+                "dark": sorted(set(readopt.dark_nodes)),
+                "unreachable": sorted(set(readopt.unreachable_nodes)),
+                "ledger": ledger,
+            }
+            if pressure_stats:
+                record.detail["table_pressure"] = dict(pressure_stats)
+            problems = readopt_problems(readopt)
+            if problems and record.outcome in (RECOVERED, DEGRADED_CORRECT):
+                record.outcome = WRONG_RESULT
+                record.reason = "readopt: " + "; ".join(problems)
     except SimulationLimitError:
         record.outcome = HUNG
         record.reason = "event budget exhausted"
@@ -846,6 +1050,42 @@ def run_campaign(config: ChaosConfig | None = None) -> CampaignReport:
             )
         )
     return report
+
+
+def replay_run(report: dict, run_id: int) -> tuple[RunRecord, list[str]]:
+    """Re-run one recorded campaign run and diff it against its record.
+
+    *report* is a parsed campaign JSON (the :meth:`CampaignReport.to_dict`
+    shape).  The run's service/topology/profile/seed and the campaign's
+    retry budget all come from the file, so a replay needs nothing but the
+    report — and, the harness being deterministic, must reproduce the
+    record byte-for-byte.  Returns the fresh record plus the field-level
+    mismatches (an empty list is a faithful replay); this is how a single
+    flagged run from a CI campaign is pulled out and studied locally.
+    """
+    records = {rec["run_id"]: rec for rec in report.get("records", ())}
+    if run_id not in records:
+        raise ValueError(
+            f"no run {run_id} in report ({len(records)} records)"
+        )
+    original = records[run_id]
+    max_attempts = report.get("config", {}).get("max_attempts", 6)
+    fresh = run_one(
+        run_id,
+        original["service"],
+        original["topology"],
+        original["profile"],
+        original["seed"],
+        max_attempts=max_attempts,
+    )
+    fresh_dict = fresh.to_dict()
+    mismatches = []
+    for key in sorted(set(original) | set(fresh_dict)):
+        was = json.dumps(original.get(key), sort_keys=True)
+        now = json.dumps(fresh_dict.get(key), sort_keys=True)
+        if was != now:
+            mismatches.append(f"{key}: recorded {was} != replayed {now}")
+    return fresh, mismatches
 
 
 def ledger_violations(report: CampaignReport) -> list[str]:  # pragma: no cover

@@ -132,6 +132,26 @@ def isolate_node(network: Network, node: int) -> list[int]:
     return failed
 
 
+def restore_node(network: Network, node: int) -> list[int]:
+    """Bring every downed link of *node* back up; returns their edge ids.
+
+    The inverse of :meth:`isolate_node`, for transient node outages: a
+    chaos profile schedules ``isolate_node`` at one packet step and this at
+    a later simulated time.  Restores *all* of the node's down links, so an
+    isolate/restore pair leaves the node at least as connected as before
+    (links failed independently in between come back too — matching the
+    maintenance-window semantics, where the reconnecting box renegotiates
+    every port).
+    """
+    restored = []
+    for port in range(1, network.topology.degree(node) + 1):
+        edge = network.topology.port_edge(node, port)
+        if edge is not None and not network.links[edge.edge_id].up:
+            network.links[edge.edge_id].up = True
+            restored.append(edge.edge_id)
+    return restored
+
+
 def fail_region(network: Network, nodes: Iterable[int]) -> list[int]:
     """Fail every link with *both* endpoints in the region (a correlated
     outage: the region's internal fabric goes dark, its uplinks survive)."""
@@ -143,6 +163,23 @@ def fail_region(network: Network, nodes: Iterable[int]) -> list[int]:
             link.up = False
             failed.append(edge.edge_id)
     return failed
+
+
+def restore_region(network: Network, nodes: Iterable[int]) -> list[int]:
+    """Bring every downed intra-region link back up; returns their edge ids.
+
+    The inverse of :meth:`fail_region`: the region's internal fabric comes
+    back as one correlated event.  Only links with *both* endpoints in the
+    region are touched, mirroring what :meth:`fail_region` failed.
+    """
+    region = set(nodes)
+    restored = []
+    for link in network.links:
+        edge = link.edge
+        if edge.a.node in region and edge.b.node in region and not link.up:
+            link.up = True
+            restored.append(edge.edge_id)
+    return restored
 
 
 def management_outage(

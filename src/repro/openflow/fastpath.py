@@ -796,6 +796,11 @@ class FastPath:
                 )
             fast = self._fast_table(table_id)
             if fast is None:
+                if table_id == 0 and not switch.tables:
+                    # Bare switch (factory-fresh after a reboot): table
+                    # miss, not a misconfiguration — mirror Switch.process.
+                    switch.table_misses += 1
+                    return outputs
                 raise TableError(
                     f"switch {switch.node_id}: goto to missing table {table_id}"
                 )
@@ -953,6 +958,11 @@ class FastPath:
                 if not resolved:
                     fast = fast_table(table_id)
                     if fast is None:
+                        if table_id == 0 and not tables:
+                            # Bare switch: table miss (see Switch.process).
+                            switch.table_misses += 1
+                            missed = True
+                            break
                         raise TableError(
                             f"switch {node_id}: goto to missing table {table_id}"
                         )

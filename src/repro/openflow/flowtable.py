@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
 
 from repro.openflow.actions import Instructions
-from repro.openflow.errors import TableError
+from repro.openflow.errors import TableError, TableFullError
 from repro.openflow.match import Match
 
 
@@ -64,6 +64,15 @@ class FlowTable:
     ``version`` increments on every mutation; the fast path
     (:mod:`repro.openflow.fastpath`) uses it to invalidate compiled indexes
     transparently.
+
+    ``capacity`` (via :meth:`set_capacity`) bounds the entry count, modelling
+    TCAM pressure: installs into a full table either evict the
+    lowest-priority entry (``evict=True`` — deterministic: smallest
+    ``(priority, seq)``, and only entries *strictly* below the incoming
+    priority are candidates) or fail with
+    :class:`~repro.openflow.errors.TableFullError` (OpenFlow's
+    ``OFPFMFC_TABLE_FULL``).  Unbounded tables (the default) never pay for
+    the feature beyond one attribute check per install.
     """
 
     def __init__(self, table_id: int, name: str = "") -> None:
@@ -75,11 +84,37 @@ class FlowTable:
         self._sorted = True
         self._version = 0
         self._next_seq = 0
+        self._capacity: int | None = None
+        self._evict = False
+        self.evictions = 0
 
     @property
     def version(self) -> int:
         """Mutation counter (bumped by add/remove/modify/touch)."""
         return self._version
+
+    @property
+    def capacity(self) -> int | None:
+        """Entry limit, or None for unbounded (the default)."""
+        return self._capacity
+
+    def set_capacity(self, capacity: int | None, evict: bool = False) -> None:
+        """Bound the table to *capacity* entries (None removes the bound).
+
+        ``evict=True`` selects the make-room policy: a full table evicts its
+        lowest-``(priority, seq)`` entry, but only when that victim's
+        priority is strictly below the incoming entry's — an install can
+        never displace an equal-or-higher-priority rule, so the behaviour
+        of the surviving rule set is a monotone under-approximation of the
+        unbounded table.  Shrinking below the current occupancy is allowed;
+        existing entries stay until the next install applies the policy.
+        """
+        if capacity is not None and capacity < 1:
+            raise TableError(
+                f"table {self.table_id}: capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._evict = evict
 
     def _mutated(self) -> None:
         self._sorted = False
@@ -90,12 +125,45 @@ class FlowTable:
         self._mutated()
 
     def add(self, entry: FlowEntry) -> FlowEntry:
-        """Install *entry* and return it (assigns its insertion seq)."""
+        """Install *entry* and return it (assigns its insertion seq).
+
+        On a capacity-bounded full table this applies the eviction policy
+        (see :meth:`set_capacity`) and raises
+        :class:`~repro.openflow.errors.TableFullError` when no room can be
+        made.
+        """
+        if self._capacity is not None and len(self._entries) >= self._capacity:
+            self._make_room(entry)
         entry.seq = self._next_seq
         self._next_seq += 1
         self._entries.append(entry)
         self._mutated()
         return entry
+
+    def _make_room(self, incoming: FlowEntry) -> None:
+        """Evict one entry for *incoming*, or raise :class:`TableFullError`.
+
+        The victim is the smallest ``(priority, seq)`` — the lowest-priority
+        entry, oldest first — and must sit strictly below the incoming
+        priority.  Both the scan order and the tie-break are deterministic,
+        so identical install sequences produce identical tables bit for bit
+        (the Hypothesis suite pins this across fast-path/batch modes).
+        """
+        assert self._capacity is not None
+        victim: FlowEntry | None = None
+        for entry in self._entries:
+            if entry.priority >= incoming.priority:
+                continue
+            if victim is None or (entry.priority, entry.seq) < (
+                victim.priority,
+                victim.seq,
+            ):
+                victim = entry
+        if victim is None or not self._evict:
+            raise TableFullError(self.table_id, self._capacity)
+        self._entries.remove(victim)
+        self.evictions += 1
+        self._mutated()
 
     def install(
         self,

@@ -6,10 +6,11 @@ import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.core.determinism import Rng, seeded_rng
 from repro.openflow.actions import GroupAction, Instructions
-from repro.openflow.errors import PipelineError, TableError
+from repro.openflow.errors import InstallError, PipelineError, TableError
 from repro.openflow.flowtable import FlowEntry, FlowTable
-from repro.openflow.group import Group, GroupTable, LivenessFn
+from repro.openflow.group import Bucket, Group, GroupTable, LivenessFn
 from repro.openflow.match import Match
 from repro.openflow.packet import (
     IN_PORT,
@@ -24,6 +25,41 @@ class PacketOut:
 
     port: int
     packet: Packet
+
+
+@dataclass(frozen=True)
+class SwitchFaultConfig:
+    """Seeded switch-local fault model (the data-plane mirror of
+    :class:`~repro.net.channel.ChannelFaultConfig`).
+
+    Attach with :meth:`Switch.set_faults`.  The only fault today is the
+    *partial install*: each :meth:`Switch.adopt_program` push draws once to
+    decide interruption and, if interrupted, once more for the cut position
+    — leaving a prefix of the program installed and the inventory digest
+    drifted.  ``fail_budget`` bounds the total interruptions per switch so
+    a controller with bounded retries always converges.
+
+    An inactive config (the default) draws no RNG and allocates nothing:
+    the fault-free path stays bit-identical to a switch with no config.
+    """
+
+    #: Probability that one program push is interrupted partway.
+    partial_install_prob: float = 0.0
+    #: Total interruptions this switch may ever inject.
+    fail_budget: int = 2
+    #: Seed of the switch-private fault stream.
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.partial_install_prob <= 1.0:
+            raise ValueError("partial_install_prob must be in [0, 1]")
+        if self.fail_budget < 0:
+            raise ValueError("fail_budget must be non-negative")
+
+    @property
+    def active(self) -> bool:
+        """Whether this config can inject any fault at all."""
+        return self.partial_install_prob > 0.0 and self.fail_budget > 0
 
 
 class Switch:
@@ -63,6 +99,10 @@ class Switch:
         self.packets_processed = 0
         self.table_misses = 0
         self._fast_path = None
+        self._down = False
+        self._faults: SwitchFaultConfig | None = None
+        self._fault_rng: Rng | None = None
+        self._faults_left = 0
         if fast_path:
             self.enable_fast_path()
 
@@ -132,6 +172,118 @@ class Switch:
         if self._fast_path is not None:
             self._fast_path.invalidate()
 
+    def set_faults(self, config: SwitchFaultConfig | None) -> None:
+        """Attach (or clear, with None) the switch-local fault model.
+
+        Only an *active* config allocates the private seeded RNG; attaching
+        an inactive config is exactly as cheap as attaching none, so the
+        fault model can be compiled in everywhere without perturbing
+        fault-free byte-identity.
+        """
+        if config is not None:
+            config.validate()
+        if config is not None and config.active:
+            self._faults = config
+            self._fault_rng = seeded_rng(config.seed)
+            self._faults_left = config.fail_budget
+        else:
+            self._faults = None
+            self._fault_rng = None
+            self._faults_left = 0
+
+    # ------------------------------------------------------------------ #
+    # Crash / reboot                                                     #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def down(self) -> bool:
+        """True while the switch is crashed (dropping every arrival)."""
+        return self._down
+
+    def crash(self) -> None:
+        """Take the switch down: every packet delivered to it is dropped.
+
+        Idempotent and flag-only — safe to call from a timer or packet-step
+        callback (the simulator forbids re-entering the event loop from
+        those).  State is lost at :meth:`reboot`, not here, so a crash that
+        is never rebooted behaves exactly like a silently dead box.
+        """
+        self._down = True
+
+    def reboot(self) -> None:
+        """Bring a crashed switch back up with factory-fresh state.
+
+        Flow tables, the group table (including SELECT cursors and FF
+        bucket counters) and every compiled fast-path artifact are lost;
+        the controller must re-adopt the switch before it forwards
+        anything again (a bare switch table-misses every packet).  The
+        fast-path invalidation bumps the compiled engine's epoch, so the
+        batched drain's generation counter can never confuse pre- and
+        post-reboot programs.  No-op unless the switch is down.
+        """
+        if not self._down:
+            return
+        self.tables = {}
+        self.groups = GroupTable(self._port_live)
+        self.invalidate_fast_path()
+        self._down = False
+
+    def adopt_program(self, expected: "Switch") -> None:
+        """Wipe this switch and re-install *expected*'s program.
+
+        This is the controller's re-adoption push after a reboot (or after
+        the inventory handshake reports drift): rules are pushed entry by
+        entry in deterministic table/priority/seq order, then groups in
+        insertion order, so a completed push reproduces *expected*'s
+        :meth:`inventory_digest` exactly.  With an active
+        :class:`SwitchFaultConfig` the push may be interrupted partway
+        (one RNG draw for the decision, one for the cut position), raising
+        :class:`~repro.openflow.errors.InstallError` and leaving the
+        installed prefix behind — honest drift for the next retry round to
+        detect and repair.
+        """
+        entries = list(expected.iter_entries())
+        groups = list(expected.groups.groups())
+        total = len(entries) + len(groups)
+        cut = total
+        if self._fault_rng is not None and self._faults_left > 0 and total:
+            assert self._faults is not None
+            if self._fault_rng.random() < self._faults.partial_install_prob:
+                self._faults_left -= 1
+                cut = self._fault_rng.randrange(total)
+        self.tables = {}
+        self.groups = GroupTable(self._port_live)
+        self.invalidate_fast_path()
+        done = 0
+        for table_id, entry in entries:
+            if done == cut:
+                raise InstallError(
+                    f"switch {self.node_id}: program push interrupted after "
+                    f"{done}/{total} operations"
+                )
+            self.install(
+                table_id, entry.match, entry.instructions,
+                entry.priority, entry.cookie,
+            )
+            done += 1
+        for group in groups:
+            if done == cut:
+                raise InstallError(
+                    f"switch {self.node_id}: program push interrupted after "
+                    f"{done}/{total} operations"
+                )
+            self.add_group(
+                Group(
+                    group.group_id,
+                    group.group_type,
+                    [
+                        Bucket(actions=bucket.actions, watch_port=bucket.watch_port)
+                        for bucket in group.buckets
+                    ],
+                )
+            )
+            done += 1
+
     def _port_live(self, port: int) -> bool:
         return self._liveness(port)
 
@@ -162,6 +314,8 @@ class Switch:
         ``IN_PORT`` is resolved to *in_port* here.  An empty list means the
         packet was dropped (table miss with no entry, or no live FF bucket).
         """
+        if self._down:
+            return []  # crashed: every arrival is silently dropped
         if self._fast_path is not None:
             return self._fast_path.process(packet, in_port)
         self.packets_processed = self.packets_processed + 1
@@ -183,6 +337,12 @@ class Switch:
                 )
             table = self.tables.get(table_id)
             if table is None:
+                if table_id == 0 and not self.tables:
+                    # A bare switch (factory-fresh after a reboot) has no
+                    # table 0 at all: that is a table miss, not a pipeline
+                    # misconfiguration — drop, as OF 1.3 does.
+                    self.table_misses += 1
+                    return outputs
                 raise TableError(
                     f"switch {self.node_id}: goto to missing table {table_id}"
                 )
@@ -221,6 +381,10 @@ class Switch:
         lookups across the batch, otherwise this is a plain per-packet
         loop over the interpreter.
         """
+        if self._down:
+            for index in range(len(items)):
+                deliver(index, [])
+            return
         if self._fast_path is not None:
             self._fast_path.process_batch(items, deliver)
             return
@@ -273,6 +437,17 @@ class Switch:
                 f"  group {group.group_id} {group.group_type.value} "
                 f"({len(group.buckets)} buckets)"
             )
+            for bucket in group.buckets:
+                # Buckets are part of the digest so the resync handshake
+                # sees group-table drift (changed actions, rewired FF
+                # watch ports), not just flow-entry drift.  Actions are
+                # frozen dataclasses, so their reprs are deterministic.
+                watch = (
+                    "" if bucket.watch_port is None
+                    else f" watch={bucket.watch_port}"
+                )
+                actions = ", ".join(repr(action) for action in bucket.actions)
+                lines.append(f"    bucket{watch} [{actions}]")
         return "\n".join(lines)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -46,6 +46,7 @@ class TestChaosConfig:
         assert set(PROFILES) == {
             "lossy", "partition", "blackhole",
             "ctrl-lossy", "ctrl-flap", "ctrl-crash",
+            "sw-crash", "sw-flap", "table-pressure",
         }
 
 
@@ -283,3 +284,172 @@ class TestControlCli:
         assert {r["profile"] for r in payload["records"]} <= set(
             CONTROL_PROFILES
         )
+
+
+class TestSwitchPlaneProfiles:
+    def test_sw_crash_plans_victim_and_outage(self):
+        record = run_one(0, "snapshot", "torus3x3", "sw-crash", run_seed=1)
+        assert any(f.startswith("sw-crash:") for f in record.faults)
+        assert record.outcome in (RECOVERED, DEGRADED_CORRECT)
+
+    def test_sw_flap_plans_cycles(self):
+        record = run_one(0, "snapshot", "torus3x3", "sw-flap", run_seed=1)
+        flaps = [f for f in record.faults if f.startswith("sw-flap:")]
+        assert flaps and "down" in flaps[0] and "up" in flaps[0]
+
+    def test_table_pressure_records_eviction_stats(self):
+        fired = 0
+        for seed in range(8):
+            record = run_one(
+                0, "snapshot", "torus3x3", "table-pressure", seed
+            )
+            assert record.outcome in (RECOVERED, DEGRADED_CORRECT), (
+                record.reason
+            )
+            stats = record.detail.get("table_pressure")
+            if stats is None:
+                continue
+            fired += 1
+            assert stats["installed"] <= stats["capacity"]
+            assert (
+                stats["installed"] + stats["rejected"] + stats["evicted"]
+                >= stats["capacity"]
+            )
+        assert fired > 0
+
+    def test_switch_runs_carry_readopt_oracle(self):
+        converged = 0
+        for seed in range(8):
+            record = run_one(0, "snapshot", "torus3x3", "sw-crash", seed)
+            readopt = record.detail.get("readopt")
+            assert readopt is not None
+            assert readopt["converged"]
+            assert not readopt["dark"]
+            converged += 1
+            if readopt["reprogrammed"]:
+                # The retry ledger audits every attempt of the recovery.
+                assert sum(readopt["ledger"].values()) > 0
+        assert converged == 8
+
+    def test_blackhole_is_exempt_from_switch_faults(self):
+        # Blackhole detection builds a fresh engine per attempt, so there
+        # is no persistent switch whose recovery the oracle could observe.
+        for seed in range(4):
+            record = run_one(0, "blackhole", "torus3x3", "sw-crash", seed)
+            assert not any(f.startswith("sw-") for f in record.faults)
+            assert "readopt" not in record.detail
+
+    def test_switch_runs_are_seed_deterministic(self):
+        for profile in ("sw-crash", "sw-flap", "table-pressure"):
+            a = run_one(0, "snapshot", "torus3x3", profile, run_seed=7)
+            b = run_one(0, "snapshot", "torus3x3", profile, run_seed=7)
+            assert a.to_dict() == b.to_dict()
+
+
+class TestSwitchPlaneOracles:
+    def test_readopt_problems_flags_divergence_and_dark(self):
+        from repro.control.supervisor import ReadoptReport
+        from repro.net.chaos import readopt_problems
+
+        diverged = ReadoptReport(
+            converged=False, rounds=4, drifted_nodes=[2]
+        )
+        assert any("converge" in p for p in readopt_problems(diverged))
+        dark = ReadoptReport(converged=True, rounds=1, dark_nodes=[3])
+        assert any("dark" in p for p in readopt_problems(dark))
+        clean = ReadoptReport(converged=True, rounds=1)
+        assert readopt_problems(clean) == []
+
+
+class TestSwitchCampaign:
+    def test_small_switch_campaign_meets_the_bar(self):
+        from repro.net.chaos import run_switch_campaign
+
+        report = run_switch_campaign(runs=18, seed=3)
+        counts = report.outcome_counts()
+        assert counts[WRONG_RESULT] == 0
+        assert counts[HUNG] == 0
+        assert report.ok
+
+    def test_switch_campaign_byte_identical(self):
+        from repro.net.chaos import run_switch_campaign
+
+        assert (
+            run_switch_campaign(runs=12, seed=4).to_json()
+            == run_switch_campaign(runs=12, seed=4).to_json()
+        )
+
+    def test_switch_config_uses_switch_profiles(self):
+        from repro.net.chaos import SWITCH_PROFILES, switch_plane_config
+
+        config = switch_plane_config(runs=9, seed=0)
+        assert config.profiles == SWITCH_PROFILES
+        config.validate()
+
+
+class TestReplay:
+    def test_replay_reproduces_a_recorded_run(self):
+        from repro.net.chaos import replay_run, switch_plane_config
+
+        report = run_campaign(switch_plane_config(runs=6, seed=5))
+        payload = json.loads(report.to_json())
+        record, mismatches = replay_run(payload, 3)
+        assert mismatches == []
+        assert record.to_dict() == payload["records"][3]
+
+    def test_replay_rejects_unknown_run(self):
+        from repro.net.chaos import replay_run
+
+        report = run_campaign(ChaosConfig(runs=2))
+        with pytest.raises(ValueError):
+            replay_run(json.loads(report.to_json()), 99)
+
+    def test_replay_reports_divergence(self):
+        from repro.net.chaos import replay_run
+
+        report = run_campaign(ChaosConfig(runs=2))
+        payload = json.loads(report.to_json())
+        payload["records"][1]["outcome"] = "wrong-result"
+        _record, mismatches = replay_run(payload, 1)
+        assert any("outcome" in m for m in mismatches)
+
+
+class TestSwitchCli:
+    def test_cli_switch_flag(self, capsys):
+        code = cli_main(["chaos", "--runs", "9", "--seed", "2", "--switch"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verdict: OK" in out
+
+    def test_cli_switch_json_uses_switch_profiles(self, capsys):
+        from repro.net.chaos import SWITCH_PROFILES
+
+        code = cli_main([
+            "chaos", "--runs", "9", "--seed", "2", "--switch", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert {r["profile"] for r in payload["records"]} <= set(
+            SWITCH_PROFILES
+        )
+
+    def test_cli_replay_round_trip(self, tmp_path, capsys):
+        out_file = tmp_path / "campaign.json"
+        assert cli_main([
+            "chaos", "--runs", "6", "--seed", "5", "--switch",
+            "--json-out", str(out_file),
+        ]) == 0
+        capsys.readouterr()
+        code = cli_main([
+            "chaos", "--replay", str(out_file), "--run", "2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "matched the record" in out
+
+    def test_cli_replay_needs_run_index(self, tmp_path):
+        out_file = tmp_path / "campaign.json"
+        out_file.write_text("{}")
+        with pytest.raises(SystemExit):
+            cli_main(["chaos", "--replay", str(out_file)])

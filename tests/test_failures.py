@@ -12,6 +12,8 @@ from repro.net.failures import (
     isolate_node,
     live_component,
     management_outage,
+    restore_node,
+    restore_region,
 )
 from repro.net.simulator import Network
 from repro.net.topology import complete, erdos_renyi, line, ring
@@ -106,6 +108,65 @@ class TestIsolateAndRegion:
         runtime = SmartSouthRuntime(net, mode="compiled")
         snap = runtime.snapshot(0)
         assert snap.links == net.live_port_pairs()
+
+
+class TestRestore:
+    def test_restore_node_inverts_isolate(self):
+        net = Network(ring(6))
+        failed = restore_node(net, 2)  # nothing down yet
+        assert failed == []
+        dead = isolate_node(net, 2)
+        restored = restore_node(net, 2)
+        assert sorted(restored) == sorted(dead)
+        assert all(link.up for link in net.links)
+        assert live_component(net, 0) == set(range(6))
+
+    def test_restore_node_covers_independent_failures(self):
+        # Maintenance-window semantics: the reconnecting box renegotiates
+        # every port, so links failed independently in between come back.
+        net = Network(ring(6))
+        isolate_node(net, 2)
+        extra = fail_random_links(net, 1, seed=9)
+        touches_node = any(
+            2 in (net.links[e].edge.a.node, net.links[e].edge.b.node)
+            for e in extra
+        )
+        restored = restore_node(net, 2)
+        assert len(restored) == 2 + (1 if touches_node else 0)
+
+    def test_restore_region_inverts_fail_region(self):
+        net = Network(complete(6))
+        dead = fail_region(net, {0, 1, 2})
+        restored = restore_region(net, {0, 1, 2})
+        assert sorted(restored) == sorted(dead)
+        assert all(link.up for link in net.links)
+
+    def test_restore_region_leaves_outside_links_alone(self):
+        net = Network(complete(6))
+        fail_region(net, {0, 1, 2})
+        outside = fail_random_links(net, 1, seed=2, keep_connected=False)
+        # Keep drawing until the extra failure is outside the region.
+        seed = 2
+        while any(
+            {net.links[e].edge.a.node, net.links[e].edge.b.node} <= {0, 1, 2}
+            for e in outside
+        ):
+            net = Network(complete(6))
+            fail_region(net, {0, 1, 2})
+            seed += 1
+            outside = fail_random_links(net, 1, seed=seed)
+        restore_region(net, {0, 1, 2})
+        assert sum(1 for link in net.links if not link.up) == 1
+
+    def test_traversal_after_isolate_restore_cycle(self):
+        topo = ring(6)
+        net = Network(topo)
+        isolate_node(net, 3)
+        restore_node(net, 3)
+        runtime = SmartSouthRuntime(net, mode="compiled")
+        snap = runtime.snapshot(0)
+        assert snap.links == net.live_port_pairs()
+        assert len(snap.links) == topo.num_edges
 
 
 class TestManagementOutage:

@@ -729,3 +729,165 @@ class TestCrashScenarios:
         out = capsys.readouterr().out
         assert code == 0
         assert "2 scenario(s)" in out
+
+
+class TestSwitchCrashScenarios:
+    def test_scenarios_enumerate_non_root_victims(self):
+        scenarios = scenarios_for(
+            SnapshotService(), ring(4), 0, max_failures=0, switch_crash=True
+        )
+        sw = [s for s in scenarios if s.sw_crash is not None]
+        assert [s.sw_crash for s in sw] == [1, 2, 3]
+        for scenario in sw:
+            assert not scenario.allow_failures
+            assert scenario.triggers[1].after_reboot
+
+    def test_scenario_round_trips_json(self):
+        from repro.analysis.modelcheck import _switch_crash_scenarios
+
+        payload = _switch_crash_scenarios("snapshot", 0, ring(4))[0].to_dict()
+        assert payload["sw_crash"] == 1
+        assert payload["triggers"][1]["after_reboot"] is True
+        json.dumps(payload)
+
+    def test_sw_losses_are_environment_losses(self):
+        from repro.analysis.modelcheck import ENVIRONMENT_LOSSES
+
+        assert {"sw_down", "sw_bare"} <= ENVIRONMENT_LOSSES
+
+    def test_action_formatting(self):
+        from repro.analysis.modelcheck import format_action
+
+        assert "crashes" in format_action(("sw-crash", 2))
+        assert "bare" in format_action(("sw-reboot", 2))
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            pytest.param(SnapshotService, id="snapshot"),
+            pytest.param(PlainTraversalService, id="plain"),
+        ],
+    )
+    def test_real_programs_only_under_claim(self, factory):
+        report = check_engine(
+            compiled(ring(4), factory()),
+            CheckConfig(max_failures=0, switch_crash=True),
+        )
+        assert report.exit_code == 0, report.format_text(ring(4))
+        assert report.scenarios == 4  # base + one per non-root victim
+
+    def test_crash_mid_traversal_drops_then_bare_switch_miss_drops(self):
+        from repro.analysis.modelcheck import (
+            Explorer,
+            ModelContext,
+            StatefulStepper,
+            _switch_crash_scenarios,
+            active_invariants,
+        )
+        from repro.analysis.symbolic import FieldWidths
+
+        topo = ring(4)
+        engine = compiled(topo, SnapshotService())
+        widths = FieldWidths.for_switches(engine.switches.values())
+        steppers = {
+            n: StatefulStepper(sw, widths)
+            for n, sw in engine.switches.items()
+        }
+        scenario = _switch_crash_scenarios("snapshot", 0, topo)[1]  # victim 2
+        ctx = ModelContext(topo, engine.service, scenario, widths)
+        explorer = Explorer(
+            steppers, topo, scenario, ctx,
+            CheckConfig(max_failures=0), active_invariants(),
+        )
+        state = explorer.initial_state()
+        state, _ = explorer.apply(state, ("inject", 0))
+        state, _ = explorer.apply(state, ("sw-crash", 2))
+        while state.packets or state.next_trigger < len(scenario.triggers):
+            if state.packets:
+                state, _ = explorer.apply(
+                    state, ("step", state.packets[0].pid)
+                )
+            elif state.down:
+                state, _ = explorer.apply(state, ("sw-reboot", min(state.down)))
+            else:
+                state, _ = explorer.apply(state, ("inject", state.next_trigger))
+        kinds = [loss[0] for loss in state.losses]
+        assert kinds == ["sw_down", "sw_bare"]
+        assert state.reports == ()  # pure under-claim, nothing fabricated
+        assert explorer.terminal_violations(state) == []
+
+
+class TestMC011Fires:
+    def synthetic(self, **overrides):
+        from repro.analysis.modelcheck import (
+            GlobalState,
+            ModelContext,
+            _switch_crash_scenarios,
+        )
+        from repro.analysis.symbolic import FieldWidths
+
+        topo = ring(4)
+        engine = compiled(topo, SnapshotService())
+        widths = FieldWidths.for_switches(engine.switches.values())
+        scenario = _switch_crash_scenarios("snapshot", 0, topo)[1]  # victim 2
+        ctx = ModelContext(topo, engine.service, scenario, widths)
+        fields = {
+            "packets": (),
+            "live": frozenset(range(topo.num_edges)),
+            "cursors": (),
+            "failures_left": 0,
+            "next_trigger": 2,
+            "extra_left": 0,
+            "next_pid": 1,
+            "reports": (),
+            "deliveries": (),
+            "losses": (),
+            "sw_mark": (0, 0),
+        }
+        fields.update(overrides)
+        return ctx, GlobalState(**fields)
+
+    def violations(self, ctx, state):
+        return list(INVARIANTS["MC011"].check(ctx, state))
+
+    def test_vacuous_without_a_fired_crash(self):
+        ctx, state = self.synthetic(
+            sw_mark=None, reports=((2, (("snap_done", 1),), ()),)
+        )
+        assert self.violations(ctx, state) == []
+
+    def test_report_from_the_victim_is_fabrication(self):
+        ctx, state = self.synthetic(reports=((2, (), ()),))
+        found = self.violations(ctx, state)
+        assert any("stay silent" in v.message for v in found)
+
+    def test_delivery_from_the_victim_is_fabrication(self):
+        ctx, state = self.synthetic(deliveries=((2, ()),))
+        found = self.violations(ctx, state)
+        assert any("stay silent" in v.message for v in found)
+
+    def test_sw_loss_at_non_victim_is_flagged(self):
+        ctx, state = self.synthetic(losses=(("sw_down", 1, 1, -1),))
+        found = self.violations(ctx, state)
+        assert any("victim is 2" in v.message for v in found)
+
+    def test_snapshot_over_claim_is_flagged(self):
+        # A decoded stream naming a nonexistent link (0-2 is not a ring
+        # edge) is a wrong result; a partial stream is a fine under-claim.
+        ghost_stack = (
+            ("visit", 0, 0),
+            ("out", 2),
+            ("visit", 2, 2),
+        )
+        ctx, state = self.synthetic(
+            reports=((0, (("snapdone", 1),), ghost_stack),)
+        )
+        found = self.violations(ctx, state)
+        assert any("nonexistent" in v.message for v in found)
+
+    def test_honest_under_claims_pass(self):
+        ctx, state = self.synthetic(
+            losses=(("sw_down", 2, 1, -1), ("sw_bare", 2, 1, -1)),
+            reports=((0, (), ()),),  # root-side report, no ghost content
+        )
+        assert self.violations(ctx, state) == []
